@@ -1,0 +1,29 @@
+"""Benchmark bootstrap: import path + result rendering.
+
+Each benchmark regenerates one table/figure from DESIGN.md's experiment
+index and prints it (visible with ``pytest benchmarks/ --benchmark-only
+-s`` or in captured output on failure).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+_REPORTS = []
+
+
+def record_report(text: str) -> None:
+    """Collect a rendered experiment table for the session summary."""
+    _REPORTS.append(text)
+    print("\n" + text)
+
+
+def pytest_terminal_summary(terminalreporter):
+    if _REPORTS:
+        terminalreporter.write_sep("=", "regenerated paper tables")
+        for text in _REPORTS:
+            terminalreporter.write_line(text)
+            terminalreporter.write_line("")

@@ -1,0 +1,28 @@
+"""E12/E13 — ablations of the surveyed designs' internal choices."""
+
+from conftest import record_report
+from repro.bench import run_ituned_ablation, run_ottertune_ablation
+
+
+def test_ituned_ablation(benchmark):
+    result = benchmark.pedantic(run_ituned_ablation, rounds=1, iterations=1)
+    record_report(result.to_text())
+
+    speedups = result.raw["speedups"]
+    # Every variant improves on untuned.
+    assert all(v > 1.0 for v in speedups.values())
+    # The paper's EI+LHS recipe beats unguided random search on average.
+    assert speedups["ei + lhs (paper)"] >= speedups["no model (random)"] * 0.95
+
+
+def test_ottertune_ablation(benchmark):
+    result = benchmark.pedantic(run_ottertune_ablation, rounds=1, iterations=1)
+    record_report(result.to_text())
+
+    speedups = result.raw["speedups"]
+    assert all(v > 1.0 for v in speedups.values())
+    # History (the repository) is the pipeline's main asset: the full
+    # pipeline should not lose to history-free BO.
+    assert speedups["full pipeline"] >= speedups["no history (plain BO)"] * 0.9
+    # Mapping contributes on top of raw history.
+    assert speedups["full pipeline"] >= speedups["no workload mapping"] * 0.85

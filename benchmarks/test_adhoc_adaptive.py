@@ -1,0 +1,24 @@
+"""E8 — ad-hoc workloads: adaptive strategies amortize, per-job
+experiment-driven tuning cannot (Table 1, adaptive row)."""
+
+from conftest import record_report
+from repro.bench import run_adhoc
+
+
+def test_adhoc_adaptive(benchmark):
+    result = benchmark.pedantic(
+        run_adhoc, kwargs={"n_jobs": 8, "tune_budget": 10, "seed": 1},
+        rounds=1, iterations=1,
+    )
+    record_report(result.to_text())
+
+    totals = result.raw["totals"]
+
+    # Experiment-driven tuning pays far more in experiments than it
+    # could ever recover on nearly-one-shot jobs.
+    assert totals["per-job ituned"] > totals["default"] * 2
+    assert totals["per-job ituned"] == max(totals.values())
+
+    # Adaptive and rule-based never do materially worse than default.
+    assert totals["adaptive (mrmoulder)"] <= totals["default"] * 1.2
+    assert totals["rule-based"] <= totals["default"] * 1.2

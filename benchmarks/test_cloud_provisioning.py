@@ -1,0 +1,24 @@
+"""E11 — cloud provisioning: tuning composes with cluster sizing
+(§2.5 open challenge #2)."""
+
+from conftest import record_report
+from repro.bench import run_cloud
+
+
+def test_cloud_provisioning(benchmark):
+    result = benchmark.pedantic(
+        run_cloud, kwargs={"budget_runs": 20, "seed": 1}, rounds=1, iterations=1,
+    )
+    record_report(result.to_text())
+
+    # Scale-out reduces latency monotonically-ish...
+    runtimes = result.column("tuned_runtime_s")
+    assert runtimes[-1] < runtimes[0]
+
+    # ...but the latency-optimal and cost-optimal sizes differ: the
+    # cloud decision is genuinely multi-objective.
+    assert result.raw["latency_optimal_nodes"] > result.raw["cost_optimal_nodes"]
+
+    # The deadline-constrained pick sits between the two extremes.
+    pick = result.raw["deadline_pick_nodes"]
+    assert result.raw["cost_optimal_nodes"] <= pick <= result.raw["latency_optimal_nodes"]

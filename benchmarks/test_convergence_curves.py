@@ -1,0 +1,37 @@
+"""E6 — convergence curves: speedup vs experiments spent."""
+
+import math
+
+from conftest import record_report
+from repro.bench import run_convergence
+
+
+def test_convergence_curves(benchmark):
+    result = benchmark.pedantic(
+        run_convergence, kwargs={"budget_runs": 30, "seed": 1},
+        rounds=1, iterations=1,
+    )
+    record_report(result.to_text())
+
+    curves = result.raw["curves"]
+
+    # Incumbent curves never regress.
+    for name, curve in curves.items():
+        speeds = [s for _, s in curve]
+        assert all(b >= a - 1e-9 for a, b in zip(speeds, speeds[1:])), name
+
+    # Model-based tuners finish almost immediately; search keeps going.
+    assert len(curves["cost-model"]) <= 6
+    assert len(curves["trace-sim"]) <= 6
+    assert len(curves["ituned"]) >= 25
+
+    # Search improves materially after its initialization phase.
+    def at(name, k):
+        reached = [s for idx, s in curves[name] if idx <= k]
+        return reached[-1] if reached else 0.0
+
+    assert at("ituned", 30) > at("ituned", 5)
+    assert at("ottertune", 30) > 1.5
+
+    # Guided search ends at least as good as random search.
+    assert at("ituned", 30) >= at("random-search", 30) * 0.85

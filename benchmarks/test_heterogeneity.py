@@ -1,0 +1,27 @@
+"""E7 — heterogeneity: cost models degrade on mixed clusters (§2.5)."""
+
+from conftest import record_report
+from repro.bench import run_heterogeneity
+
+
+def test_heterogeneity(benchmark):
+    result = benchmark.pedantic(
+        run_heterogeneity, kwargs={"budget_runs": 25, "seed": 1},
+        rounds=1, iterations=1,
+    )
+    record_report(result.to_text())
+
+    speedups = result.raw["speedups"]
+
+    # On the homogeneous cluster the model holds its own...
+    assert speedups["homogeneous/cost-model"] >= speedups["homogeneous/ituned"] * 0.8
+    # ...on the heterogeneous cluster measurement-driven tuning pulls
+    # ahead (the model assumes uniform nodes).
+    assert speedups["heterogeneous/ituned"] > speedups["heterogeneous/cost-model"]
+
+    # Speculative execution flips sign with heterogeneity.
+    by_cluster = {}
+    for row in result.rows:
+        by_cluster[row[0]] = row[3]
+    assert by_cluster["homogeneous"] < 1.05
+    assert by_cluster["heterogeneous"] > 1.1

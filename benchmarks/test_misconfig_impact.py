@@ -1,0 +1,25 @@
+"""E3 — misconfiguration impact: the motivating claim of §2.1."""
+
+from conftest import record_report
+from repro.bench import run_misconfig
+
+
+def test_misconfig_impact(benchmark):
+    result = benchmark.pedantic(
+        run_misconfig, kwargs={"n_samples": 120, "seed": 1},
+        rounds=1, iterations=1,
+    )
+    record_report(result.to_text())
+
+    for row in result.rows:
+        system, worst_best, default_best, fail_pct = row[0], row[4], row[5], row[6]
+        # "orders of magnitude" between good and bad configurations
+        assert worst_best >= 10, f"{system}: worst/best only {worst_best}"
+        # the default leaves real performance on the table
+        assert default_best >= 1.5, f"{system}: default/best {default_best}"
+        # some configurations do not even survive
+        assert fail_pct > 0, f"{system}: no failure region found"
+
+    # At least one system shows the default being dramatically bad
+    # (Hadoop's single-reducer default in the real world).
+    assert max(row[5] for row in result.rows) >= 5

@@ -1,0 +1,29 @@
+"""E9 — knob-importance ranking quality vs the oracle sweep."""
+
+from conftest import record_report
+from repro.bench import run_ranking
+
+
+def test_parameter_ranking(benchmark):
+    result = benchmark.pedantic(
+        run_ranking, kwargs={"seed": 1}, rounds=1, iterations=1,
+    )
+    record_report(result.to_text())
+
+    rows = {row[0]: row for row in result.rows}
+
+    # SARD achieves a solid rank correlation at a fraction of the
+    # full-factorial cost (the paper's SARD row).
+    assert rows["sard-pb"][2] >= 0.4
+    assert rows["sard-pb"][3] >= 0.6
+
+    # Data-driven rankings beat the static knowledge base.
+    assert rows["sard-pb"][2] >= rows["navigation-kb"][2]
+
+    # Sampled-regression methods also carry signal.
+    assert rows["lasso-path"][2] > 0.2
+    assert rows["forest-impurity"][2] > 0.2
+
+    # Navigation costs zero experiments yet recovers some truth.
+    assert rows["navigation-kb"][1] == 0
+    assert rows["navigation-kb"][3] >= 0.2

@@ -1,0 +1,30 @@
+"""E15 — real-time analytics: the stability frontier (§2.5)."""
+
+import math
+
+from conftest import record_report
+from repro.bench import run_realtime
+
+
+def test_realtime_streaming(benchmark):
+    result = benchmark.pedantic(
+        run_realtime, kwargs={"budget_runs": 20, "seed": 1},
+        rounds=1, iterations=1,
+    )
+    record_report(result.to_text())
+
+    # Tuning extends the stability frontier by an order of magnitude.
+    assert result.raw["tuned_max_rate"] >= result.raw["default_max_rate"] * 4
+
+    # At every rate both configs sustain, the tuned one has lower
+    # latency and lower utilization.
+    for row in result.rows:
+        _, d_util, d_lat, t_util, t_lat = row
+        if math.isfinite(d_lat) and math.isfinite(t_lat):
+            assert t_lat < d_lat
+            assert t_util < d_util
+
+    # Tuned latency grows with rate but stays bounded while stable
+    # (the queueing term, not a cliff).
+    tuned_lats = [row[4] for row in result.rows if math.isfinite(row[4])]
+    assert tuned_lats == sorted(tuned_lats)

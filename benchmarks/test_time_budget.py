@@ -1,0 +1,30 @@
+"""E17 — equal wall-clock budgets: the cost axis of Table 1."""
+
+from conftest import record_report
+from repro.bench import run_time_budget
+
+
+def test_time_budget(benchmark):
+    result = benchmark.pedantic(
+        run_time_budget, kwargs={"budget_multiple": 12.0, "seed": 1},
+        rounds=1, iterations=1,
+    )
+    record_report(result.to_text())
+
+    by_key = {(row[0], row[1]): row for row in result.rows}
+
+    for (category, system), row in by_key.items():
+        wallclock, runs, speedup = row[2], row[3], row[4]
+        assert speedup >= 1.0, f"{category}/{system} lost to default"
+        # Model-based categories finish far under the allowance.
+        if category in ("rule-based", "cost-modeling", "simulation-based"):
+            assert runs <= 6, f"{category} used {runs} runs"
+
+    # Search converts the allowance into many runs...
+    assert by_key[("experiment-driven", "dbms")][3] > by_key[("cost-modeling", "dbms")][3]
+    # ...and on the slow system that budget buys a real edge over the
+    # cheap categories (Table 1: experiments pay off when affordable).
+    assert (
+        by_key[("experiment-driven", "hadoop")][4]
+        >= by_key[("cost-modeling", "hadoop")][4]
+    )

@@ -1,0 +1,23 @@
+"""E10 — what-if prediction accuracy of cost models and trace replay."""
+
+from conftest import record_report
+from repro.bench import run_whatif
+
+
+def test_whatif_accuracy(benchmark):
+    result = benchmark.pedantic(
+        run_whatif, kwargs={"n_points": 30, "seed": 1}, rounds=1, iterations=1,
+    )
+    record_report(result.to_text())
+
+    # Rank fidelity — the property that makes a predictor useful for
+    # configuration choice — is positive everywhere.
+    for row in result.rows:
+        system, predictor, fidelity = row[0], row[2], row[4]
+        assert fidelity > 0.15, f"{system}/{predictor}: fidelity {fidelity}"
+
+    # But the absolute errors expose the simplified assumptions
+    # (Table 1's cost-modeling weakness): nobody gets within 10% MAPE
+    # across random configurations.
+    for row in result.rows:
+        assert row[3] > 0.1, f"{row[0]}/{row[2]} is implausibly exact"

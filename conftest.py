@@ -1,0 +1,14 @@
+"""Pytest bootstrap: make ``src/`` importable without installation.
+
+The environment has no network access, so ``pip install -e .`` cannot
+fetch the ``wheel`` build dependency; inserting ``src/`` on ``sys.path``
+here gives tests and benchmarks the same import surface an editable
+install would.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Run every taxonomy category side by side on one tuning task.
+
+Regenerates a miniature of the paper's Table 1 on your terminal —
+one representative tuner per category, equal budgets, one HTAP
+workload.
+
+Run:  python examples/compare_all_categories.py
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.bench.harness import representative_tuners
+from repro.core import Budget, InstrumentedSystem
+from repro.systems.cluster import Cluster
+from repro.systems.dbms import (
+    DbmsSimulator,
+    adhoc_query,
+    htap_mixed,
+    olap_analytics,
+    oltp_orders,
+)
+
+
+def main() -> None:
+    cluster = Cluster.uniform(8)
+    system = DbmsSimulator(cluster)
+    workload = htap_mixed()
+    budget = Budget(max_runs=25)
+
+    baseline = system.run(workload, system.default_configuration()).runtime_s
+    print(f"workload {workload.name}: default runtime {baseline:.1f}s")
+    print(f"budget: {budget.max_runs} real runs per tuner\n")
+
+    history = [olap_analytics(0.5), oltp_orders(0.5), adhoc_query(3)]
+    rows = []
+    for category, tuner in representative_tuners(system, history):
+        noisy = InstrumentedSystem(system, noise=0.03, rng=np.random.default_rng(2))
+        result = tuner.tune(noisy, workload, budget, rng=np.random.default_rng(1))
+        rows.append([
+            category,
+            tuner.name,
+            result.n_real_runs,
+            round(result.experiment_time_s, 1),
+            round(result.best_runtime_s, 1),
+            round(baseline / result.best_runtime_s, 2),
+        ])
+    print(format_table(
+        ["category", "tuner", "runs", "experiment_s", "best_s", "speedup"],
+        rows,
+        title="All six categories on one task",
+    ))
+
+
+if __name__ == "__main__":
+    main()

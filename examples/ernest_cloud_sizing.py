@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Ernest-style cloud sizing: predict big-job performance from small
+samples, then provision.
+
+Reproduces the Ernest (NSDI'16) workflow on the Spark simulator:
+
+1. run the application on small *samples* of its data at a few
+   parallelism levels (cheap);
+2. fit the interpretable scaling model
+   ``t = c0 + c1*(scale/m) + c2*log(m) + c3*m``;
+3. extrapolate to full scale to choose the executor count;
+4. validate against the ground truth the simulator can give us.
+
+Run:  python examples/ernest_cloud_sizing.py
+"""
+
+import numpy as np
+
+from repro.core import Budget
+from repro.systems.cluster import Cluster
+from repro.systems.spark import SparkSimulator, spark_kmeans
+from repro.tuners import ErnestTuner
+from repro.tuners.ml.ernest import predict_ernest
+
+
+def main() -> None:
+    cluster = Cluster.uniform(8)
+    system = SparkSimulator(cluster)
+    workload = spark_kmeans(8.0, iterations=10)
+
+    default = system.default_configuration()
+    base = system.run(workload, default).runtime_s
+    print(f"{workload.name}: full-scale run with defaults = {base:.0f}s\n")
+
+    tuner = ErnestTuner()
+    result = tuner.tune(
+        system, workload, Budget(max_runs=20), rng=np.random.default_rng(0)
+    )
+    coef = np.array(result.extras["ernest_coefficients"])
+    print("fitted scaling model: "
+          f"t = {coef[0]:.2f} + {coef[1]:.2f}*(scale/m) "
+          f"+ {coef[2]:.2f}*log(m) + {coef[3]:.3f}*m\n")
+
+    print("model extrapolation vs ground truth at full scale:")
+    print(f"{'executors':>10} {'predicted_s':>12} {'actual_s':>10}")
+    for m_exec in (2, 4, 8, 16, 32):
+        predicted = predict_ernest(coef, 1.0, m_exec)
+        config = default.replace(num_executors=m_exec)
+        actual = system.run(workload, config).runtime_s
+        print(f"{m_exec:>10} {predicted:>12.1f} {actual:>10.1f}")
+
+    chosen = result.best_config["num_executors"]
+    print(f"\nErnest provisions {chosen} executors; "
+          f"tuned runtime {result.best_runtime_s:.0f}s "
+          f"(speedup {base / result.best_runtime_s:.1f}x).")
+    print(f"Total experiment time spent on samples: "
+          f"{result.experiment_time_s:.0f}s "
+          f"({result.experiment_time_s / base:.1f}x one untuned full run).")
+
+
+if __name__ == "__main__":
+    main()

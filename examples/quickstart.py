@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Quickstart: tune a simulated DBMS with three different approaches.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import Budget, make_system, make_tuner
+from repro.workloads import olap_analytics
+
+
+def main() -> None:
+    # A DBMS simulator on its default single node, and an OLAP workload.
+    system = make_system("dbms")
+    workload = olap_analytics()
+
+    # How does the untuned (vendor default) configuration perform?
+    default_config = system.default_configuration()
+    baseline = system.run(workload, default_config)
+    print(f"default configuration: {baseline.runtime_s:8.1f}s")
+    print(f"  buffer pool  : {default_config['buffer_pool_mb']} MiB")
+    print(f"  work_mem     : {default_config['work_mem_mb']} MiB")
+    print()
+
+    # Try one tuner from three of the paper's six categories.
+    budget = Budget(max_runs=25)
+    for name in ["rule-based", "cost-model", "ituned"]:
+        tuner = make_tuner(name)
+        result = tuner.tune(system, workload, budget, rng=np.random.default_rng(0))
+        speedup = baseline.runtime_s / result.best_runtime_s
+        print(
+            f"{name:12s} ({result.category:17s}): "
+            f"{result.best_runtime_s:8.1f}s  "
+            f"speedup {speedup:4.1f}x  using {result.n_real_runs} runs"
+        )
+        for knob in ("buffer_pool_mb", "work_mem_mb", "max_parallel_workers"):
+            print(f"    {knob:22s} = {result.best_config[knob]}")
+    print()
+    print("Tip: `repro.tuner_names()` lists all implemented approaches.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Real-time analytics: keep a streaming job inside its stability region.
+
+Demonstrates the §2.5 "real-time analytics" challenge end-to-end:
+
+1. analyze a micro-batch app's stability under the default config as the
+   ingest rate ramps up;
+2. tune the per-batch job and watch the stability frontier move;
+3. use the drift detector to notice, online, when a rate surge pushes
+   the job toward divergence.
+
+Run:  python examples/streaming_stability.py
+"""
+
+import numpy as np
+
+from repro.core import Budget
+from repro.systems.cluster import Cluster
+from repro.systems.spark import SparkSimulator
+from repro.systems.spark.streaming import analyze_streaming, make_streaming_app
+from repro.tuners import DriftDetector, ITunedTuner
+
+
+def frontier(simulator, config, label) -> None:
+    print(f"{label}:")
+    print(f"  {'rate MB/s':>10} {'util':>6} {'latency':>9}")
+    for rate in (10, 30, 90, 270):
+        verdict = analyze_streaming(simulator, make_streaming_app(rate), config)
+        latency = f"{verdict.latency_s:8.1f}s" if verdict.stable else " DIVERGES"
+        print(f"  {rate:>10} {verdict.utilization:>6.2f} {latency}")
+    print()
+
+
+def main() -> None:
+    simulator = SparkSimulator(Cluster.uniform(8))
+    default = simulator.default_configuration()
+    frontier(simulator, default, "default configuration")
+
+    # Tune the per-batch job for processing time.
+    app = make_streaming_app(90.0)
+    result = ITunedTuner(n_init=6).tune(
+        simulator, app.one_batch_workload(), Budget(max_runs=20),
+        rng=np.random.default_rng(0),
+    )
+    frontier(simulator, result.best_config, "tuned configuration")
+
+    # Online: watch batch processing times as the ingest rate surges and
+    # flag the drift before the backlog diverges.
+    print("online drift detection during a rate surge:")
+    detector = DriftDetector(delta=0.05, threshold=0.3)
+    for step, rate in enumerate([90] * 6 + [240] * 4):
+        verdict = analyze_streaming(
+            simulator, make_streaming_app(rate), result.best_config
+        )
+        drifted = detector.update(verdict.batch_processing_s)
+        marker = "  <-- DRIFT: re-tune or scale out" if drifted else ""
+        print(f"  batch {step:2d} rate={rate:3d}MB/s "
+              f"processing={verdict.batch_processing_s:5.2f}s "
+              f"util={verdict.utilization:4.2f}{marker}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Analysis utilities: importance ranking, convergence, what-if accuracy,
+ASCII reports."""
+
+from repro.analysis.convergence import (
+    area_under_curve,
+    convergence_curve,
+    runs_to_reach,
+    speedup_curve,
+)
+from repro.analysis.ranking import (
+    forest_importance,
+    lasso_importance,
+    rank_correlation,
+    sweep_importance,
+    top_k_overlap,
+)
+from repro.analysis.interactions import (
+    interaction_matrix,
+    interaction_strength,
+    top_interactions,
+)
+from repro.analysis.pareto import hypervolume_2d, is_dominated, knee_point, pareto_front
+from repro.analysis.report import banner, format_table, format_value
+from repro.analysis.whatif import PredictionAccuracy, evaluate_predictor
+
+__all__ = [
+    "PredictionAccuracy",
+    "area_under_curve",
+    "banner",
+    "convergence_curve",
+    "evaluate_predictor",
+    "forest_importance",
+    "format_table",
+    "hypervolume_2d",
+    "interaction_matrix",
+    "interaction_strength",
+    "is_dominated",
+    "knee_point",
+    "pareto_front",
+    "format_value",
+    "lasso_importance",
+    "rank_correlation",
+    "runs_to_reach",
+    "speedup_curve",
+    "sweep_importance",
+    "top_interactions",
+    "top_k_overlap",
+]

@@ -1,0 +1,51 @@
+"""Convergence-curve analysis for tuning sessions (experiment E6)."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.tuner import TuningResult
+
+__all__ = [
+    "convergence_curve",
+    "speedup_curve",
+    "area_under_curve",
+    "runs_to_reach",
+]
+
+
+def convergence_curve(result: TuningResult) -> List[Tuple[int, float]]:
+    """(real-run index, best-so-far runtime) pairs."""
+    return result.history.incumbent_trajectory()
+
+
+def speedup_curve(
+    result: TuningResult, baseline_runtime_s: float
+) -> List[Tuple[int, float]]:
+    """(real-run index, speedup over baseline) pairs; 0 before the first
+    successful run."""
+    curve = []
+    for idx, best in convergence_curve(result):
+        speedup = baseline_runtime_s / best if math.isfinite(best) and best > 0 else 0.0
+        curve.append((idx, speedup))
+    return curve
+
+
+def area_under_curve(result: TuningResult, baseline_runtime_s: float) -> float:
+    """Mean speedup across the session — rewards both final quality and
+    how *early* it was reached (the figure-of-merit iTuned plots)."""
+    curve = speedup_curve(result, baseline_runtime_s)
+    if not curve:
+        return 0.0
+    return sum(s for _, s in curve) / len(curve)
+
+
+def runs_to_reach(
+    result: TuningResult, baseline_runtime_s: float, target_speedup: float
+) -> int:
+    """First real-run index achieving the target speedup, or -1."""
+    for idx, speedup in speedup_curve(result, baseline_runtime_s):
+        if speedup >= target_speedup:
+            return idx
+    return -1

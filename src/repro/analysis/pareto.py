@@ -1,0 +1,87 @@
+"""Multi-objective analysis: Pareto fronts over configuration outcomes.
+
+Cloud tuning (§2.5) is inherently multi-objective — latency vs. dollar
+cost, throughput vs. recovery time.  These helpers identify
+non-dominated outcomes and score fronts by (2-D) hypervolume, both for
+minimization on every objective.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["pareto_front", "is_dominated", "hypervolume_2d", "knee_point"]
+
+
+def is_dominated(point: Sequence[float], others: np.ndarray) -> bool:
+    """True if some row of ``others`` is <= point on all objectives and
+    strictly < on at least one (minimization)."""
+    p = np.asarray(point, dtype=float)
+    others = np.atleast_2d(np.asarray(others, dtype=float))
+    le = (others <= p).all(axis=1)
+    lt = (others < p).any(axis=1)
+    return bool((le & lt).any())
+
+
+def pareto_front(points: Sequence[Sequence[float]]) -> List[int]:
+    """Indices of non-dominated points (minimization on all axes),
+    sorted by the first objective."""
+    arr = np.atleast_2d(np.asarray(points, dtype=float))
+    n = arr.shape[0]
+    front = [
+        i for i in range(n)
+        if not is_dominated(arr[i], np.delete(arr, i, axis=0))
+    ]
+    return sorted(front, key=lambda i: tuple(arr[i]))
+
+
+def hypervolume_2d(
+    points: Sequence[Sequence[float]], reference: Tuple[float, float]
+) -> float:
+    """Dominated area between a 2-D front and a reference (worst) point.
+
+    Larger is better; points beyond the reference contribute nothing.
+    """
+    arr = np.atleast_2d(np.asarray(points, dtype=float))
+    if arr.shape[1] != 2:
+        raise ValueError("hypervolume_2d needs 2-D points")
+    rx, ry = float(reference[0]), float(reference[1])
+    front = [arr[i] for i in pareto_front(arr)]
+    volume = 0.0
+    prev_y = ry
+    for x, y in front:
+        if x >= rx or y >= prev_y:
+            continue
+        volume += (rx - x) * (prev_y - y)
+        prev_y = y
+    return volume
+
+
+def knee_point(points: Sequence[Sequence[float]]) -> int:
+    """Index of the front's knee: the point with the largest normalized
+    distance from the line joining the front's extremes — the natural
+    single answer to "balance both objectives"."""
+    arr = np.atleast_2d(np.asarray(points, dtype=float))
+    front = pareto_front(arr)
+    if len(front) == 1:
+        return front[0]
+    coords = arr[front]
+    lo = coords.min(axis=0)
+    span = coords.max(axis=0) - lo
+    span[span < 1e-12] = 1.0
+    norm = (coords - lo) / span
+    a, b = norm[0], norm[-1]
+    direction = b - a
+    length = np.linalg.norm(direction)
+    if length < 1e-12:
+        return front[0]
+    direction = direction / length
+    best_i, best_d = front[0], -1.0
+    for idx, p in zip(front, norm):
+        projected = a + direction * float(np.dot(p - a, direction))
+        d = float(np.linalg.norm(p - projected))
+        if d > best_d:
+            best_d, best_i = d, idx
+    return best_i

@@ -1,0 +1,58 @@
+"""ASCII table rendering for benchmark reports.
+
+The benchmark harness prints its regenerated tables with these helpers
+so ``pytest benchmarks/ --benchmark-only -s`` reproduces the paper's
+tables as readable text.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, List, Optional, Sequence
+
+__all__ = ["format_table", "format_value", "banner"]
+
+
+def format_value(value: Any) -> str:
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    cells = [[format_value(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+    sep = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(sep)
+    out.append("| " + " | ".join(h.ljust(w) for h, w in zip(headers, widths)) + " |")
+    out.append(sep)
+    for row in cells:
+        out.append(
+            "| " + " | ".join(c.ljust(w) for c, w in zip(row, widths)) + " |"
+        )
+    out.append(sep)
+    return "\n".join(out)
+
+
+def banner(text: str, width: int = 72) -> str:
+    bar = "=" * width
+    return f"\n{bar}\n{text.center(width)}\n{bar}"

@@ -1,0 +1,78 @@
+"""What-if prediction accuracy scoring (experiment E10).
+
+Measures how well the cost models and trace-replay predictors match
+measured runtimes across sampled configurations — quantifying the
+"prediction accuracy" columns of Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.parameters import Configuration
+from repro.core.system import SystemUnderTune
+from repro.core.workload import Workload
+from repro.mlkit.sampling import latin_hypercube
+
+__all__ = ["PredictionAccuracy", "evaluate_predictor"]
+
+Predictor = Callable[[Configuration], float]
+
+
+@dataclass
+class PredictionAccuracy:
+    """Error statistics of a predictor against measured runtimes.
+
+    Attributes:
+        mape: mean absolute percentage error over successful runs.
+        rank_fidelity: Spearman correlation between predicted and actual
+            orderings — what matters for *choosing* configurations.
+        n_points: configurations compared.
+    """
+
+    mape: float
+    rank_fidelity: float
+    n_points: int
+
+
+def evaluate_predictor(
+    system: SystemUnderTune,
+    workload: Workload,
+    predictor: Predictor,
+    n_points: int = 30,
+    rng: Optional[np.random.Generator] = None,
+) -> PredictionAccuracy:
+    """Compare a predictor against real measurements on an LHS sample."""
+    from scipy import stats
+
+    rng = rng or np.random.default_rng(0)
+    space = system.config_space
+    predicted: List[float] = []
+    actual: List[float] = []
+    for row in latin_hypercube(n_points, space.dimension, rng):
+        config = space.from_array_feasible(row, rng)
+        measurement = system.run(workload, config)
+        if not measurement.ok:
+            continue
+        try:
+            p = float(predictor(config))
+        except Exception:
+            continue
+        if not np.isfinite(p):
+            continue
+        predicted.append(p)
+        actual.append(measurement.runtime_s)
+    if len(actual) < 3:
+        return PredictionAccuracy(mape=float("inf"), rank_fidelity=0.0, n_points=len(actual))
+    predicted_arr = np.array(predicted)
+    actual_arr = np.array(actual)
+    mape = float(np.mean(np.abs(predicted_arr - actual_arr) / actual_arr))
+    rho, _ = stats.spearmanr(predicted_arr, actual_arr)
+    return PredictionAccuracy(
+        mape=mape,
+        rank_fidelity=float(rho) if np.isfinite(rho) else 0.0,
+        n_points=len(actual),
+    )

@@ -1,0 +1,119 @@
+"""Experiments E12/E13 — ablations of the design choices DESIGN.md
+calls out.
+
+E12 (iTuned internals): acquisition function (EI vs PI vs LCB) and
+initialization (maximin LHS vs plain random) — the choices Duan et al.
+motivate.  E13 (OtterTune internals): the value of workload mapping and
+of history size — the choices Van Aken et al. motivate.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.bench.harness import (
+    ExperimentResult,
+    default_runtime,
+    standard_cluster,
+    tuned_result,
+)
+from repro.core import Budget
+from repro.systems.dbms import (
+    DbmsSimulator,
+    adhoc_query,
+    htap_mixed,
+    olap_analytics,
+    oltp_orders,
+)
+from repro.tuners import BayesOptTuner, ITunedTuner, OtterTuneTuner, build_repository
+
+__all__ = ["run_ituned_ablation", "run_ottertune_ablation"]
+
+_SEEDS = (0, 1, 2)
+
+
+def _mean_speedup(system, workload, tuner_factory, budget, base) -> float:
+    speedups = []
+    for seed in _SEEDS:
+        result = tuned_result(system, workload, tuner_factory(), budget, seed=seed)
+        speedups.append(base / result.best_runtime_s)
+    return float(np.mean(speedups))
+
+
+def run_ituned_ablation(budget_runs: int = 25, quick: bool = False) -> ExperimentResult:
+    cluster = standard_cluster()
+    system = DbmsSimulator(cluster)
+    workload = htap_mixed()
+    base = default_runtime(system, workload)
+    budget = Budget(max_runs=budget_runs)
+
+    variants = [
+        ("ei + lhs (paper)", lambda: ITunedTuner()),
+        ("pi acquisition", lambda: BayesOptTuner(acquisition="pi", n_init=10)),
+        ("lcb acquisition", lambda: BayesOptTuner(acquisition="lcb", n_init=10)),
+        ("ei, random init", lambda: BayesOptTuner(acquisition="ei", n_init=10)),
+        ("no model (random)", None),
+    ]
+    if quick:
+        variants = variants[:2] + variants[-1:]
+
+    headers = ["variant", "mean_speedup"]
+    rows: List[List] = []
+    for label, factory in variants:
+        if factory is None:
+            from repro.tuners import RandomSearchTuner
+
+            factory = RandomSearchTuner
+        rows.append([label, round(_mean_speedup(system, workload, factory, budget, base), 2)])
+
+    return ExperimentResult(
+        experiment_id="E12",
+        title="iTuned ablation: acquisition and initialization",
+        headers=headers,
+        rows=rows,
+        notes=[f"mean over seeds {_SEEDS}, budget {budget_runs} runs"],
+        raw={"speedups": {row[0]: row[1] for row in rows}},
+    )
+
+
+def run_ottertune_ablation(budget_runs: int = 18, quick: bool = False) -> ExperimentResult:
+    cluster = standard_cluster()
+    system = DbmsSimulator(cluster)
+    workload = htap_mixed()
+    base = default_runtime(system, workload)
+    budget = Budget(max_runs=budget_runs)
+
+    history = [olap_analytics(0.5), oltp_orders(0.5), adhoc_query(3)]
+    n_samples = 15 if quick else 25
+    big_repo = build_repository(
+        system, history, n_samples=n_samples, rng=np.random.default_rng(7)
+    )
+    small_repo = build_repository(
+        system, history[:1], n_samples=max(12, n_samples // 2),
+        rng=np.random.default_rng(7),
+    )
+
+    variants = [
+        ("full pipeline", lambda: OtterTuneTuner(big_repo)),
+        ("no workload mapping", lambda: OtterTuneTuner(big_repo, use_mapping=False)),
+        ("small history", lambda: OtterTuneTuner(small_repo)),
+        ("no history (plain BO)", lambda: BayesOptTuner(n_init=5)),
+    ]
+    if quick:
+        variants = [variants[0], variants[-1]]
+
+    headers = ["variant", "mean_speedup"]
+    rows: List[List] = []
+    for label, factory in variants:
+        rows.append([label, round(_mean_speedup(system, workload, factory, budget, base), 2)])
+
+    return ExperimentResult(
+        experiment_id="E13",
+        title="OtterTune ablation: mapping and history size",
+        headers=headers,
+        rows=rows,
+        notes=[f"mean over seeds {_SEEDS}, budget {budget_runs} runs"],
+        raw={"speedups": {row[0]: row[1] for row in rows}},
+    )

@@ -1,0 +1,95 @@
+"""Experiment E11 — cloud resource provisioning (§2.5 open challenge).
+
+"Decision making in resource provisioning and scheduling": in the
+cloud, configuration tuning composes with *cluster sizing* — the best
+(cluster size, configuration) pair under a latency objective differs
+from the best pair under a dollar-cost objective.  For a Spark
+workload we tune at several cluster sizes and report, per size, the
+tuned runtime and the node-hour cost, then identify the
+latency-optimal, cost-optimal, and deadline-constrained choices.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis.pareto import knee_point, pareto_front
+from repro.bench.harness import ExperimentResult, tuned_result
+from repro.core import Budget
+from repro.systems.cluster import Cluster, NodeSpec
+from repro.systems.spark import SparkSimulator, spark_sql_join
+from repro.tuners import ITunedTuner
+
+__all__ = ["run_cloud"]
+
+
+def run_cloud(
+    budget_runs: int = 20,
+    seed: int = 0,
+    deadline_s: Optional[float] = None,
+    quick: bool = False,
+) -> ExperimentResult:
+    sizes = [2, 4, 8, 16]
+    if quick:
+        sizes = [2, 8]
+    workload = spark_sql_join(6.0)
+
+    headers = ["nodes", "tuned_runtime_s", "node_hours", "cost_units", "runs"]
+    rows: List[List] = []
+    outcomes = []
+    for n in sizes:
+        cluster = Cluster.uniform(n, NodeSpec())
+        system = SparkSimulator(cluster)
+        result = tuned_result(
+            system, workload, ITunedTuner(n_init=6),
+            Budget(max_runs=budget_runs), seed=seed,
+        )
+        runtime = result.best_runtime_s
+        # Cost: the tuned production run's node-hours (tuning cost is
+        # amortized over recurring executions, as cloud deployments do).
+        measurement = system.run(workload, result.best_config)
+        node_hours = measurement.runtime_s * n / 3600.0
+        rows.append([
+            n, round(runtime, 1), round(node_hours, 4),
+            round(measurement.cost_units, 4), result.n_real_runs,
+        ])
+        outcomes.append((n, runtime, node_hours))
+
+    latency_optimal = min(outcomes, key=lambda o: o[1])
+    cost_optimal = min(outcomes, key=lambda o: o[2])
+    deadline = deadline_s if deadline_s is not None else latency_optimal[1] * 2.0
+    feasible = [o for o in outcomes if o[1] <= deadline]
+    deadline_pick = (
+        min(feasible, key=lambda o: o[2]) if feasible else latency_optimal
+    )
+
+    objective_points = [(rt, nh) for _, rt, nh in outcomes]
+    front = pareto_front(objective_points)
+    knee = knee_point(objective_points)
+    notes = [
+        f"pareto-efficient sizes: {[outcomes[i][0] for i in front]}; "
+        f"knee = {outcomes[knee][0]} nodes",
+        f"latency-optimal: {latency_optimal[0]} nodes "
+        f"({latency_optimal[1]:.1f}s)",
+        f"cost-optimal: {cost_optimal[0]} nodes "
+        f"({cost_optimal[2] * 3600:.1f} node-seconds)",
+        f"deadline {deadline:.0f}s -> provision {deadline_pick[0]} nodes",
+    ]
+    return ExperimentResult(
+        experiment_id="E11",
+        title="Cloud provisioning: tuned runtime vs node-hour cost by cluster size",
+        headers=headers,
+        rows=rows,
+        notes=notes,
+        raw={
+            "pareto_nodes": [outcomes[i][0] for i in front],
+            "knee_nodes": outcomes[knee][0],
+            "latency_optimal_nodes": latency_optimal[0],
+            "cost_optimal_nodes": cost_optimal[0],
+            "deadline_pick_nodes": deadline_pick[0],
+            "outcomes": outcomes,
+        },
+    )

@@ -1,0 +1,91 @@
+"""Experiment E6 — convergence curves (the figure every tuning paper
+plots).
+
+Best-found speedup as a function of experiments spent, per category
+representative, on one fixed task.  Expected shape: model-based
+approaches (cost/simulation) jump immediately then flatline; search
+approaches climb with budget; random search climbs slowest.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+import numpy as np
+
+from repro.analysis.convergence import area_under_curve, speedup_curve
+from repro.bench.harness import (
+    ExperimentResult,
+    default_runtime,
+    standard_cluster,
+    tuned_result,
+)
+from repro.core import Budget
+from repro.systems.dbms import DbmsSimulator, adhoc_query, htap_mixed, olap_analytics, oltp_orders
+from repro.tuners import (
+    BayesOptTuner,
+    CostModelTuner,
+    ITunedTuner,
+    OtterTuneTuner,
+    RandomSearchTuner,
+    RuleBasedTuner,
+    TraceSimulationTuner,
+    build_repository,
+)
+
+__all__ = ["run_convergence"]
+
+_CHECKPOINTS = (5, 10, 15, 20, 25, 30)
+
+
+def run_convergence(budget_runs: int = 30, seed: int = 0, quick: bool = False) -> ExperimentResult:
+    cluster = standard_cluster()
+    system = DbmsSimulator(cluster)
+    workload = htap_mixed()
+    base = default_runtime(system, workload, seed=seed)
+    budget = Budget(max_runs=budget_runs)
+
+    repo = build_repository(
+        system,
+        [olap_analytics(0.5), oltp_orders(0.5), adhoc_query(3)],
+        n_samples=15 if quick else 25,
+        rng=np.random.default_rng(seed + 2),
+    )
+    tuners = [
+        ("rule-based", RuleBasedTuner()),
+        ("cost-model", CostModelTuner()),
+        ("trace-sim", TraceSimulationTuner()),
+        ("random-search", RandomSearchTuner()),
+        ("ituned", ITunedTuner()),
+        ("ottertune", OtterTuneTuner(repo)),
+    ]
+    if quick:
+        tuners = [t for t in tuners if t[0] in ("rule-based", "random-search", "ituned")]
+
+    checkpoints = [c for c in _CHECKPOINTS if c <= budget_runs]
+    headers = ["tuner", *[f"@{c}" for c in checkpoints], "auc"]
+    rows: List[List] = []
+    curves: Dict[str, List] = {}
+    for name, tuner in tuners:
+        result = tuned_result(system, workload, tuner, budget, seed=seed)
+        curve = speedup_curve(result, base)
+        curves[name] = curve
+        row: List = [name]
+        for c in checkpoints:
+            reached = [s for idx, s in curve if idx <= c]
+            row.append(round(reached[-1], 2) if reached else 0.0)
+        row.append(round(area_under_curve(result, base), 2))
+        rows.append(row)
+
+    return ExperimentResult(
+        experiment_id="E6",
+        title="Convergence: best speedup vs experiments spent",
+        headers=headers,
+        rows=rows,
+        notes=[
+            "@k = best speedup after k real runs; model-based tuners stop "
+            "early (their remaining column repeats the last value)",
+        ],
+        raw={"curves": curves, "baseline_s": base},
+    )

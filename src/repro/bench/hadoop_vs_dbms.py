@@ -1,0 +1,123 @@
+"""Experiment E4 — untuned Hadoop vs parallel DBMS (§2.3's narrative).
+
+Pavlo et al. (SIGMOD'09) measured Hadoop 3.1–6.5× slower than parallel
+database systems on analytical tasks; the follow-up studies (Babu '10,
+Jiang '10) showed careful tuning closes most of the gap.  We reproduce
+the *shape*: for matched analytical tasks (selection, aggregation,
+join) on the same cluster, compare a parallel DBMS against Hadoop with
+default configuration and Hadoop after experiment-driven tuning.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.bench.harness import ExperimentResult, standard_cluster, tuned_result
+from repro.core import Budget
+from repro.systems.dbms import DbmsSimulator, DbmsWorkload, QuerySpec, ScanSpec, TableSpec
+from repro.systems.hadoop import HadoopSimulator, grep, join as mr_join, wordcount
+from repro.tuners import ITunedTuner, RuleBasedTuner
+
+__all__ = ["run_hadoop_vs_dbms"]
+
+_DATA_GB = 8.0
+
+
+def _dbms_task(task: str) -> DbmsWorkload:
+    """A DBMS workload equivalent to the Hadoop task over the same data."""
+    pages = int(_DATA_GB * 1024 * 1024 / 8)  # 8 KiB pages over _DATA_GB
+    table = TableSpec("documents", pages=pages, rows=pages * 100, hot_fraction=0.1)
+    if task == "selection":
+        # Pavlo's grep task: pattern matching cannot use an index, so
+        # the DBMS full-scans too — its win is scan efficiency, not
+        # access-path asymmetry.
+        query = QuerySpec(
+            "selection", scans=(ScanSpec("documents", selectivity=0.001),),
+            cpu_ms_per_mb=2.0, parallel_fraction=0.95,
+        )
+    elif task == "aggregation":
+        query = QuerySpec(
+            "aggregation", scans=(ScanSpec("documents", selectivity=1.0),),
+            sort_mb=0.0, hash_build_mb=64.0, cpu_ms_per_mb=3.0,
+            parallel_fraction=0.95,
+        )
+    else:  # join
+        query = QuerySpec(
+            "join", scans=(
+                ScanSpec("documents", selectivity=0.6),
+                ScanSpec("documents", selectivity=0.1, index_available=True),
+            ),
+            hash_build_mb=256.0, cpu_ms_per_mb=4.0, parallel_fraction=0.9,
+        )
+    return DbmsWorkload(f"dbms-{task}", tables=[table], queries=[query], sessions=2)
+
+
+def run_hadoop_vs_dbms(budget_runs: int = 30, seed: int = 0, quick: bool = False) -> ExperimentResult:
+    cluster = standard_cluster()
+    dbms = DbmsSimulator(cluster)
+    hadoop = HadoopSimulator(cluster)
+    tasks = [
+        ("selection", grep(_DATA_GB)),
+        ("aggregation", wordcount(_DATA_GB)),
+        ("join", mr_join(_DATA_GB)),
+    ]
+    if quick:
+        tasks = tasks[1:2]
+
+    headers = [
+        "task", "dbms_s", "hadoop_default_s", "hadoop_tuned_s",
+        "untuned_ratio", "tuned_ratio",
+    ]
+    rows: List[List] = []
+    for task, mr_workload in tasks:
+        db_workload = _dbms_task(task)
+        # The DBMS side is administered per vendor guidance (parallel
+        # DBMSs arrive with setup wizards — Pavlo et al. tuned theirs).
+        db_result = tuned_result(
+            dbms, db_workload, RuleBasedTuner(), Budget(max_runs=3), seed=seed
+        )
+        dbms_s = db_result.best_runtime_s
+
+        # "Untuned" Hadoop as in the comparative studies: a minimally
+        # configured cluster (reducers sized to the node count, nothing
+        # else touched) — nobody benchmarks reduces=1.
+        has_combiner = any(j.combiner_reduction > 0 for j in mr_workload.jobs)
+        minimal = hadoop.config_space.partial({
+            "mapreduce_job_reduces": len(cluster),
+            # The stock example programs ship with combiners; using one
+            # is program structure, not configuration tuning.
+            "combiner_enabled": has_combiner,
+        })
+        hadoop_default_s = hadoop.run(mr_workload, minimal).runtime_s
+        tuned = tuned_result(
+            hadoop, mr_workload, ITunedTuner(), Budget(max_runs=budget_runs), seed=seed
+        )
+        rows.append([
+            task,
+            round(dbms_s, 1),
+            round(hadoop_default_s, 1),
+            round(tuned.best_runtime_s, 1),
+            round(hadoop_default_s / dbms_s, 2),
+            round(tuned.best_runtime_s / dbms_s, 2),
+        ])
+    if len(rows) > 1:
+        untuned = [r[4] for r in rows]
+        tuned_r = [r[5] for r in rows]
+        rows.append([
+            "geomean", "", "", "",
+            round(float(np.prod(untuned)) ** (1.0 / len(untuned)), 2),
+            round(float(np.prod(tuned_r)) ** (1.0 / len(tuned_r)), 2),
+        ])
+    return ExperimentResult(
+        experiment_id="E4",
+        title="Hadoop vs parallel DBMS: untuned gap and what tuning recovers",
+        headers=headers,
+        rows=rows,
+        notes=[
+            f"matched analytical tasks over {_DATA_GB:g} GB on the same "
+            f"{len(cluster)}-node cluster",
+            "paper shape: untuned_ratio in ~3-6.5x, tuned_ratio approaches ~1-2x",
+        ],
+    )

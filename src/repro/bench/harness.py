@@ -1,0 +1,146 @@
+"""Shared machinery for the experiment harness.
+
+Every experiment module in ``repro.bench`` produces an
+:class:`ExperimentResult` (headers + rows + notes) that the benchmark
+suite renders with :func:`repro.analysis.report.format_table` and
+asserts *shape* properties on (who wins, roughly by how much) — never
+absolute runtimes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.core import Budget, InstrumentedSystem, SystemUnderTune, Tuner, TuningResult
+from repro.core.workload import Workload
+from repro.systems.cluster import Cluster, NodeSpec
+
+__all__ = [
+    "ExperimentResult",
+    "tuned_result",
+    "representative_tuners",
+    "default_runtime",
+    "standard_cluster",
+    "heterogeneous_cluster",
+]
+
+#: Measurement noise applied in all harness experiments; real clusters
+#: show a few percent of run-to-run variance.
+HARNESS_NOISE = 0.03
+
+
+@dataclass
+class ExperimentResult:
+    """A regenerated table plus provenance notes."""
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[List[Any]]
+    notes: List[str] = field(default_factory=list)
+    raw: Dict[str, Any] = field(default_factory=dict)
+
+    def to_text(self) -> str:
+        text = format_table(self.headers, self.rows, title=f"[{self.experiment_id}] {self.title}")
+        if self.notes:
+            text += "\n" + "\n".join(f"  note: {n}" for n in self.notes)
+        return text
+
+    def column(self, header: str) -> List[Any]:
+        j = self.headers.index(header)
+        return [row[j] for row in self.rows]
+
+    def row_by(self, key: Any) -> List[Any]:
+        for row in self.rows:
+            if row[0] == key:
+                return row
+        raise KeyError(key)
+
+    def to_csv(self) -> str:
+        """The table as CSV (header row first) for external analysis."""
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.headers)
+        writer.writerows(self.rows)
+        return buffer.getvalue()
+
+
+def standard_cluster(n: int = 8) -> Cluster:
+    return Cluster.uniform(n, NodeSpec(), name=f"uniform-{n}")
+
+
+def heterogeneous_cluster(n_new: int = 5, n_old: int = 3) -> Cluster:
+    """A mixed-generation cluster: old nodes are slower on every axis."""
+    new = NodeSpec()
+    old = new.scaled(cpu=0.45, mem=0.5, disk=0.5)
+    return Cluster.heterogeneous([(n_new, new), (n_old, old)], name="mixed-gen")
+
+
+def default_runtime(
+    system: SystemUnderTune, workload: Workload, seed: int = 0
+) -> float:
+    """Measured runtime of the vendor default (with harness noise)."""
+    wrapped = InstrumentedSystem(
+        system, noise=HARNESS_NOISE, rng=np.random.default_rng(seed)
+    )
+    return wrapped.run(workload, system.default_configuration()).runtime_s
+
+
+def tuned_result(
+    system: SystemUnderTune,
+    workload: Workload,
+    tuner: Tuner,
+    budget: Budget,
+    seed: int = 0,
+    noise: float = HARNESS_NOISE,
+) -> TuningResult:
+    """Run one tuning session under measurement noise."""
+    rng = np.random.default_rng(seed)
+    wrapped = InstrumentedSystem(system, noise=noise, rng=np.random.default_rng(seed + 1))
+    return tuner.tune(wrapped, workload, budget, rng=rng)
+
+
+def representative_tuners(
+    system: SystemUnderTune,
+    repository_workloads: Optional[Sequence[Workload]] = None,
+    seed: int = 7,
+) -> List[Tuple[str, Tuner]]:
+    """One representative tuner per taxonomy category, in paper order.
+
+    OtterTune needs a repository; when ``repository_workloads`` is
+    omitted the machine-learning slot falls back to plain BO.
+    """
+    from repro.tuners import (
+        BayesOptTuner,
+        ColtOnlineTuner,
+        CostModelTuner,
+        ITunedTuner,
+        OtterTuneTuner,
+        RuleBasedTuner,
+        TraceSimulationTuner,
+        build_repository,
+    )
+
+    if repository_workloads:
+        repo = build_repository(
+            system, repository_workloads, n_samples=25,
+            rng=np.random.default_rng(seed),
+        )
+        ml_tuner: Tuner = OtterTuneTuner(repo)
+    else:
+        ml_tuner = BayesOptTuner()
+    return [
+        ("rule-based", RuleBasedTuner()),
+        ("cost-modeling", CostModelTuner()),
+        ("simulation-based", TraceSimulationTuner()),
+        ("experiment-driven", ITunedTuner()),
+        ("machine-learning", ml_tuner),
+        ("adaptive", ColtOnlineTuner()),
+    ]

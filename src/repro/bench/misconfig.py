@@ -1,0 +1,75 @@
+"""Experiment E3 — misconfiguration impact (§2.1's motivating claim).
+
+"The performance benefits of tuning are ... sometimes measured in
+orders of magnitude, while bad configurations can lead to significantly
+degraded performance."  For each system we sample many random
+configurations and report best / default / worst / failure-rate, i.e.,
+how much a bad setting costs and how much the default leaves on the
+table.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from repro.bench.harness import ExperimentResult, standard_cluster
+from repro.systems.dbms import DbmsSimulator, htap_mixed
+from repro.systems.hadoop import HadoopSimulator, terasort
+from repro.systems.spark import SparkSimulator, spark_sort
+
+__all__ = ["run_misconfig"]
+
+
+def run_misconfig(n_samples: int = 120, seed: int = 0, quick: bool = False) -> ExperimentResult:
+    cluster = standard_cluster()
+    tasks = [
+        (DbmsSimulator(cluster), htap_mixed()),
+        (HadoopSimulator(cluster), terasort(8.0)),
+        (SparkSimulator(cluster), spark_sort(8.0)),
+    ]
+    if quick:
+        tasks = tasks[:1]
+        n_samples = min(n_samples, 40)
+
+    headers = [
+        "system", "default_s", "best_s", "worst_s",
+        "worst/best", "default/best", "fail_%",
+    ]
+    rows: List[List] = []
+    for system, workload in tasks:
+        rng = np.random.default_rng(seed)
+        space = system.config_space
+        default_s = system.run(workload, space.default_configuration()).runtime_s
+        runtimes: List[float] = []
+        failures = 0
+        for _ in range(n_samples):
+            config = space.sample_configuration(rng)
+            measurement = system.run(workload, config)
+            if measurement.ok:
+                runtimes.append(measurement.runtime_s)
+            else:
+                failures += 1
+        best, worst = min(runtimes), max(runtimes)
+        rows.append([
+            system.kind,
+            round(default_s, 1),
+            round(best, 1),
+            round(worst, 1),
+            round(worst / best, 1),
+            round(default_s / best, 2),
+            round(100.0 * failures / n_samples, 1),
+        ])
+    return ExperimentResult(
+        experiment_id="E3",
+        title="Misconfiguration impact: best vs default vs worst random configs",
+        headers=headers,
+        rows=rows,
+        notes=[
+            f"{n_samples} random feasible configurations per system",
+            "fail_% counts crashes (OOM / unschedulable) — misconfigurations "
+            "that do not even complete",
+        ],
+    )

@@ -1,0 +1,119 @@
+"""Experiment E9 — parameter-importance ranking quality.
+
+SARD's and OtterTune's "which knobs matter" machinery scored against
+the oracle: one-at-a-time sweeps of the catalog (expensive: levels ×
+knobs runs) define ground truth; SARD (Plackett–Burman), lasso, random
+forest, and the expert knowledge base (navigation) are scored by
+Spearman correlation and top-5 recovery at a fraction of the oracle's
+cost.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.analysis.ranking import (
+    forest_importance,
+    lasso_importance,
+    rank_correlation,
+    sweep_importance,
+    top_k_overlap,
+)
+from repro.bench.harness import ExperimentResult, standard_cluster
+from repro.core import Budget, SubspaceSystem
+from repro.core.session import TuningSession
+from repro.systems.dbms import (
+    DBMS_TUNING_KNOBS,
+    DbmsSimulator,
+    build_screening_space,
+    htap_mixed,
+)
+from repro.tuners import ConfigNavigator, SardRanker
+
+__all__ = ["run_ranking"]
+
+
+def run_ranking(seed: int = 0, quick: bool = False, n_samples: int = 80) -> ExperimentResult:
+    cluster = standard_cluster()
+    system = DbmsSimulator(cluster)
+    workload = htap_mixed()
+    if quick:
+        n_samples = min(n_samples, 40)
+
+    screening = build_screening_space(cluster.min_node.memory_mb)
+    fsystem = SubspaceSystem(system, DBMS_TUNING_KNOBS, space=screening)
+
+    # Oracle: sweep within the same safe screening ranges.
+    truth = {}
+    for name in screening.names():
+        param = screening[name]
+        runtimes = []
+        for value in param.grid(4):
+            config = screening.partial({name: value})
+            measurement = fsystem.run(workload, config)
+            if measurement.ok:
+                runtimes.append(measurement.runtime_s)
+        truth[name] = max(runtimes) / min(runtimes) if len(runtimes) >= 2 else 1.0
+    oracle_runs = 4 * len(screening)
+
+    headers = ["method", "runs", "spearman", "top5_overlap"]
+    rows: List[List] = []
+
+    # SARD.
+    session = TuningSession(
+        fsystem, workload, Budget(max_runs=64), np.random.default_rng(seed)
+    )
+    sard = SardRanker().rank(session)
+    sard_names = [k for k, _ in sard]
+    rows.append([
+        "sard-pb", session.real_runs,
+        round(rank_correlation(sard_names, truth), 2),
+        round(top_k_overlap(sard_names, truth, k=5), 2),
+    ])
+
+    # Lasso over LHS samples.
+    lasso_names = [
+        k for k in lasso_importance(
+            fsystem, workload, n_samples=n_samples, rng=np.random.default_rng(seed + 1)
+        )
+    ]
+    rows.append([
+        "lasso-path", n_samples,
+        round(rank_correlation(lasso_names, truth), 2),
+        round(top_k_overlap(lasso_names, truth, k=5), 2),
+    ])
+
+    # Random forest importances.
+    forest = forest_importance(
+        fsystem, workload, n_samples=n_samples, rng=np.random.default_rng(seed + 2)
+    )
+    forest_names = sorted(forest, key=lambda k: -forest[k])
+    rows.append([
+        "forest-impurity", n_samples,
+        round(rank_correlation(forest_names, truth), 2),
+        round(top_k_overlap(forest_names, truth, k=5), 2),
+    ])
+
+    # Expert KB navigation (zero runs).
+    nav = ConfigNavigator()
+    nav_names = [k for k in nav.ranked_knobs("dbms") if k in truth]
+    rows.append([
+        "navigation-kb", 0,
+        round(rank_correlation(nav_names, truth), 2),
+        round(top_k_overlap(nav_names, truth, k=5), 2),
+    ])
+
+    return ExperimentResult(
+        experiment_id="E9",
+        title="Knob-importance ranking vs oracle sweep",
+        headers=headers,
+        rows=rows,
+        notes=[
+            f"oracle = one-at-a-time sweep ({oracle_runs} runs) within safe "
+            "screening ranges",
+            "paper shape: SARD ranks well at a fraction of full-factorial cost",
+        ],
+        raw={"truth": truth},
+    )

@@ -1,0 +1,77 @@
+"""Experiment E10 — what-if prediction accuracy (Table 1 / Table 2
+prediction rows).
+
+Scores the analytic cost models and the trace-replay predictor against
+measured runtimes on every system: mean absolute percentage error and
+rank fidelity (Spearman between predicted and measured orderings — the
+quantity that matters for picking configurations).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.analysis.whatif import evaluate_predictor
+from repro.bench.harness import ExperimentResult, standard_cluster
+from repro.systems.dbms import DbmsSimulator, htap_mixed, olap_analytics
+from repro.systems.hadoop import HadoopSimulator, terasort
+from repro.systems.spark import SparkSimulator, spark_sort
+from repro.tuners import cost_model_for
+from repro.tuners.simulation import trace_replay_predict
+
+__all__ = ["run_whatif"]
+
+
+def run_whatif(n_points: int = 30, seed: int = 0, quick: bool = False) -> ExperimentResult:
+    cluster = standard_cluster()
+    tasks = [
+        (DbmsSimulator(cluster), olap_analytics()),
+        (DbmsSimulator(cluster), htap_mixed()),
+        (HadoopSimulator(cluster), terasort(8.0)),
+        (SparkSimulator(cluster), spark_sort(8.0)),
+    ]
+    if quick:
+        tasks = tasks[:2]
+        n_points = min(n_points, 15)
+
+    headers = ["system", "workload", "predictor", "mape", "rank_fidelity", "n"]
+    rows: List[List] = []
+    for system, workload in tasks:
+        model = cost_model_for(system.kind)
+
+        acc = evaluate_predictor(
+            system, workload,
+            lambda cfg: model.predict(workload, cfg, cluster),
+            n_points=n_points, rng=np.random.default_rng(seed),
+        )
+        rows.append([
+            system.kind, workload.name, "cost-model",
+            round(acc.mape, 2), round(acc.rank_fidelity, 2), acc.n_points,
+        ])
+
+        base_config = system.default_configuration()
+        base = system.run(workload, base_config)
+        hot = workload.signature().get("hot_set_mb", 1024.0)
+        acc = evaluate_predictor(
+            system, workload,
+            lambda cfg: trace_replay_predict(
+                system.kind, base_config, base, cfg, hot
+            ),
+            n_points=n_points, rng=np.random.default_rng(seed),
+        )
+        rows.append([
+            system.kind, workload.name, "trace-replay",
+            round(acc.mape, 2), round(acc.rank_fidelity, 2), acc.n_points,
+        ])
+    return ExperimentResult(
+        experiment_id="E10",
+        title="What-if predictor accuracy vs measurements",
+        headers=headers,
+        rows=rows,
+        notes=[
+            "rank fidelity is what configuration choice needs; MAPE shows "
+            "the simplified-assumption penalty Table 1 describes",
+        ],
+    )

@@ -1,0 +1,215 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+    list                   — tuners (by category), systems, workloads
+    tune                   — run one tuning session and print the result
+    experiment             — run a benchmark experiment (E1..E13) and
+                             print its regenerated table
+    sweep                  — one-at-a-time knob sweep on a system
+
+Examples::
+
+    python -m repro list
+    python -m repro tune --system dbms --workload htap --tuner ituned --runs 30
+    python -m repro experiment E3
+    python -m repro sweep --system spark --workload sort --knob shuffle_partitions
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List
+
+import numpy as np
+
+__all__ = ["main"]
+
+
+def _workload_catalog() -> Dict[str, Dict[str, object]]:
+    from repro import workloads as w
+
+    return {
+        "dbms": {
+            "olap": w.olap_analytics(),
+            "oltp": w.oltp_orders(),
+            "htap": w.htap_mixed(),
+            "adhoc": w.adhoc_query(0),
+        },
+        "hadoop": {
+            "wordcount": w.wordcount(8.0),
+            "terasort": w.terasort(8.0),
+            "join": w.join(8.0),
+            "grep": w.grep(8.0),
+            "pagerank": w.pagerank(4.0),
+        },
+        "spark": {
+            "sort": w.spark_sort(8.0),
+            "wordcount": w.spark_wordcount(8.0),
+            "join": w.spark_sql_join(6.0),
+            "pagerank": w.spark_pagerank(3.0),
+            "kmeans": w.spark_kmeans(4.0),
+        },
+    }
+
+
+def _experiments() -> Dict[str, object]:
+    from repro.bench import EXPERIMENT_REGISTRY
+
+    return dict(EXPERIMENT_REGISTRY)
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    from repro import tuner_names, tuners_in_category
+    from repro.core.tuner import CATEGORIES
+
+    print("tuners by category:")
+    for category in CATEGORIES:
+        print(f"  {category:18s} {', '.join(tuners_in_category(category))}")
+    uncategorized = set(tuner_names()) - {
+        n for c in CATEGORIES for n in tuners_in_category(c)
+    }
+    if uncategorized:
+        print(f"  {'(other)':18s} {', '.join(sorted(uncategorized))}")
+    print("\nsystems and workloads:")
+    for system, workloads in _workload_catalog().items():
+        print(f"  {system:8s} {', '.join(workloads)}")
+    print("\nexperiments:", ", ".join(_experiments()))
+    return 0
+
+
+def _make_tuner_for(name: str, system) -> object:
+    """Instantiate a tuner, satisfying special constructor needs."""
+    from repro import make_tuner
+
+    if name == "ottertune":
+        from repro.systems.dbms import adhoc_query
+        from repro.tuners import build_repository
+
+        kind = system.kind
+        catalog = _workload_catalog()[kind]
+        history = [wl for key, wl in catalog.items() if key != "htap"][:3]
+        repo = build_repository(system, history, n_samples=20,
+                                rng=np.random.default_rng(7))
+        return make_tuner(name, repository=repo)
+    return make_tuner(name)
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro import Budget, make_system
+
+    system = make_system(args.system)
+    catalog = _workload_catalog()[args.system]
+    if args.workload not in catalog:
+        print(f"unknown workload {args.workload!r}; choose from {sorted(catalog)}",
+              file=sys.stderr)
+        return 2
+    workload = catalog[args.workload]
+
+    baseline = system.run(workload, system.default_configuration())
+    print(f"{args.system}/{workload.name}: default {baseline.runtime_s:.1f}s")
+
+    tuner = _make_tuner_for(args.tuner, system)
+    result = tuner.tune(
+        system, workload, Budget(max_runs=args.runs),
+        rng=np.random.default_rng(args.seed),
+    )
+    speedup = baseline.runtime_s / result.best_runtime_s
+    print(f"{args.tuner}: best {result.best_runtime_s:.1f}s "
+          f"(speedup {speedup:.2f}x) in {result.n_real_runs} runs "
+          f"({result.experiment_time_s:.0f}s of experiments)")
+    if args.show_config:
+        default = system.default_configuration()
+        print("changed knobs:")
+        for knob, value in sorted(result.best_config.to_dict().items()):
+            if value != default[knob]:
+                print(f"  {knob:28s} {default[knob]} -> {value}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    experiments = _experiments()
+    key = args.id.upper()
+    if key == "ALL":
+        from repro.bench import full_report
+
+        print(full_report(quick=args.quick))
+        return 0
+    if key not in experiments:
+        print(f"unknown experiment {args.id!r}; choose from {sorted(experiments)}",
+              file=sys.stderr)
+        return 2
+    kwargs = {}
+    if args.quick:
+        kwargs["quick"] = True
+    result = experiments[key](**kwargs)
+    print(result.to_text())
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro import make_system
+
+    system = make_system(args.system)
+    catalog = _workload_catalog()[args.system]
+    workload = catalog[args.workload]
+    space = system.config_space
+    if args.knob not in space:
+        print(f"unknown knob {args.knob!r}; knobs: {space.names()}", file=sys.stderr)
+        return 2
+    param = space[args.knob]
+    print(f"{args.knob} sweep on {args.system}/{workload.name}:")
+    for value in param.grid(args.levels):
+        try:
+            config = space.partial({args.knob: value})
+        except Exception as exc:
+            print(f"  {value!r:>12}: infeasible ({exc})")
+            continue
+        m = system.run(workload, config)
+        status = f"{m.runtime_s:10.1f}s" if m.ok else "     FAILED"
+        print(f"  {value!r:>12}: {status}")
+    return 0
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Automatic parameter tuning for databases and big data systems",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list tuners, systems, workloads, experiments")
+
+    tune = sub.add_parser("tune", help="run one tuning session")
+    tune.add_argument("--system", choices=["dbms", "hadoop", "spark"], required=True)
+    tune.add_argument("--workload", required=True)
+    tune.add_argument("--tuner", default="ituned")
+    tune.add_argument("--runs", type=int, default=25)
+    tune.add_argument("--seed", type=int, default=0)
+    tune.add_argument("--show-config", action="store_true")
+
+    experiment = sub.add_parser("experiment", help="run a benchmark experiment")
+    experiment.add_argument("id", help="experiment id, e.g. E3")
+    experiment.add_argument("--quick", action="store_true")
+
+    sweep = sub.add_parser("sweep", help="one-at-a-time knob sweep")
+    sweep.add_argument("--system", choices=["dbms", "hadoop", "spark"], required=True)
+    sweep.add_argument("--workload", required=True)
+    sweep.add_argument("--knob", required=True)
+    sweep.add_argument("--levels", type=int, default=5)
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "tune": _cmd_tune,
+        "experiment": _cmd_experiment,
+        "sweep": _cmd_sweep,
+    }
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:  # e.g. `python -m repro list | head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,63 @@
+"""Core abstractions: parameters, configurations, systems, tuners."""
+
+from repro.core.measurement import Measurement, Observation, TuningHistory
+from repro.core.parameters import (
+    BooleanParameter,
+    CategoricalParameter,
+    Configuration,
+    ConfigurationSpace,
+    Constraint,
+    NumericParameter,
+    Parameter,
+    make_constraint,
+)
+from repro.core.serialize import (
+    configuration_from_dict,
+    dumps,
+    history_from_jsonable,
+    to_jsonable,
+)
+from repro.core.session import TuningSession
+from repro.core.system import InstrumentedSystem, SubspaceSystem, SystemUnderTune
+from repro.core.tuner import (
+    CATEGORIES,
+    Budget,
+    OnlineTuner,
+    StreamResult,
+    StreamStep,
+    Tuner,
+    TuningResult,
+)
+from repro.core.workload import StreamPhase, Workload, WorkloadStream
+
+__all__ = [
+    "BooleanParameter",
+    "Budget",
+    "CATEGORIES",
+    "CategoricalParameter",
+    "Configuration",
+    "ConfigurationSpace",
+    "Constraint",
+    "InstrumentedSystem",
+    "SubspaceSystem",
+    "Measurement",
+    "NumericParameter",
+    "Observation",
+    "OnlineTuner",
+    "Parameter",
+    "StreamPhase",
+    "StreamResult",
+    "StreamStep",
+    "SystemUnderTune",
+    "Tuner",
+    "TuningHistory",
+    "TuningResult",
+    "TuningSession",
+    "Workload",
+    "WorkloadStream",
+    "configuration_from_dict",
+    "dumps",
+    "history_from_jsonable",
+    "make_constraint",
+    "to_jsonable",
+]

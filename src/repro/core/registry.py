@@ -1,0 +1,104 @@
+"""Name-based registries for tuners and systems.
+
+The benchmark harness and examples construct tuners and systems by name
+so experiment definitions stay declarative.  Registration happens at
+import time via the :func:`register_tuner` / :func:`register_system`
+decorators.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Type, TypeVar
+
+from repro.exceptions import ReproError
+
+__all__ = [
+    "register_tuner",
+    "register_system",
+    "make_tuner",
+    "make_system",
+    "tuner_names",
+    "system_names",
+    "tuners_in_category",
+]
+
+_TUNERS: Dict[str, Callable[..., object]] = {}
+_SYSTEMS: Dict[str, Callable[..., object]] = {}
+
+T = TypeVar("T")
+
+
+class UnknownName(ReproError):
+    """Requested a tuner or system name that was never registered."""
+
+
+def register_tuner(name: str) -> Callable[[T], T]:
+    """Class decorator registering a tuner factory under ``name``."""
+
+    def decorator(cls: T) -> T:
+        if name in _TUNERS:
+            raise ReproError(f"tuner {name!r} registered twice")
+        _TUNERS[name] = cls
+        return cls
+
+    return decorator
+
+
+def register_system(name: str) -> Callable[[T], T]:
+    """Class decorator registering a system factory under ``name``."""
+
+    def decorator(cls: T) -> T:
+        if name in _SYSTEMS:
+            raise ReproError(f"system {name!r} registered twice")
+        _SYSTEMS[name] = cls
+        return cls
+
+    return decorator
+
+
+def _ensure_loaded() -> None:
+    """Import the packages whose import side effects populate the
+    registries; deferred to avoid circular imports at package init."""
+    import repro.tuners  # noqa: F401
+    import repro.systems  # noqa: F401
+
+
+def make_tuner(name: str, **kwargs) -> object:
+    _ensure_loaded()
+    try:
+        factory = _TUNERS[name]
+    except KeyError:
+        raise UnknownName(
+            f"unknown tuner {name!r}; known: {sorted(_TUNERS)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def make_system(name: str, **kwargs) -> object:
+    _ensure_loaded()
+    try:
+        factory = _SYSTEMS[name]
+    except KeyError:
+        raise UnknownName(
+            f"unknown system {name!r}; known: {sorted(_SYSTEMS)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def tuner_names() -> List[str]:
+    _ensure_loaded()
+    return sorted(_TUNERS)
+
+
+def system_names() -> List[str]:
+    _ensure_loaded()
+    return sorted(_SYSTEMS)
+
+
+def tuners_in_category(category: str) -> List[str]:
+    _ensure_loaded()
+    names = []
+    for name, factory in _TUNERS.items():
+        if getattr(factory, "category", None) == category:
+            names.append(name)
+    return sorted(names)

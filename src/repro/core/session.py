@@ -1,0 +1,152 @@
+"""Tuning sessions: budget-enforced access to a system under tune.
+
+A :class:`TuningSession` is the only path through which tuners execute
+real experiments.  It charges every execution against the budget,
+records observations, and raises
+:class:`~repro.exceptions.BudgetExhausted` the moment the budget is
+spent — so tuner implementations can be written as straight-line search
+loops without budget bookkeeping.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.measurement import MODEL, REAL, Measurement, Observation, TuningHistory
+from repro.core.parameters import Configuration
+from repro.core.system import SystemUnderTune
+from repro.core.workload import Workload
+from repro.exceptions import BudgetExhausted
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.tuner import Budget
+
+__all__ = ["TuningSession"]
+
+
+class TuningSession:
+    """Budgeted, recorded experiment access for one tuning task."""
+
+    def __init__(
+        self,
+        system: SystemUnderTune,
+        workload: Workload,
+        budget: "Budget",
+        rng: np.random.Generator,
+    ):
+        system.check_workload(workload)
+        self.system = system
+        self.workload = workload
+        self.budget = budget
+        self.rng = rng
+        self.history = TuningHistory()
+        self.extras: Dict[str, Any] = {}
+        self.real_runs = 0
+        self.experiment_time_s = 0.0
+
+    # -- budget ----------------------------------------------------------
+    @property
+    def remaining_runs(self) -> int:
+        return max(0, self.budget.max_runs - self.real_runs)
+
+    def can_run(self) -> bool:
+        if self.remaining_runs <= 0:
+            return False
+        cap = self.budget.max_experiment_time_s
+        if cap is not None and self.experiment_time_s >= cap:
+            return False
+        return True
+
+    def _charge(self, measurement: Measurement) -> None:
+        self.real_runs += 1
+        if measurement.ok and not math.isinf(measurement.runtime_s):
+            self.experiment_time_s += measurement.runtime_s
+        else:
+            self.experiment_time_s += measurement.metric(
+                "elapsed_before_failure_s", 0.0
+            )
+
+    # -- experiment execution ---------------------------------------------
+    def evaluate(self, config: Configuration, tag: str = "") -> Measurement:
+        """Run the session workload under ``config`` for real.
+
+        Raises:
+            BudgetExhausted: before running, if no budget remains.
+        """
+        if not self.can_run():
+            raise BudgetExhausted(
+                f"budget spent: {self.real_runs}/{self.budget.max_runs} runs, "
+                f"{self.experiment_time_s:.1f}s measured"
+            )
+        measurement = self.system.run(self.workload, config)
+        self._charge(measurement)
+        self.history.record(Observation(
+            config, measurement, source=REAL, tag=tag,
+            workload=self.workload.name,
+        ))
+        return measurement
+
+    def evaluate_workload(
+        self, workload: Workload, config: Configuration, tag: str = ""
+    ) -> Measurement:
+        """Run an *alternate* workload (e.g., a probe query) on budget."""
+        if not self.can_run():
+            raise BudgetExhausted("budget spent")
+        measurement = self.system.run(workload, config)
+        self._charge(measurement)
+        self.history.record(Observation(
+            config, measurement, source=REAL, tag=tag, workload=workload.name,
+        ))
+        return measurement
+
+    def record_external(
+        self, config: Configuration, measurement: Measurement, tag: str = ""
+    ) -> None:
+        """Record a real execution performed outside evaluate().
+
+        Used by online tuners that drive the system directly through
+        stream processing; charges budget without enforcing it (the
+        stream length was already budget-derived).
+        """
+        self._charge(measurement)
+        self.history.record(Observation(
+            config, measurement, source=REAL, tag=tag,
+            workload=self.workload.name,
+        ))
+
+    def predict(self, config: Configuration, runtime_s: float, tag: str = "") -> None:
+        """Record a model-based prediction (not charged to budget)."""
+        self.history.record(
+            Observation(
+                config,
+                Measurement(runtime_s=max(0.0, runtime_s)),
+                source=MODEL,
+                tag=tag,
+            )
+        )
+
+    # -- convenience -------------------------------------------------------
+    @property
+    def space(self):
+        return self.system.config_space
+
+    def default_config(self) -> Configuration:
+        return self.system.default_configuration()
+
+    def best_config(self) -> Optional[Configuration]:
+        best = self.history.best()
+        return best.config if best else None
+
+    def best_runtime(self) -> float:
+        return self.history.best_runtime()
+
+    def evaluate_if_budget(
+        self, config: Configuration, tag: str = ""
+    ) -> Optional[Measurement]:
+        """Like evaluate() but returns None instead of raising."""
+        if not self.can_run():
+            return None
+        return self.evaluate(config, tag=tag)

@@ -1,0 +1,194 @@
+"""The system-under-tune interface and instrumentation wrappers.
+
+Every simulator (DBMS, Hadoop, Spark) implements
+:class:`SystemUnderTune`: it owns a knob catalog (a
+:class:`~repro.core.parameters.ConfigurationSpace`) and can execute a
+workload under a configuration, returning a
+:class:`~repro.core.measurement.Measurement`.
+
+:class:`InstrumentedSystem` wraps any system to count real runs, cache
+repeat measurements, and inject measurement noise — the layer tuning
+sessions talk to.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.measurement import Measurement
+from repro.core.parameters import Configuration, ConfigurationSpace
+from repro.core.workload import Workload
+from repro.exceptions import WorkloadError
+
+__all__ = ["SystemUnderTune", "InstrumentedSystem", "SubspaceSystem"]
+
+
+class SystemUnderTune(ABC):
+    """A configurable system whose performance we tune.
+
+    Attributes:
+        name: report label, e.g., ``"dbms-sim"``.
+        kind: workload family accepted, e.g., ``"dbms"``.
+    """
+
+    name: str = "system"
+    kind: str = ""
+
+    @property
+    @abstractmethod
+    def config_space(self) -> ConfigurationSpace:
+        """The system's knob catalog."""
+
+    @abstractmethod
+    def run(self, workload: Workload, config: Configuration) -> Measurement:
+        """Execute ``workload`` under ``config`` and measure it.
+
+        Implementations must be deterministic: noise is injected by
+        :class:`InstrumentedSystem`, not by simulators, so that model
+        components (what-if engines) can reuse simulators noiselessly.
+        """
+
+    @property
+    def metric_names(self) -> List[str]:
+        """Stable, ordered names of the metrics run() reports."""
+        return []
+
+    def default_configuration(self) -> Configuration:
+        return self.config_space.default_configuration()
+
+    def check_workload(self, workload: Workload) -> None:
+        if self.kind and workload.system_kind != self.kind:
+            raise WorkloadError(
+                f"{self.name} runs {self.kind!r} workloads, got "
+                f"{workload.system_kind!r} ({workload.name})"
+            )
+
+
+class InstrumentedSystem(SystemUnderTune):
+    """Counting/caching/noise wrapper around a real simulator.
+
+    Args:
+        inner: the wrapped system.
+        noise: relative standard deviation of multiplicative measurement
+            noise (0 disables).  Real clusters show run-to-run variance;
+            tuners that assume noiseless observations (pure grid search)
+            degrade accordingly, which Table 1 experiments rely on.
+        cache: return cached measurements for repeated (workload,
+            config) pairs without charging a run.  Off by default: real
+            experiment-driven tuning repeats runs to average out noise.
+        rng: noise source; required when ``noise > 0``.
+    """
+
+    def __init__(
+        self,
+        inner: SystemUnderTune,
+        noise: float = 0.0,
+        cache: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if noise < 0:
+            raise ValueError("noise must be >= 0")
+        if noise > 0 and rng is None:
+            rng = np.random.default_rng(0)
+        self.inner = inner
+        self.noise = noise
+        self.cache_enabled = cache
+        self.rng = rng
+        self.name = inner.name
+        self.kind = inner.kind
+        self.run_count = 0
+        self.failure_count = 0
+        self.total_measured_s = 0.0
+        self._cache: Dict[Tuple[str, Configuration], Measurement] = {}
+
+    @property
+    def config_space(self) -> ConfigurationSpace:
+        return self.inner.config_space
+
+    @property
+    def metric_names(self) -> List[str]:
+        return self.inner.metric_names
+
+    def run(self, workload: Workload, config: Configuration) -> Measurement:
+        self.check_workload(workload)
+        key = (workload.name, config)
+        if self.cache_enabled and key in self._cache:
+            return self._cache[key]
+        measurement = self.inner.run(workload, config)
+        if self.noise > 0 and measurement.ok:
+            factor = float(
+                np.exp(self.rng.normal(loc=0.0, scale=self.noise))
+            )
+            measurement = Measurement(
+                runtime_s=measurement.runtime_s * factor,
+                metrics=measurement.metrics,
+                failed=False,
+                cost_units=measurement.cost_units,
+            )
+        self.run_count += 1
+        if measurement.failed:
+            self.failure_count += 1
+        elif not math.isinf(measurement.runtime_s):
+            self.total_measured_s += measurement.runtime_s
+        if self.cache_enabled:
+            self._cache[key] = measurement
+        return measurement
+
+    def reset_counters(self) -> None:
+        self.run_count = 0
+        self.failure_count = 0
+        self.total_measured_s = 0.0
+        self._cache.clear()
+
+
+class SubspaceSystem(SystemUnderTune):
+    """Expose only a subset of a system's knobs to tuners.
+
+    Tuners see the reduced space (e.g., the navigated top-k knobs);
+    every run expands the partial configuration with the inner system's
+    defaults.  This is how "ranking the effects of parameters" feeds
+    back into tuning: the search contracts to the knobs that matter.
+    """
+
+    def __init__(self, inner: SystemUnderTune, knob_names, space=None):
+        """Args:
+            inner: the full system.
+            knob_names: knobs to expose (ignored when ``space`` given).
+            space: an explicit reduced space — e.g., a *screening* space
+                with conservative, DBA-chosen bounds.  Every value it
+                produces must be valid for the inner catalog.
+        """
+        self.inner = inner
+        self.kind = inner.kind
+        if space is not None:
+            self._space = space
+        else:
+            names = [n for n in knob_names if n in inner.config_space]
+            if not names:
+                raise ValueError("subspace must keep at least one knob")
+            self._space = inner.config_space.subspace(
+                names, name=f"{inner.config_space.name}.sub"
+            )
+        self.name = f"{inner.name}[{len(self._space)} knobs]"
+        self._full_defaults = inner.default_configuration().to_dict()
+
+    @property
+    def config_space(self) -> ConfigurationSpace:
+        return self._space
+
+    @property
+    def metric_names(self) -> List[str]:
+        return self.inner.metric_names
+
+    def expand(self, config: Configuration) -> Configuration:
+        values = dict(self._full_defaults)
+        values.update(config.to_dict())
+        return self.inner.config_space.configuration(values)
+
+    def run(self, workload: Workload, config: Configuration) -> Measurement:
+        self.check_workload(workload)
+        return self.inner.run(workload, self.expand(config))

@@ -1,0 +1,104 @@
+"""Workload abstractions shared by all system simulators.
+
+A workload is a description of *what* to execute — queries, MapReduce
+jobs, Spark applications — independent of *how* the system is
+configured.  Concrete workload classes live next to their system
+simulators (``repro.systems.*.workloads``); this module holds the common
+base class and the :class:`WorkloadStream` used by adaptive-tuning
+experiments (sequences of workloads with drift).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+__all__ = ["Workload", "WorkloadStream"]
+
+
+class Workload(ABC):
+    """Base class for executable workload descriptions.
+
+    Attributes:
+        name: identifier used in reports.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+
+    @property
+    @abstractmethod
+    def system_kind(self) -> str:
+        """Which simulator family runs this workload: ``"dbms"``,
+        ``"hadoop"``, or ``"spark"``."""
+
+    @abstractmethod
+    def signature(self) -> Dict[str, float]:
+        """A numeric fingerprint of the workload's resource demands.
+
+        Used by workload-mapping tuners (OtterTune) to find the most
+        similar previously-tuned workload.  Keys are stable within a
+        system kind.
+        """
+
+    def scaled(self, factor: float) -> "Workload":
+        """Return a copy with data size scaled by ``factor``.
+
+        Subclasses override; the default raises to make unsupported
+        scaling explicit.
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not support scaling")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}({self.name!r})"
+
+
+@dataclass
+class StreamPhase:
+    """A contiguous run of identical workload submissions."""
+
+    workload: Workload
+    repetitions: int
+
+
+class WorkloadStream:
+    """An ordered sequence of workload submissions, possibly drifting.
+
+    Adaptive tuners consume streams: they observe each execution and may
+    change the configuration between (or during) submissions.  A stream
+    with a single phase models a stable recurring workload; multiple
+    phases model workload shift (the Table 1 "adjust to dynamic runtime
+    status" axis).
+    """
+
+    def __init__(self, phases: Sequence[StreamPhase], name: str = "stream"):
+        if not phases:
+            raise ValueError("stream needs at least one phase")
+        for p in phases:
+            if p.repetitions < 1:
+                raise ValueError("phase repetitions must be >= 1")
+        self.phases = list(phases)
+        self.name = name
+
+    @classmethod
+    def constant(cls, workload: Workload, repetitions: int) -> "WorkloadStream":
+        return cls([StreamPhase(workload, repetitions)], name=f"{workload.name}x{repetitions}")
+
+    @classmethod
+    def shift(cls, first: Workload, second: Workload, reps_each: int) -> "WorkloadStream":
+        return cls(
+            [StreamPhase(first, reps_each), StreamPhase(second, reps_each)],
+            name=f"{first.name}->{second.name}",
+        )
+
+    def __len__(self) -> int:
+        return sum(p.repetitions for p in self.phases)
+
+    def __iter__(self) -> Iterator[Workload]:
+        for phase in self.phases:
+            for _ in range(phase.repetitions):
+                yield phase.workload
+
+    def distinct_workloads(self) -> List[Workload]:
+        return [p.workload for p in self.phases]

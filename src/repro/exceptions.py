@@ -1,0 +1,55 @@
+"""Exception hierarchy for the repro tuning framework.
+
+All exceptions raised by the library derive from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ParameterError(ReproError):
+    """A configuration parameter was defined or used incorrectly."""
+
+
+class ValidationError(ReproError):
+    """A configuration value is outside its parameter's domain."""
+
+
+class ConstraintViolation(ValidationError):
+    """A cross-parameter constraint was violated by a configuration.
+
+    Attributes:
+        constraint: name of the violated constraint.
+    """
+
+    def __init__(self, constraint: str, message: str = ""):
+        self.constraint = constraint
+        super().__init__(message or f"constraint violated: {constraint}")
+
+
+class BudgetExhausted(ReproError):
+    """The tuning session ran out of its experiment or time budget.
+
+    Tuners catch this internally to finalize their result; it escaping
+    to user code indicates a tuner bug.
+    """
+
+
+class WorkloadError(ReproError):
+    """A workload definition is inconsistent or unsupported by a system."""
+
+
+class SimulationError(ReproError):
+    """A system simulator reached an invalid internal state."""
+
+
+class TuningError(ReproError):
+    """A tuner could not produce a result (e.g., no feasible config)."""
+
+
+class ModelNotFitted(ReproError):
+    """A predictive model was queried before being fitted."""

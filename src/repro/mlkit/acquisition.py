@@ -1,0 +1,88 @@
+"""Acquisition functions for Bayesian-optimization tuners.
+
+All functions assume *minimization* of runtime: ``best`` is the lowest
+observed runtime, and larger acquisition values mark more promising
+candidates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+from scipy import stats
+
+from repro.mlkit.gp import GaussianProcess
+
+__all__ = [
+    "expected_improvement",
+    "probability_of_improvement",
+    "lower_confidence_bound",
+    "maximize_acquisition",
+]
+
+
+def expected_improvement(
+    mean: np.ndarray, std: np.ndarray, best: float, xi: float = 0.0
+) -> np.ndarray:
+    """EI for minimization: E[max(best - Y - xi, 0)].
+
+    The workhorse of iTuned's adaptive sampling and OtterTune's
+    recommendation step.
+    """
+    mean = np.asarray(mean, dtype=float)
+    std = np.asarray(std, dtype=float)
+    improvement = best - mean - xi
+    with np.errstate(divide="ignore", invalid="ignore"):
+        z = np.where(std > 0, improvement / std, 0.0)
+    ei = improvement * stats.norm.cdf(z) + std * stats.norm.pdf(z)
+    # Zero-variance points improve only if their mean beats the best.
+    ei = np.where(std > 0, ei, np.maximum(improvement, 0.0))
+    return np.maximum(ei, 0.0)
+
+
+def probability_of_improvement(
+    mean: np.ndarray, std: np.ndarray, best: float, xi: float = 0.0
+) -> np.ndarray:
+    """P[Y < best - xi] under the Gaussian posterior."""
+    mean = np.asarray(mean, dtype=float)
+    std = np.asarray(std, dtype=float)
+    improvement = best - mean - xi
+    with np.errstate(divide="ignore", invalid="ignore"):
+        z = np.where(std > 0, improvement / std, 0.0)
+    pi = stats.norm.cdf(z)
+    return np.where(std > 0, pi, (improvement > 0).astype(float))
+
+
+def lower_confidence_bound(
+    mean: np.ndarray, std: np.ndarray, kappa: float = 2.0
+) -> np.ndarray:
+    """Negated LCB so that, like EI, larger is better for minimization."""
+    return -(np.asarray(mean, dtype=float) - kappa * np.asarray(std, dtype=float))
+
+
+def maximize_acquisition(
+    gp: GaussianProcess,
+    best: float,
+    candidates: np.ndarray,
+    kind: str = "ei",
+    xi: float = 0.0,
+    kappa: float = 2.0,
+) -> tuple:
+    """Score candidate points and return (best_index, scores).
+
+    Args:
+        candidates: array (n, d) of unit-scaled candidate configs,
+            typically a fresh LHS plus perturbations of the incumbent.
+        kind: ``"ei"``, ``"pi"``, or ``"lcb"``.
+    """
+    mean, std = gp.predict(candidates, return_std=True)
+    if kind == "ei":
+        scores = expected_improvement(mean, std, best, xi=xi)
+    elif kind == "pi":
+        scores = probability_of_improvement(mean, std, best, xi=xi)
+    elif kind == "lcb":
+        scores = lower_confidence_bound(mean, std, kappa=kappa)
+    else:
+        raise ValueError(f"unknown acquisition kind {kind!r}")
+    return int(np.argmax(scores)), scores

@@ -1,0 +1,134 @@
+"""K-means clustering with k selection, for OtterTune metric pruning.
+
+OtterTune reduces hundreds of runtime metrics to a representative few:
+factor analysis embeds metrics, k-means clusters the embeddings, and the
+metric closest to each centroid represents its cluster.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ModelNotFitted
+
+__all__ = ["KMeans", "select_k_by_silhouette"]
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ initialization."""
+
+    def __init__(self, k: int, n_init: int = 5, max_iter: int = 100, tol: float = 1e-7):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.n_init = n_init
+        self.max_iter = max_iter
+        self.tol = tol
+        self.centers_: Optional[np.ndarray] = None
+        self.labels_: Optional[np.ndarray] = None
+        self.inertia_: float = np.inf
+
+    def _init_centers(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        n = X.shape[0]
+        centers = [X[int(rng.integers(n))]]
+        for _ in range(1, self.k):
+            d2 = np.min(
+                np.sum((X[:, None, :] - np.array(centers)[None, :, :]) ** 2, axis=2),
+                axis=1,
+            )
+            total = d2.sum()
+            if total <= 0:
+                centers.append(X[int(rng.integers(n))])
+                continue
+            probs = d2 / total
+            centers.append(X[int(rng.choice(n, p=probs))])
+        return np.array(centers)
+
+    def fit(self, X: np.ndarray, rng: Optional[np.random.Generator] = None) -> "KMeans":
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        if X.shape[0] < self.k:
+            raise ValueError(f"need >= k={self.k} points, got {X.shape[0]}")
+        rng = rng or np.random.default_rng(0)
+        best_inertia, best_centers, best_labels = np.inf, None, None
+        for _ in range(self.n_init):
+            centers = self._init_centers(X, rng)
+            labels = np.zeros(X.shape[0], dtype=int)
+            for _ in range(self.max_iter):
+                d2 = np.sum((X[:, None, :] - centers[None, :, :]) ** 2, axis=2)
+                labels = np.argmin(d2, axis=1)
+                new_centers = centers.copy()
+                for c in range(self.k):
+                    members = X[labels == c]
+                    if len(members):
+                        new_centers[c] = members.mean(axis=0)
+                shift = float(np.max(np.abs(new_centers - centers)))
+                centers = new_centers
+                if shift < self.tol:
+                    break
+            d2 = np.sum((X[:, None, :] - centers[None, :, :]) ** 2, axis=2)
+            inertia = float(np.sum(np.min(d2, axis=1)))
+            if inertia < best_inertia:
+                best_inertia, best_centers, best_labels = inertia, centers, labels
+        self.centers_ = best_centers
+        self.labels_ = best_labels
+        self.inertia_ = best_inertia
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.centers_ is None:
+            raise ModelNotFitted("KMeans not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        d2 = np.sum((X[:, None, :] - self.centers_[None, :, :]) ** 2, axis=2)
+        return np.argmin(d2, axis=1)
+
+    def representatives(self, X: np.ndarray) -> np.ndarray:
+        """Index (into X's rows) of the point nearest each center."""
+        if self.centers_ is None:
+            raise ModelNotFitted("KMeans not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        d2 = np.sum((X[:, None, :] - self.centers_[None, :, :]) ** 2, axis=2)
+        return np.argmin(d2, axis=0)
+
+
+def _silhouette(X: np.ndarray, labels: np.ndarray) -> float:
+    n = X.shape[0]
+    if n < 3 or len(set(labels.tolist())) < 2:
+        return -1.0
+    dists = np.sqrt(np.sum((X[:, None, :] - X[None, :, :]) ** 2, axis=2))
+    scores = np.zeros(n)
+    for i in range(n):
+        same = labels == labels[i]
+        same[i] = False
+        a = dists[i][same].mean() if same.any() else 0.0
+        b = np.inf
+        for c in set(labels.tolist()):
+            if c == labels[i]:
+                continue
+            mask = labels == c
+            if mask.any():
+                b = min(b, dists[i][mask].mean())
+        denom = max(a, b)
+        scores[i] = 0.0 if denom == 0 else (b - a) / denom
+    return float(scores.mean())
+
+
+def select_k_by_silhouette(
+    X: np.ndarray,
+    k_max: int = 10,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[int, KMeans]:
+    """Pick k in [2, k_max] maximizing mean silhouette; returns (k, model)."""
+    X = np.atleast_2d(np.asarray(X, dtype=float))
+    rng = rng or np.random.default_rng(0)
+    k_max = min(k_max, max(2, X.shape[0] - 1))
+    best_score, best_k, best_model = -np.inf, 2, None
+    for k in range(2, k_max + 1):
+        model = KMeans(k).fit(X, rng)
+        score = _silhouette(X, model.labels_)
+        if score > best_score:
+            best_score, best_k, best_model = score, k, model
+    if best_model is None:
+        best_model = KMeans(2).fit(X, rng)
+    return best_k, best_model

@@ -1,0 +1,124 @@
+"""Design-of-experiments matrices for screening parameter effects.
+
+SARD (Debnath et al., ICDE'08) ranks DBMS knobs with a Plackett–Burman
+(PB) two-level screening design: each knob is set to its low/high level
+according to the design matrix, the workload runs once per row, and the
+knob's main effect is the signed sum of outcomes.  This module builds PB
+matrices, two-level full factorials, and computes main effects with
+foldover support (which cancels even-order confounding, as SARD does).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "plackett_burman",
+    "full_factorial_two_level",
+    "foldover",
+    "main_effects",
+]
+
+# First rows of Plackett-Burman designs, from the original 1946 paper.
+_PB_FIRST_ROWS = {
+    8: [1, 1, 1, -1, 1, -1, -1],
+    12: [1, 1, -1, 1, 1, 1, -1, -1, -1, 1, -1],
+    16: [1, 1, 1, 1, -1, 1, -1, 1, 1, -1, -1, 1, -1, -1, -1],
+    20: [1, 1, -1, -1, 1, 1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1, 1, 1, -1],
+    24: [1, 1, 1, 1, 1, -1, 1, -1, 1, 1, -1, -1, 1, 1, -1, -1, 1, -1,
+         1, -1, -1, -1, -1],
+}
+
+
+def _next_pb_size(k: int) -> int:
+    """Smallest supported cyclic PB run count that can screen k factors."""
+    for n in sorted(_PB_FIRST_ROWS):
+        if n - 1 >= k:
+            return n
+    raise ValueError(f"no cyclic Plackett-Burman design for {k} factors")
+
+
+def _sylvester_hadamard(order: int) -> np.ndarray:
+    """Hadamard matrix of a power-of-two order via Sylvester doubling."""
+    H = np.array([[1.0]])
+    while H.shape[0] < order:
+        H = np.block([[H, H], [H, -H]])
+    return H
+
+
+def plackett_burman(n_factors: int) -> np.ndarray:
+    """Build a PB design matrix with entries in {-1, +1}.
+
+    Returns:
+        array of shape ``(n_runs, n_factors)`` where
+        ``n_runs = 4 * ceil((n_factors + 1) / 4)`` (within supported
+        sizes).  Columns beyond ``n_factors`` in the generator are
+        dropped.
+    """
+    if n_factors < 1:
+        raise ValueError("need at least one factor")
+    if n_factors <= max(_PB_FIRST_ROWS) - 1:
+        n = _next_pb_size(n_factors)
+        first = _PB_FIRST_ROWS[n]
+        rows = [first]
+        for _ in range(n - 2):
+            rows.append([rows[-1][-1]] + rows[-1][:-1])
+        design = np.array(rows + [[-1] * (n - 1)], dtype=float)
+        return design[:, :n_factors]
+    # Beyond the tabulated cyclic designs, fall back to a Sylvester
+    # Hadamard matrix (power-of-two run count, also resolution III).
+    order = 1
+    while order - 1 < n_factors:
+        order *= 2
+    H = _sylvester_hadamard(order)
+    return H[:, 1 : n_factors + 1]
+
+
+def full_factorial_two_level(n_factors: int) -> np.ndarray:
+    """All 2^k corner combinations, entries in {-1, +1}."""
+    if n_factors < 1:
+        raise ValueError("need at least one factor")
+    if n_factors > 20:
+        raise ValueError("full factorial beyond 2^20 runs is not sensible")
+    n = 2 ** n_factors
+    design = np.empty((n, n_factors))
+    for j in range(n_factors):
+        period = 2 ** (n_factors - j - 1)
+        col = np.tile(
+            np.concatenate([np.full(period, -1.0), np.full(period, 1.0)]),
+            n // (2 * period),
+        )
+        design[:, j] = col
+    return design
+
+
+def foldover(design: np.ndarray) -> np.ndarray:
+    """Append the sign-flipped mirror of the design (resolution boost)."""
+    design = np.asarray(design, dtype=float)
+    return np.vstack([design, -design])
+
+
+def main_effects(design: np.ndarray, responses: np.ndarray) -> np.ndarray:
+    """Per-factor main effects from a two-level design.
+
+    The effect of factor j is ``mean(y | x_j=+1) - mean(y | x_j=-1)``.
+    For runtime responses, a large |effect| marks an impactful knob —
+    the quantity SARD ranks on.
+    """
+    design = np.asarray(design, dtype=float)
+    responses = np.asarray(responses, dtype=float).ravel()
+    if design.shape[0] != responses.shape[0]:
+        raise ValueError(
+            f"design has {design.shape[0]} runs but {responses.shape[0]} responses"
+        )
+    effects = np.empty(design.shape[1])
+    for j in range(design.shape[1]):
+        high = responses[design[:, j] > 0]
+        low = responses[design[:, j] < 0]
+        if len(high) == 0 or len(low) == 0:
+            effects[j] = 0.0
+        else:
+            effects[j] = high.mean() - low.mean()
+    return effects

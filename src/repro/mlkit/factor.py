@@ -1,0 +1,120 @@
+"""Dimensionality reduction: PCA and a PCA-initialized factor analysis.
+
+OtterTune's metric-pruning step runs factor analysis over the metric
+matrix (rows = metrics, columns = observations) and clusters the metric
+loadings.  A small EM-refined factor analysis is provided, along with a
+plain PCA that most pipelines use as the embedding.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ModelNotFitted
+from repro.mlkit.scaler import StandardScaler
+
+__all__ = ["PCA", "FactorAnalysis"]
+
+
+class PCA:
+    """Principal component analysis via SVD on standardized data."""
+
+    def __init__(self, n_components: int):
+        if n_components < 1:
+            raise ValueError("n_components must be >= 1")
+        self.n_components = n_components
+        self.components_: Optional[np.ndarray] = None
+        self.explained_variance_ratio_: Optional[np.ndarray] = None
+        self._scaler: Optional[StandardScaler] = None
+
+    def fit(self, X: np.ndarray) -> "PCA":
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        k = min(self.n_components, min(X.shape))
+        self._scaler = StandardScaler().fit(X)
+        Z = self._scaler.transform(X)
+        _, s, vt = np.linalg.svd(Z, full_matrices=False)
+        self.components_ = vt[:k]
+        var = s ** 2
+        total = var.sum()
+        self.explained_variance_ratio_ = (
+            var[:k] / total if total > 0 else np.zeros(k)
+        )
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.components_ is None or self._scaler is None:
+            raise ModelNotFitted("PCA not fitted")
+        Z = self._scaler.transform(np.atleast_2d(np.asarray(X, dtype=float)))
+        return Z @ self.components_.T
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+class FactorAnalysis:
+    """Gaussian factor analysis: x = W z + mu + eps, fit by EM.
+
+    Initialized from PCA; a handful of EM sweeps refine the loadings and
+    per-feature noise.  ``loadings_`` has shape (n_features, n_factors)
+    — the rows are the embeddings OtterTune clusters.
+    """
+
+    def __init__(self, n_factors: int, n_iter: int = 25, tol: float = 1e-5):
+        if n_factors < 1:
+            raise ValueError("n_factors must be >= 1")
+        self.n_factors = n_factors
+        self.n_iter = n_iter
+        self.tol = tol
+        self.loadings_: Optional[np.ndarray] = None
+        self.noise_: Optional[np.ndarray] = None
+        self.mean_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray) -> "FactorAnalysis":
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        n, d = X.shape
+        k = min(self.n_factors, d, max(1, n - 1))
+        self.mean_ = X.mean(axis=0)
+        Z = X - self.mean_
+        cov_diag = np.maximum(Z.var(axis=0), 1e-8)
+
+        # PCA initialization of loadings.
+        _, s, vt = np.linalg.svd(Z, full_matrices=False)
+        scale = s[:k] / np.sqrt(max(n, 1))
+        W = (vt[:k].T * scale)
+        psi = np.maximum(cov_diag - np.sum(W * W, axis=1), 1e-6)
+
+        prev = np.inf
+        for _ in range(self.n_iter):
+            # E-step: posterior over factors.
+            psi_inv = 1.0 / psi
+            A = np.eye(k) + (W.T * psi_inv) @ W
+            A_inv = np.linalg.inv(A)
+            beta = A_inv @ (W.T * psi_inv)          # (k, d)
+            Ez = Z @ beta.T                          # (n, k)
+            Ezz = n * A_inv + Ez.T @ Ez              # (k, k)
+            # M-step.
+            W = (Z.T @ Ez) @ np.linalg.inv(Ezz)
+            psi = np.maximum(
+                cov_diag - np.sum(W * (Z.T @ Ez) / max(n, 1), axis=1), 1e-6
+            )
+            delta = float(np.abs(psi).sum())
+            if abs(prev - delta) < self.tol:
+                break
+            prev = delta
+        self.loadings_ = W
+        self.noise_ = psi
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Posterior mean factor scores for each row of X."""
+        if self.loadings_ is None:
+            raise ModelNotFitted("FactorAnalysis not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        Z = X - self.mean_
+        k = self.loadings_.shape[1]
+        psi_inv = 1.0 / self.noise_
+        A = np.eye(k) + (self.loadings_.T * psi_inv) @ self.loadings_
+        beta = np.linalg.inv(A) @ (self.loadings_.T * psi_inv)
+        return Z @ beta.T

@@ -1,0 +1,177 @@
+"""Gaussian process regression with marginal-likelihood hyperparameter
+selection.
+
+This is the predictive core of iTuned and OtterTune: a GP over
+unit-scaled configuration vectors (optionally augmented with workload
+features), trained on observed runtimes, queried for mean and variance
+by acquisition functions.
+
+The implementation is a standard Cholesky GP.  Hyperparameters
+(lengthscale, signal variance, noise) are selected by grid search over
+log-marginal likelihood — robust and dependency-free, appropriate for
+the small sample sizes tuning produces (tens to low hundreds of runs).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ModelNotFitted
+from repro.mlkit.kernels import Kernel, Matern52
+
+__all__ = ["GaussianProcess"]
+
+_JITTER = 1e-8
+
+
+class GaussianProcess:
+    """GP regressor: y ~ GP(mean, k) + noise.
+
+    Targets are internally standardized, so the GP prior mean is the
+    empirical mean of the data — important when runtimes are far from 0.
+
+    Args:
+        kernel: covariance function; default Matérn 5/2.
+        noise: observation noise variance (on standardized targets).
+        optimize: when True, :meth:`fit` grid-searches isotropic
+            lengthscale and noise by log marginal likelihood.
+    """
+
+    def __init__(
+        self,
+        kernel: Optional[Kernel] = None,
+        noise: float = 1e-4,
+        optimize: bool = True,
+    ):
+        if noise < 0:
+            raise ValueError("noise must be >= 0")
+        self.kernel = kernel or Matern52()
+        self.noise = float(noise)
+        self.optimize = optimize
+        self._X: Optional[np.ndarray] = None
+        self._y_mean = 0.0
+        self._y_std = 1.0
+        self._alpha: Optional[np.ndarray] = None
+        self._chol: Optional[np.ndarray] = None
+        self.log_marginal_likelihood_: float = -math.inf
+
+    # -- fitting -----------------------------------------------------------
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GaussianProcess":
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if X.shape[0] != y.shape[0]:
+            raise ValueError(f"X has {X.shape[0]} rows, y has {y.shape[0]}")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit GP on empty data")
+        self._y_mean = float(y.mean())
+        std = float(y.std())
+        self._y_std = std if std > 1e-12 else 1.0
+        z = (y - self._y_mean) / self._y_std
+
+        if self.optimize:
+            self._select_hyperparameters(X, z)
+        self._finalize(X, z)
+        return self
+
+    def _select_hyperparameters(self, X: np.ndarray, z: np.ndarray) -> None:
+        best_ll, best = -math.inf, None
+        kernel_cls = type(self.kernel)
+        # In d dimensions, unit-cube pairwise distances concentrate
+        # around sqrt(d/6); scale the lengthscale grid accordingly so
+        # high-dimensional fits do not collapse to the prior mean.
+        dim_scale = max(1.0, math.sqrt(X.shape[1] / 6.0))
+        for base_ls in (0.08, 0.15, 0.3, 0.5, 1.0, 2.0):
+            ls = base_ls * dim_scale
+            for noise in (1e-6, 1e-4, 1e-2, 1e-1):
+                kernel = kernel_cls(lengthscale=ls, variance=1.0)
+                ll = self._log_marginal(X, z, kernel, noise)
+                if ll > best_ll:
+                    best_ll, best = ll, (kernel, noise)
+        if best is not None:
+            self.kernel, self.noise = best
+            self.log_marginal_likelihood_ = best_ll
+
+    @staticmethod
+    def _log_marginal(
+        X: np.ndarray, z: np.ndarray, kernel: Kernel, noise: float
+    ) -> float:
+        n = X.shape[0]
+        K = kernel(X) + (noise + _JITTER) * np.eye(n)
+        try:
+            L = np.linalg.cholesky(K)
+        except np.linalg.LinAlgError:
+            return -math.inf
+        alpha = np.linalg.solve(L.T, np.linalg.solve(L, z))
+        return float(
+            -0.5 * z @ alpha
+            - np.sum(np.log(np.diag(L)))
+            - 0.5 * n * math.log(2.0 * math.pi)
+        )
+
+    def _finalize(self, X: np.ndarray, z: np.ndarray) -> None:
+        n = X.shape[0]
+        K = self.kernel(X) + (self.noise + _JITTER) * np.eye(n)
+        jitter = _JITTER
+        while True:
+            try:
+                L = np.linalg.cholesky(K + jitter * np.eye(n))
+                break
+            except np.linalg.LinAlgError:
+                jitter *= 10.0
+                if jitter > 1.0:
+                    raise
+        self._X = X
+        self._chol = L
+        self._alpha = np.linalg.solve(L.T, np.linalg.solve(L, z))
+        if not self.optimize:
+            self.log_marginal_likelihood_ = self._log_marginal(
+                X, z, self.kernel, self.noise
+            )
+
+    # -- prediction ----------------------------------------------------------
+    def predict(
+        self, X: np.ndarray, return_std: bool = False
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Posterior mean (and optionally standard deviation) at X.
+
+        Returns:
+            mean array, and if ``return_std`` a std array of equal shape
+            (on the original target scale).
+        """
+        if self._X is None:
+            raise ModelNotFitted("GaussianProcess not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        Ks = self.kernel(X, self._X)
+        mean = Ks @ self._alpha * self._y_std + self._y_mean
+        if not return_std:
+            return mean, np.zeros_like(mean)
+        v = np.linalg.solve(self._chol, Ks.T)
+        var = self.kernel.diag(X) - np.sum(v * v, axis=0)
+        var = np.maximum(var, 0.0)
+        std = np.sqrt(var + self.noise) * self._y_std
+        return mean, std
+
+    def sample_posterior(
+        self, X: np.ndarray, n_samples: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw joint posterior samples at X, shape (n_samples, len(X)).
+
+        Used by Thompson-sampling style tuners.
+        """
+        if self._X is None:
+            raise ModelNotFitted("GaussianProcess not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        Ks = self.kernel(X, self._X)
+        mean = Ks @ self._alpha
+        v = np.linalg.solve(self._chol, Ks.T)
+        cov = self.kernel(X) - v.T @ v
+        cov = cov + 1e-6 * np.eye(cov.shape[0])
+        draws = rng.multivariate_normal(mean, cov, size=n_samples, method="eigh")
+        return draws * self._y_std + self._y_mean
+
+    @property
+    def n_train(self) -> int:
+        return 0 if self._X is None else self._X.shape[0]

@@ -1,0 +1,125 @@
+"""Covariance kernels for Gaussian process regression."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["Kernel", "RBF", "Matern52", "ConstantTimes", "Sum"]
+
+
+def _sq_dists(A: np.ndarray, B: np.ndarray, lengthscale: np.ndarray) -> np.ndarray:
+    """Pairwise squared euclidean distances after lengthscale division."""
+    A = np.asarray(A, dtype=float) / lengthscale
+    B = np.asarray(B, dtype=float) / lengthscale
+    a2 = np.sum(A * A, axis=1)[:, None]
+    b2 = np.sum(B * B, axis=1)[None, :]
+    d2 = a2 + b2 - 2.0 * (A @ B.T)
+    return np.maximum(d2, 0.0)
+
+
+class Kernel(ABC):
+    """Positive semi-definite covariance function k(x, x')."""
+
+    @abstractmethod
+    def __call__(self, A: np.ndarray, B: Optional[np.ndarray] = None) -> np.ndarray:
+        """Covariance matrix between row sets A and B (B defaults to A)."""
+
+    @abstractmethod
+    def diag(self, A: np.ndarray) -> np.ndarray:
+        """k(x, x) for each row of A (cheaper than the full matrix)."""
+
+
+class RBF(Kernel):
+    """Squared-exponential kernel with (optionally per-dimension)
+    lengthscales: ``variance * exp(-0.5 * ||(a-b)/l||^2)``."""
+
+    def __init__(self, lengthscale=0.3, variance: float = 1.0):
+        self.lengthscale = np.atleast_1d(np.asarray(lengthscale, dtype=float))
+        if np.any(self.lengthscale <= 0):
+            raise ValueError("lengthscales must be positive")
+        if variance <= 0:
+            raise ValueError("variance must be positive")
+        self.variance = float(variance)
+
+    def _ls(self, d: int) -> np.ndarray:
+        if self.lengthscale.size == 1:
+            return np.full(d, float(self.lengthscale[0]))
+        if self.lengthscale.size != d:
+            raise ValueError(
+                f"kernel has {self.lengthscale.size} lengthscales, data has {d} dims"
+            )
+        return self.lengthscale
+
+    def __call__(self, A: np.ndarray, B: Optional[np.ndarray] = None) -> np.ndarray:
+        A = np.atleast_2d(A)
+        B = A if B is None else np.atleast_2d(B)
+        d2 = _sq_dists(A, B, self._ls(A.shape[1]))
+        return self.variance * np.exp(-0.5 * d2)
+
+    def diag(self, A: np.ndarray) -> np.ndarray:
+        return np.full(np.atleast_2d(A).shape[0], self.variance)
+
+
+class Matern52(Kernel):
+    """Matérn ν=5/2 kernel — the standard choice for BO over rough
+    performance surfaces (twice-differentiable, less smooth than RBF)."""
+
+    def __init__(self, lengthscale=0.3, variance: float = 1.0):
+        self.lengthscale = np.atleast_1d(np.asarray(lengthscale, dtype=float))
+        if np.any(self.lengthscale <= 0):
+            raise ValueError("lengthscales must be positive")
+        if variance <= 0:
+            raise ValueError("variance must be positive")
+        self.variance = float(variance)
+
+    def _ls(self, d: int) -> np.ndarray:
+        if self.lengthscale.size == 1:
+            return np.full(d, float(self.lengthscale[0]))
+        if self.lengthscale.size != d:
+            raise ValueError(
+                f"kernel has {self.lengthscale.size} lengthscales, data has {d} dims"
+            )
+        return self.lengthscale
+
+    def __call__(self, A: np.ndarray, B: Optional[np.ndarray] = None) -> np.ndarray:
+        A = np.atleast_2d(A)
+        B = A if B is None else np.atleast_2d(B)
+        r = np.sqrt(_sq_dists(A, B, self._ls(A.shape[1])))
+        s = np.sqrt(5.0) * r
+        return self.variance * (1.0 + s + s * s / 3.0) * np.exp(-s)
+
+    def diag(self, A: np.ndarray) -> np.ndarray:
+        return np.full(np.atleast_2d(A).shape[0], self.variance)
+
+
+class ConstantTimes(Kernel):
+    """Scale another kernel by a constant factor."""
+
+    def __init__(self, factor: float, inner: Kernel):
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        self.factor = float(factor)
+        self.inner = inner
+
+    def __call__(self, A: np.ndarray, B: Optional[np.ndarray] = None) -> np.ndarray:
+        return self.factor * self.inner(A, B)
+
+    def diag(self, A: np.ndarray) -> np.ndarray:
+        return self.factor * self.inner.diag(A)
+
+
+class Sum(Kernel):
+    """Sum of two kernels."""
+
+    def __init__(self, left: Kernel, right: Kernel):
+        self.left = left
+        self.right = right
+
+    def __call__(self, A: np.ndarray, B: Optional[np.ndarray] = None) -> np.ndarray:
+        return self.left(A, B) + self.right(A, B)
+
+    def diag(self, A: np.ndarray) -> np.ndarray:
+        return self.left.diag(A) + self.right.diag(A)

@@ -1,0 +1,132 @@
+"""A small multi-layer perceptron regressor trained with Adam.
+
+Rodd & Kulkarni (2010) tune DBMS memory knobs with a neural network
+mapping observed state to recommended settings; this MLP is the
+substrate for that tuner and for generic learned performance models.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ModelNotFitted
+from repro.mlkit.scaler import StandardScaler
+
+__all__ = ["MLPRegressor"]
+
+
+def _relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+class MLPRegressor:
+    """Fully-connected ReLU network with a linear output head.
+
+    Inputs and targets are standardized internally.  Training is plain
+    full-batch Adam — sample sizes in tuning are tiny, so batching and
+    schedulers would be ceremony.
+
+    Args:
+        hidden: widths of hidden layers.
+        lr: Adam learning rate.
+        epochs: training epochs.
+        l2: weight decay coefficient.
+        seed: weight initialization seed.
+    """
+
+    def __init__(
+        self,
+        hidden: Sequence[int] = (32, 32),
+        lr: float = 1e-2,
+        epochs: int = 500,
+        l2: float = 1e-4,
+        seed: int = 0,
+    ):
+        if any(h < 1 for h in hidden):
+            raise ValueError("hidden widths must be >= 1")
+        self.hidden = tuple(hidden)
+        self.lr = lr
+        self.epochs = epochs
+        self.l2 = l2
+        self.seed = seed
+        self._weights: Optional[List[np.ndarray]] = None
+        self._biases: Optional[List[np.ndarray]] = None
+        self._x_scaler: Optional[StandardScaler] = None
+        self._y_mean = 0.0
+        self._y_std = 1.0
+        self.loss_curve_: List[float] = []
+
+    def _init_params(self, d_in: int) -> None:
+        rng = np.random.default_rng(self.seed)
+        dims = [d_in, *self.hidden, 1]
+        self._weights, self._biases = [], []
+        for a, b in zip(dims[:-1], dims[1:]):
+            self._weights.append(rng.normal(0.0, np.sqrt(2.0 / a), size=(a, b)))
+            self._biases.append(np.zeros(b))
+
+    def _forward(self, X: np.ndarray) -> Tuple[np.ndarray, List[np.ndarray]]:
+        acts = [X]
+        h = X
+        for i, (W, b) in enumerate(zip(self._weights, self._biases)):
+            z = h @ W + b
+            h = z if i == len(self._weights) - 1 else _relu(z)
+            acts.append(h)
+        return h, acts
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MLPRegressor":
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y lengths differ")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on empty data")
+        self._x_scaler = StandardScaler().fit(X)
+        Z = self._x_scaler.transform(X)
+        self._y_mean = float(y.mean())
+        std = float(y.std())
+        self._y_std = std if std > 1e-12 else 1.0
+        t = ((y - self._y_mean) / self._y_std)[:, None]
+
+        self._init_params(Z.shape[1])
+        m = [np.zeros_like(w) for w in self._weights]
+        v = [np.zeros_like(w) for w in self._weights]
+        mb = [np.zeros_like(b) for b in self._biases]
+        vb = [np.zeros_like(b) for b in self._biases]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        n = Z.shape[0]
+        self.loss_curve_ = []
+        for step in range(1, self.epochs + 1):
+            pred, acts = self._forward(Z)
+            err = pred - t
+            loss = float(np.mean(err ** 2))
+            self.loss_curve_.append(loss)
+            grad = 2.0 * err / n
+            gw: List[np.ndarray] = [None] * len(self._weights)  # type: ignore[list-item]
+            gb: List[np.ndarray] = [None] * len(self._biases)  # type: ignore[list-item]
+            delta = grad
+            for i in reversed(range(len(self._weights))):
+                gw[i] = acts[i].T @ delta + self.l2 * self._weights[i]
+                gb[i] = delta.sum(axis=0)
+                if i > 0:
+                    delta = (delta @ self._weights[i].T) * (acts[i] > 0)
+            for i in range(len(self._weights)):
+                m[i] = beta1 * m[i] + (1 - beta1) * gw[i]
+                v[i] = beta2 * v[i] + (1 - beta2) * gw[i] ** 2
+                mb[i] = beta1 * mb[i] + (1 - beta1) * gb[i]
+                vb[i] = beta2 * vb[i] + (1 - beta2) * gb[i] ** 2
+                mh = m[i] / (1 - beta1 ** step)
+                vh = v[i] / (1 - beta2 ** step)
+                mbh = mb[i] / (1 - beta1 ** step)
+                vbh = vb[i] / (1 - beta2 ** step)
+                self._weights[i] -= self.lr * mh / (np.sqrt(vh) + eps)
+                self._biases[i] -= self.lr * mbh / (np.sqrt(vbh) + eps)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._weights is None or self._x_scaler is None:
+            raise ModelNotFitted("MLPRegressor not fitted")
+        Z = self._x_scaler.transform(np.atleast_2d(np.asarray(X, dtype=float)))
+        pred, _ = self._forward(Z)
+        return pred.ravel() * self._y_std + self._y_mean

@@ -1,0 +1,72 @@
+"""Feature scaling utilities used across the ML substrate."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ModelNotFitted
+
+__all__ = ["StandardScaler", "MinMaxScaler"]
+
+
+class StandardScaler:
+    """Zero-mean, unit-variance scaling with degenerate-column safety.
+
+    Columns with (near-)zero variance are scaled by 1 so they pass
+    through centered but not exploded.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: Optional[np.ndarray] = None
+        self.scale_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError(f"expected 2-D array, got shape {X.shape}")
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        std[std < 1e-12] = 1.0
+        self.scale_ = std
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise ModelNotFitted("StandardScaler not fitted")
+        return (np.asarray(X, dtype=float) - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise ModelNotFitted("StandardScaler not fitted")
+        return np.asarray(X, dtype=float) * self.scale_ + self.mean_
+
+
+class MinMaxScaler:
+    """Scale columns into [0, 1]; constant columns map to 0."""
+
+    def __init__(self) -> None:
+        self.min_: Optional[np.ndarray] = None
+        self.range_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray) -> "MinMaxScaler":
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError(f"expected 2-D array, got shape {X.shape}")
+        self.min_ = X.min(axis=0)
+        rng = X.max(axis=0) - self.min_
+        rng[rng < 1e-12] = 1.0
+        self.range_ = rng
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.min_ is None:
+            raise ModelNotFitted("MinMaxScaler not fitted")
+        return (np.asarray(X, dtype=float) - self.min_) / self.range_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)

@@ -1,0 +1,184 @@
+"""Regression trees and random forests.
+
+Used as an alternative response-surface model (several surveyed Hadoop
+tuners — e.g., grey-box predictors — use tree ensembles) and for
+impurity-based parameter-importance scores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ModelNotFitted
+
+__all__ = ["RegressionTree", "RandomForest"]
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    value: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class RegressionTree:
+    """CART regression tree (variance reduction splits)."""
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        min_samples_leaf: int = 2,
+        max_features: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.rng = rng or np.random.default_rng(0)
+        self._root: Optional[_Node] = None
+        self.feature_importances_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RegressionTree":
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if X.shape[0] != y.shape[0] or X.shape[0] == 0:
+            raise ValueError("invalid training data")
+        self._importance = np.zeros(X.shape[1])
+        self._root = self._build(X, y, depth=0)
+        total = self._importance.sum()
+        self.feature_importances_ = (
+            self._importance / total if total > 0 else self._importance
+        )
+        return self
+
+    def _candidate_features(self, d: int) -> np.ndarray:
+        if self.max_features is None or self.max_features >= d:
+            return np.arange(d)
+        return self.rng.choice(d, size=self.max_features, replace=False)
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = _Node(value=float(y.mean()))
+        if (
+            depth >= self.max_depth
+            or len(y) < 2 * self.min_samples_leaf
+            or float(y.var()) < 1e-14
+        ):
+            return node
+        n, d = X.shape
+        parent_sse = float(((y - y.mean()) ** 2).sum())
+        best_gain, best = 0.0, None
+        for j in self._candidate_features(d):
+            order = np.argsort(X[:, j], kind="stable")
+            xs, ys = X[order, j], y[order]
+            # Prefix sums for O(n) split evaluation along this feature.
+            csum = np.cumsum(ys)
+            csq = np.cumsum(ys ** 2)
+            total_sum, total_sq = csum[-1], csq[-1]
+            for i in range(self.min_samples_leaf, n - self.min_samples_leaf + 1):
+                if i < n and xs[i - 1] == xs[i]:
+                    continue
+                left_sse = csq[i - 1] - csum[i - 1] ** 2 / i
+                right_n = n - i
+                if right_n == 0:
+                    continue
+                rsum = total_sum - csum[i - 1]
+                rsq = total_sq - csq[i - 1]
+                right_sse = rsq - rsum ** 2 / right_n
+                gain = parent_sse - (left_sse + right_sse)
+                if gain > best_gain + 1e-12:
+                    threshold = (
+                        (xs[i - 1] + xs[i]) / 2.0 if i < n else xs[i - 1]
+                    )
+                    best_gain, best = gain, (j, threshold)
+        if best is None:
+            return node
+        j, threshold = best
+        mask = X[:, j] <= threshold
+        if mask.all() or not mask.any():
+            return node
+        self._importance[j] += best_gain
+        node.feature = j
+        node.threshold = threshold
+        node.left = self._build(X[mask], y[mask], depth + 1)
+        node.right = self._build(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise ModelNotFitted("RegressionTree not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        out = np.empty(X.shape[0])
+        for i, row in enumerate(X):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.value
+        return out
+
+
+class RandomForest:
+    """Bagged regression trees with feature subsampling."""
+
+    def __init__(
+        self,
+        n_trees: int = 30,
+        max_depth: int = 8,
+        min_samples_leaf: int = 2,
+        seed: int = 0,
+    ):
+        if n_trees < 1:
+            raise ValueError("n_trees must be >= 1")
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.seed = seed
+        self._trees: List[RegressionTree] = []
+        self.feature_importances_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForest":
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        n, d = X.shape
+        rng = np.random.default_rng(self.seed)
+        max_features = max(1, int(np.ceil(d / 3)))
+        self._trees = []
+        importances = np.zeros(d)
+        for _ in range(self.n_trees):
+            idx = rng.integers(0, n, size=n)
+            tree = RegressionTree(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=max_features,
+                rng=rng,
+            ).fit(X[idx], y[idx])
+            self._trees.append(tree)
+            importances += tree.feature_importances_
+        total = importances.sum()
+        self.feature_importances_ = importances / total if total > 0 else importances
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if not self._trees:
+            raise ModelNotFitted("RandomForest not fitted")
+        preds = np.stack([t.predict(X) for t in self._trees])
+        return preds.mean(axis=0)
+
+    def predict_std(self, X: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Ensemble mean and spread (a cheap uncertainty proxy)."""
+        if not self._trees:
+            raise ModelNotFitted("RandomForest not fitted")
+        preds = np.stack([t.predict(X) for t in self._trees])
+        return preds.mean(axis=0), preds.std(axis=0)

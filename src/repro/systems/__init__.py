@@ -1,0 +1,23 @@
+"""System simulators: cluster model, DBMS, Hadoop MapReduce, Spark.
+
+Importing this package registers the simulators in the name registry
+(``repro.core.registry``).
+"""
+
+from repro.core.registry import register_system
+from repro.systems.cluster import Cluster, NodeSpec
+from repro.systems.dbms import DbmsSimulator
+from repro.systems.hadoop import HadoopSimulator
+from repro.systems.spark import SparkSimulator
+
+register_system("dbms")(DbmsSimulator)
+register_system("hadoop")(HadoopSimulator)
+register_system("spark")(SparkSimulator)
+
+__all__ = [
+    "Cluster",
+    "DbmsSimulator",
+    "HadoopSimulator",
+    "NodeSpec",
+    "SparkSimulator",
+]

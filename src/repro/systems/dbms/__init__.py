@@ -1,0 +1,41 @@
+"""DBMS simulator: knob catalog, query model, engine, workloads."""
+
+from repro.systems.dbms.engine import DbmsSimulator
+from repro.systems.dbms.knobs import (
+    DBMS_TUNING_KNOBS,
+    GROUND_TRUTH_IMPACT,
+    build_dbms_space,
+    build_screening_space,
+)
+from repro.systems.dbms.query import (
+    DbmsWorkload,
+    QuerySpec,
+    ScanSpec,
+    TableSpec,
+    TransactionSpec,
+)
+from repro.systems.dbms.workloads import (
+    adhoc_query,
+    htap_mixed,
+    make_workload_suite,
+    olap_analytics,
+    oltp_orders,
+)
+
+__all__ = [
+    "DBMS_TUNING_KNOBS",
+    "DbmsSimulator",
+    "DbmsWorkload",
+    "GROUND_TRUTH_IMPACT",
+    "QuerySpec",
+    "ScanSpec",
+    "TableSpec",
+    "TransactionSpec",
+    "adhoc_query",
+    "build_dbms_space",
+    "build_screening_space",
+    "htap_mixed",
+    "make_workload_suite",
+    "olap_analytics",
+    "oltp_orders",
+]

@@ -1,0 +1,254 @@
+"""Logical query and transaction specifications for the DBMS simulator.
+
+A workload is a weighted mix of analytical queries
+(:class:`QuerySpec`) and transactional templates
+(:class:`TransactionSpec`) over a schema of :class:`TableSpec` tables.
+Specs carry the *resource demands* of execution — pages scanned, bytes
+sorted, hash-build sizes — which is exactly the granularity at which the
+cost model consumes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.workload import Workload
+from repro.exceptions import WorkloadError
+
+__all__ = ["TableSpec", "ScanSpec", "QuerySpec", "TransactionSpec", "DbmsWorkload"]
+
+PAGE_KB = 8  # logical page size used for sizing math
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """A base table.
+
+    Attributes:
+        pages: heap pages (8 KiB each).
+        rows: tuple count.
+        hot_fraction: share of pages in the frequently-accessed set;
+            drives the buffer-pool working-set model.
+    """
+
+    name: str
+    pages: int
+    rows: int
+    hot_fraction: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.pages < 1 or self.rows < 1:
+            raise ValueError(f"{self.name}: pages and rows must be >= 1")
+        if not (0.0 < self.hot_fraction <= 1.0):
+            raise ValueError(f"{self.name}: hot_fraction must be in (0, 1]")
+
+    @property
+    def size_mb(self) -> float:
+        return self.pages * PAGE_KB / 1024.0
+
+
+@dataclass(frozen=True)
+class ScanSpec:
+    """One table access within a query.
+
+    Attributes:
+        table: table name (must exist in the workload schema).
+        selectivity: fraction of rows the predicate keeps.
+        index_available: whether an index scan is a planner option.
+    """
+
+    table: str
+    selectivity: float = 1.0
+    index_available: bool = False
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.selectivity <= 1.0):
+            raise ValueError("selectivity must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """An analytical query template.
+
+    Attributes:
+        scans: table accesses.
+        sort_mb: bytes fed to sort operators (0 = no sort).
+        hash_build_mb: hash-join build side size (0 = no hash join).
+        cpu_ms_per_mb: per-MB processing cost of the non-I/O work.
+        parallel_fraction: Amdahl parallelizable share.
+        weight: relative frequency in the mix.
+    """
+
+    name: str
+    scans: Tuple[ScanSpec, ...] = ()
+    sort_mb: float = 0.0
+    hash_build_mb: float = 0.0
+    cpu_ms_per_mb: float = 2.0
+    parallel_fraction: float = 0.85
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.sort_mb < 0 or self.hash_build_mb < 0:
+            raise ValueError(f"{self.name}: sizes must be >= 0")
+        if not (0.0 <= self.parallel_fraction <= 1.0):
+            raise ValueError(f"{self.name}: parallel_fraction in [0, 1]")
+        if self.weight <= 0:
+            raise ValueError(f"{self.name}: weight must be positive")
+
+
+@dataclass(frozen=True)
+class TransactionSpec:
+    """An OLTP transaction template.
+
+    Attributes:
+        reads / writes: page touches per execution.
+        contention: probability of conflicting with a concurrent
+            transaction on a hot row (drives lock waits and deadlocks).
+        wal_kb: log volume written per commit.
+        weight: relative frequency in the mix.
+    """
+
+    name: str
+    reads: int = 4
+    writes: int = 2
+    contention: float = 0.05
+    wal_kb: float = 4.0
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.reads < 0 or self.writes < 0:
+            raise ValueError(f"{self.name}: reads/writes must be >= 0")
+        if not (0.0 <= self.contention <= 1.0):
+            raise ValueError(f"{self.name}: contention in [0, 1]")
+        if self.weight <= 0:
+            raise ValueError(f"{self.name}: weight must be positive")
+
+
+class DbmsWorkload(Workload):
+    """A mixed DBMS workload: schema + query mix + transaction mix.
+
+    Args:
+        tables: the schema.
+        queries: analytical templates (each executed ``query_rounds``
+            times per run, weighted).
+        transactions: OLTP templates executed ``n_transactions`` times
+            total, split by weight.
+        sessions: concurrent client sessions (drives memory pressure
+            and contention).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        tables: Sequence[TableSpec],
+        queries: Sequence[QuerySpec] = (),
+        transactions: Sequence[TransactionSpec] = (),
+        n_transactions: int = 0,
+        query_rounds: int = 1,
+        sessions: int = 8,
+    ):
+        super().__init__(name)
+        if not tables:
+            raise WorkloadError("workload needs at least one table")
+        if not queries and not transactions:
+            raise WorkloadError("workload needs queries or transactions")
+        if transactions and n_transactions < 1:
+            raise WorkloadError("transactional workloads need n_transactions >= 1")
+        if sessions < 1:
+            raise WorkloadError("sessions must be >= 1")
+        self.tables: Dict[str, TableSpec] = {t.name: t for t in tables}
+        if len(self.tables) != len(tables):
+            raise WorkloadError("duplicate table names")
+        self.queries = list(queries)
+        self.transactions = list(transactions)
+        self.n_transactions = n_transactions
+        self.query_rounds = query_rounds
+        self.sessions = sessions
+        for q in self.queries:
+            for s in q.scans:
+                if s.table not in self.tables:
+                    raise WorkloadError(f"query {q.name}: unknown table {s.table!r}")
+
+    @property
+    def system_kind(self) -> str:
+        return "dbms"
+
+    # -- aggregate demand features ------------------------------------------
+    def total_scan_mb(self) -> float:
+        total = 0.0
+        for q in self.queries:
+            for s in q.scans:
+                total += self.tables[s.table].size_mb * q.weight
+        return total * self.query_rounds
+
+    def total_sort_mb(self) -> float:
+        return sum(q.sort_mb * q.weight for q in self.queries) * self.query_rounds
+
+    def total_hash_mb(self) -> float:
+        return sum(q.hash_build_mb * q.weight for q in self.queries) * self.query_rounds
+
+    def hot_set_mb(self) -> float:
+        """Approximate working set: hot pages of every touched table."""
+        touched = {s.table for q in self.queries for s in q.scans}
+        if self.transactions:
+            touched |= set(self.tables)
+        return sum(
+            self.tables[t].size_mb * self.tables[t].hot_fraction for t in touched
+        )
+
+    def write_rate(self) -> float:
+        """Mean page writes per transaction, weight-adjusted."""
+        if not self.transactions:
+            return 0.0
+        total_w = sum(t.weight for t in self.transactions)
+        return sum(t.writes * t.weight for t in self.transactions) / total_w
+
+    def mean_contention(self) -> float:
+        if not self.transactions:
+            return 0.0
+        total_w = sum(t.weight for t in self.transactions)
+        return sum(t.contention * t.weight for t in self.transactions) / total_w
+
+    def signature(self) -> Dict[str, float]:
+        return {
+            "scan_mb": self.total_scan_mb(),
+            "sort_mb": self.total_sort_mb(),
+            "hash_mb": self.total_hash_mb(),
+            "hot_set_mb": self.hot_set_mb(),
+            "n_queries": float(len(self.queries) * self.query_rounds),
+            "n_transactions": float(self.n_transactions),
+            "write_rate": self.write_rate(),
+            "contention": self.mean_contention(),
+            "sessions": float(self.sessions),
+        }
+
+    def scaled(self, factor: float) -> "DbmsWorkload":
+        """Scale data volume by ``factor`` (tables grow; mixes stay)."""
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        tables = [
+            replace(
+                t,
+                pages=max(1, int(t.pages * factor)),
+                rows=max(1, int(t.rows * factor)),
+            )
+            for t in self.tables.values()
+        ]
+        scaled = DbmsWorkload(
+            name=f"{self.name}@{factor:g}x",
+            tables=tables,
+            queries=[
+                replace(
+                    q,
+                    sort_mb=q.sort_mb * factor,
+                    hash_build_mb=q.hash_build_mb * factor,
+                )
+                for q in self.queries
+            ],
+            transactions=list(self.transactions),
+            n_transactions=max(self.n_transactions, 1) if self.transactions else 0,
+            query_rounds=self.query_rounds,
+            sessions=self.sessions,
+        )
+        return scaled

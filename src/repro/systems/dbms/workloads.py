@@ -1,0 +1,178 @@
+"""Synthetic DBMS workload generators.
+
+Stand-ins for the benchmark suites the surveyed papers tune against:
+an OLAP mix shaped like TPC-H (scan/join/sort-heavy analytics), an OLTP
+mix shaped like TPC-C (short read-write transactions with hot-row
+contention), a mixed HTAP workload, and a seeded ad-hoc generator for
+the "lack of input data statistics" scenario.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.systems.dbms.query import (
+    DbmsWorkload,
+    QuerySpec,
+    ScanSpec,
+    TableSpec,
+    TransactionSpec,
+)
+
+__all__ = [
+    "olap_analytics",
+    "oltp_orders",
+    "htap_mixed",
+    "adhoc_query",
+    "make_workload_suite",
+]
+
+
+def _warehouse_schema(scale: float) -> List[TableSpec]:
+    """A star-ish schema: one big fact table, medium and small dims."""
+    return [
+        TableSpec("lineitem", pages=int(120_000 * scale), rows=int(12_000_000 * scale), hot_fraction=0.15),
+        TableSpec("orders", pages=int(30_000 * scale), rows=int(3_000_000 * scale), hot_fraction=0.25),
+        TableSpec("customer", pages=int(5_000 * scale), rows=int(300_000 * scale), hot_fraction=0.5),
+        TableSpec("part", pages=int(4_000 * scale), rows=int(400_000 * scale), hot_fraction=0.5),
+        TableSpec("supplier", pages=int(500 * scale), rows=int(20_000 * scale), hot_fraction=0.8),
+    ]
+
+
+def olap_analytics(scale: float = 1.0, query_rounds: int = 1, sessions: int = 4) -> DbmsWorkload:
+    """A TPC-H-like analytical mix: full scans, big joins, big sorts."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    queries = [
+        QuerySpec(
+            "pricing_summary",
+            scans=(ScanSpec("lineitem", selectivity=0.95),),
+            sort_mb=80.0 * scale,
+            cpu_ms_per_mb=3.0,
+            parallel_fraction=0.9,
+            weight=1.0,
+        ),
+        QuerySpec(
+            "shipping_priority",
+            scans=(
+                ScanSpec("lineitem", selectivity=0.5),
+                ScanSpec("orders", selectivity=0.3, index_available=True),
+                ScanSpec("customer", selectivity=0.2, index_available=True),
+            ),
+            hash_build_mb=60.0 * scale,
+            sort_mb=20.0 * scale,
+            parallel_fraction=0.85,
+            weight=1.0,
+        ),
+        QuerySpec(
+            "market_share",
+            scans=(
+                ScanSpec("lineitem", selectivity=0.3),
+                ScanSpec("part", selectivity=0.05, index_available=True),
+                ScanSpec("supplier", selectivity=1.0),
+            ),
+            hash_build_mb=120.0 * scale,
+            parallel_fraction=0.8,
+            weight=1.0,
+        ),
+        QuerySpec(
+            "top_customers",
+            scans=(
+                ScanSpec("orders", selectivity=0.6),
+                ScanSpec("customer", selectivity=1.0),
+            ),
+            sort_mb=200.0 * scale,
+            hash_build_mb=40.0 * scale,
+            parallel_fraction=0.75,
+            weight=1.0,
+        ),
+        QuerySpec(
+            "point_lookup_report",
+            scans=(ScanSpec("orders", selectivity=0.001, index_available=True),),
+            cpu_ms_per_mb=1.0,
+            parallel_fraction=0.2,
+            weight=2.0,
+        ),
+    ]
+    return DbmsWorkload(
+        name=f"olap-analytics@{scale:g}x",
+        tables=_warehouse_schema(scale),
+        queries=queries,
+        query_rounds=query_rounds,
+        sessions=sessions,
+    )
+
+
+def oltp_orders(scale: float = 1.0, n_transactions: int = 200_000, sessions: int = 32) -> DbmsWorkload:
+    """A TPC-C-like transactional mix with hot-row contention."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    transactions = [
+        TransactionSpec("new_order", reads=10, writes=6, contention=0.10, wal_kb=6.0, weight=10.0),
+        TransactionSpec("payment", reads=4, writes=3, contention=0.25, wal_kb=3.0, weight=10.0),
+        TransactionSpec("order_status", reads=6, writes=0, contention=0.01, wal_kb=0.1, weight=1.0),
+        TransactionSpec("delivery", reads=20, writes=12, contention=0.15, wal_kb=10.0, weight=1.0),
+        TransactionSpec("stock_level", reads=40, writes=0, contention=0.02, wal_kb=0.1, weight=1.0),
+    ]
+    return DbmsWorkload(
+        name=f"oltp-orders@{scale:g}x",
+        tables=_warehouse_schema(scale * 0.3),
+        transactions=transactions,
+        n_transactions=n_transactions,
+        sessions=sessions,
+    )
+
+
+def htap_mixed(scale: float = 1.0, sessions: int = 16) -> DbmsWorkload:
+    """Hybrid workload: reporting queries over a live OLTP store."""
+    olap = olap_analytics(scale)
+    oltp = oltp_orders(scale)
+    return DbmsWorkload(
+        name=f"htap-mixed@{scale:g}x",
+        tables=_warehouse_schema(scale),
+        queries=olap.queries[:3],
+        transactions=oltp.transactions,
+        n_transactions=50_000,
+        sessions=sessions,
+    )
+
+
+def adhoc_query(seed: int, scale: float = 1.0) -> DbmsWorkload:
+    """One random, never-seen-before analytical query.
+
+    Ad-hoc queries have no prior logs — the scenario where
+    experiment-driven tuning cannot amortize and adaptive approaches
+    shine (Table 1).
+    """
+    rng = np.random.default_rng(seed)
+    tables = _warehouse_schema(scale)
+    chosen = rng.choice(len(tables), size=int(rng.integers(1, 4)), replace=False)
+    scans = tuple(
+        ScanSpec(
+            tables[i].name,
+            selectivity=float(np.clip(rng.lognormal(-1.5, 1.0), 0.001, 1.0)),
+            index_available=bool(rng.random() < 0.5),
+        )
+        for i in chosen
+    )
+    query = QuerySpec(
+        name=f"adhoc-{seed}",
+        scans=scans,
+        sort_mb=float(rng.lognormal(3.0, 1.2)) * scale,
+        hash_build_mb=float(rng.lognormal(3.0, 1.0)) * scale if len(scans) > 1 else 0.0,
+        cpu_ms_per_mb=float(rng.uniform(1.0, 5.0)),
+        parallel_fraction=float(rng.uniform(0.4, 0.95)),
+    )
+    return DbmsWorkload(
+        name=f"adhoc-{seed}@{scale:g}x",
+        tables=tables,
+        queries=[query],
+        sessions=int(rng.integers(1, 8)),
+    )
+
+
+def make_workload_suite(scale: float = 1.0) -> List[DbmsWorkload]:
+    """The standard evaluation suite used by the benchmark harness."""
+    return [olap_analytics(scale), oltp_orders(scale), htap_mixed(scale)]

@@ -1,0 +1,36 @@
+"""Hadoop MapReduce simulator: knobs, job model, engine, workloads."""
+
+from repro.systems.hadoop.engine import HadoopSimulator
+from repro.systems.hadoop.job import HadoopWorkload, MRJobSpec
+from repro.systems.hadoop.knobs import (
+    GROUND_TRUTH_IMPACT,
+    HADOOP_TUNING_KNOBS,
+    build_hadoop_space,
+)
+from repro.systems.hadoop.workloads import (
+    adhoc_job,
+    grep,
+    inverted_index,
+    join,
+    make_workload_suite,
+    pagerank,
+    terasort,
+    wordcount,
+)
+
+__all__ = [
+    "GROUND_TRUTH_IMPACT",
+    "HADOOP_TUNING_KNOBS",
+    "HadoopSimulator",
+    "HadoopWorkload",
+    "MRJobSpec",
+    "adhoc_job",
+    "build_hadoop_space",
+    "grep",
+    "inverted_index",
+    "join",
+    "make_workload_suite",
+    "pagerank",
+    "terasort",
+    "wordcount",
+]

@@ -1,0 +1,313 @@
+"""The Hadoop MapReduce simulator: a Starfish-style phase cost model.
+
+Each job is costed through the canonical pipeline — read, map, collect/
+spill/merge, shuffle, sort/merge, reduce, write — with the knob effects
+the surveyed literature tunes:
+
+* reducer count: a U-shaped latency curve (too few = no parallelism and
+  reduce-side spills; too many = per-task overhead, small files, skew);
+* ``io.sort.mb`` spill cliffs and ``io.sort.factor`` merge passes;
+* container sizing vs. slot concurrency (bigger JVMs, fewer waves... of
+  fewer slots), with an OOM failure region;
+* intermediate compression trading CPU for network/disk bytes;
+* slowstart overlap vs. slot hoarding;
+* JVM reuse and speculative execution (whose value flips sign between
+  homogeneous and heterogeneous clusters).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from repro.core.measurement import Measurement
+from repro.core.parameters import Configuration, ConfigurationSpace
+from repro.core.system import SystemUnderTune
+from repro.core.workload import Workload
+from repro.systems.cluster import Cluster, NodeSpec
+from repro.systems.hadoop.job import HadoopWorkload, MRJobSpec
+from repro.systems.hadoop.knobs import build_hadoop_space
+
+__all__ = ["HadoopSimulator"]
+
+_CODEC = {  # codec -> (size ratio, cpu ms per MB compressed+decompressed)
+    "snappy": (0.55, 1.0),
+    "lz4": (0.60, 0.7),
+    "gzip": (0.35, 6.0),
+}
+_JVM_STARTUP_S = 1.0
+_JOB_SETUP_S = 2.0
+_FETCH_MBPS_PER_COPY = 20.0
+
+
+class HadoopSimulator(SystemUnderTune):
+    """MapReduce on a simulated cluster."""
+
+    kind = "hadoop"
+
+    METRIC_NAMES = [
+        "map_phase_s",
+        "shuffle_phase_s",
+        "reduce_phase_s",
+        "spilled_mb",
+        "merge_passes",
+        "map_waves",
+        "reduce_waves",
+        "hdfs_read_mb",
+        "hdfs_write_mb",
+        "shuffle_mb",
+        "jvm_startup_s",
+        "speculative_waste_s",
+        "skew_factor",
+        "map_slots",
+        "reduce_slots",
+        "cpu_s",
+        "io_s",
+        "net_s",
+        "n_map_tasks",
+        "n_reduce_tasks",
+        "combine_output_mb",
+        "compress_ratio",
+    ]
+
+    def __init__(self, cluster: Optional[Cluster] = None, name: str = "hadoop-sim"):
+        self.cluster = cluster or Cluster.uniform(8)
+        self.name = name
+        self._space = build_hadoop_space(self.cluster.min_node.memory_mb)
+
+    @property
+    def config_space(self) -> ConfigurationSpace:
+        return self._space
+
+    @property
+    def metric_names(self) -> List[str]:
+        return list(self.METRIC_NAMES)
+
+    # ------------------------------------------------------------------
+    def run(self, workload: Workload, config: Configuration) -> Measurement:
+        self.check_workload(workload)
+        assert isinstance(workload, HadoopWorkload)
+        m: Dict[str, float] = {k: 0.0 for k in self.METRIC_NAMES}
+        total_s = 0.0
+        for job in workload.jobs:
+            job_s = self._job_time(job, config, m)
+            if job_s is None:
+                m["elapsed_before_failure_s"] = total_s + 20.0
+                return Measurement(
+                    runtime_s=math.inf, metrics=m, failed=True, cost_units=1.0
+                )
+            total_s += job_s + _JOB_SETUP_S
+        total_s = max(total_s, 1e-3)
+        cost = total_s * len(self.cluster) / 3600.0
+        return Measurement(runtime_s=total_s, metrics=m, cost_units=cost)
+
+    # ------------------------------------------------------------------
+    def profile(self, workload: Workload, config: Configuration) -> List[Dict[str, float]]:
+        """Per-job phase breakdown under a configuration.
+
+        One dict per job with map/shuffle/reduce attribution, spills,
+        and wave counts — the per-job view a Dione/Starfish-style
+        profiler feeds to what-if analysis.  Failed jobs report
+        ``failed = 1.0`` and stop the pipeline (as the real cluster
+        would).
+        """
+        self.check_workload(workload)
+        assert isinstance(workload, HadoopWorkload)
+        profiles: List[Dict[str, float]] = []
+        for job in workload.jobs:
+            m: Dict[str, float] = {k: 0.0 for k in self.METRIC_NAMES}
+            elapsed = self._job_time(job, config, m)
+            entry = {
+                "job": job.name,
+                "failed": 0.0 if elapsed is not None else 1.0,
+                "elapsed_s": elapsed if elapsed is not None else float("inf"),
+                "map_phase_s": m["map_phase_s"],
+                "shuffle_phase_s": m["shuffle_phase_s"],
+                "reduce_phase_s": m["reduce_phase_s"],
+                "spilled_mb": m["spilled_mb"],
+                "map_waves": m["map_waves"],
+                "reduce_waves": m["reduce_waves"],
+                "shuffle_mb": m["shuffle_mb"],
+            }
+            profiles.append(entry)
+            if elapsed is None:
+                break
+        return profiles
+
+    # ------------------------------------------------------------------
+    def _slots(self, container_mb: float) -> int:
+        """Cluster-wide concurrent containers of the given size."""
+        total = 0
+        for node in self.cluster.nodes:
+            by_mem = int(node.memory_mb * 0.9 // container_mb)
+            total += max(0, min(node.cores, by_mem))
+        return total
+
+    def _straggler(self, config: Configuration, m: Dict[str, float], work_s: float) -> float:
+        """Tail-latency multiplier for synchronous phases."""
+        sf = self.cluster.straggler_factor()
+        if config["speculative_execution"]:
+            m["speculative_waste_s"] += 0.05 * work_s
+            # Backup attempts rescue stragglers but steal slots — a net
+            # loss when there are no stragglers to rescue.
+            return max(1.03, 1.0 + (sf - 1.0) * 0.3)
+        return sf
+
+    def _job_time(
+        self, job: MRJobSpec, config: Configuration, m: Dict[str, float]
+    ) -> Optional[float]:
+        node = self.cluster.min_node
+        mean_speed = self.cluster.mean_cpu_speed()
+        codec_ratio, codec_cpu = _CODEC[config["compress_codec"]]
+        compress = bool(config["map_output_compress"])
+
+        # ---- map phase -------------------------------------------------
+        block_mb = float(config["dfs_block_size_mb"])
+        n_maps = max(1, math.ceil(job.input_mb / block_mb))
+        m["n_map_tasks"] += n_maps
+        map_slots = self._slots(float(config["mapreduce_map_memory_mb"]))
+        if map_slots == 0:
+            return None
+        m["map_slots"] = map_slots
+
+        # Container OOM: the task needs its sort buffer plus JVM overhead.
+        map_need = config["io_sort_mb"] + job.task_mem_overhead_mb
+        if config["mapreduce_map_memory_mb"] < map_need:
+            return None
+
+        per_map_in = job.input_mb / n_maps
+        read_s = per_map_in / node.disk_read_mbps
+        map_cpu_s = per_map_in * job.map_cpu_ms_per_mb / 1000.0 / mean_speed
+
+        out_mb = per_map_in * job.map_selectivity
+        if config["combiner_enabled"] and job.combiner_reduction > 0:
+            map_cpu_s += out_mb * 2.0 / 1000.0 / mean_speed
+            out_mb *= 1.0 - job.combiner_reduction
+        m["combine_output_mb"] += out_mb * n_maps
+
+        disk_out_mb = out_mb
+        if compress:
+            disk_out_mb = out_mb * codec_ratio
+            map_cpu_s += out_mb * codec_cpu / 1000.0 / mean_speed
+        m["compress_ratio"] = codec_ratio if compress else 1.0
+
+        # Spill/merge: the sort buffer flushes at the spill threshold;
+        # more spill files than the merge fanout forces extra passes.
+        buffer_mb = config["io_sort_mb"] * config["io_sort_spill_percent"]
+        n_spills = max(1, math.ceil(out_mb / max(buffer_mb, 1.0)))
+        if n_spills > 1:
+            passes = max(
+                1,
+                math.ceil(math.log(n_spills, max(2, int(config["io_sort_factor"])))),
+            )
+            # Initial spill writes, then each merge pass re-reads and
+            # re-writes the whole output.
+            spill_io_mb = disk_out_mb * (1.0 + 2.0 * passes)
+        else:
+            passes = 0
+            spill_io_mb = disk_out_mb  # single in-memory sort, one write
+        m["spilled_mb"] += (n_spills - 1) * disk_out_mb * n_maps
+        m["merge_passes"] += passes
+        spill_s = (
+            spill_io_mb / (0.5 * (node.disk_read_mbps + node.disk_write_mbps))
+            + 0.03 * n_spills
+        )
+        sort_cpu_s = out_mb * 1.0 * math.log2(max(out_mb, 2.0)) / 1000.0 / mean_speed
+
+        map_task_s = read_s + map_cpu_s + spill_s + sort_cpu_s
+        jvm_maps = map_slots if config["jvm_reuse"] else n_maps
+        map_jvm_s = _JVM_STARTUP_S * jvm_maps / map_slots
+        m["jvm_startup_s"] += map_jvm_s
+        map_waves = math.ceil(n_maps / map_slots)
+        m["map_waves"] += map_waves
+        map_phase_s = map_waves * map_task_s * self._straggler(config, m, map_task_s) + map_jvm_s
+
+        # Early reducers hoard containers while maps still need them.
+        n_red = int(config["mapreduce_job_reduces"])
+        slot_pressure = min(1.0, n_red / max(map_slots, 1))
+        map_phase_s *= 1.0 + 0.15 * (1.0 - config["reduce_slowstart"]) * slot_pressure
+        m["map_phase_s"] += map_phase_s
+        m["hdfs_read_mb"] += job.input_mb
+        m["cpu_s"] += (map_cpu_s + sort_cpu_s) * n_maps
+        m["io_s"] += (read_s + spill_s) * n_maps
+
+        # ---- shuffle ---------------------------------------------------
+        shuffle_mb = disk_out_mb * n_maps
+        m["shuffle_mb"] += shuffle_mb
+        agg_net_mbps = sum(n.network_mbps for n in self.cluster.nodes) / 8.0
+        fetch_mbps = min(
+            agg_net_mbps,
+            n_red * config["shuffle_parallel_copies"] * _FETCH_MBPS_PER_COPY,
+        )
+        shuffle_s = shuffle_mb / max(fetch_mbps, 1.0)
+        # Overlap with the map phase, controlled by slowstart.
+        overlap = map_phase_s * (1.0 - config["reduce_slowstart"]) * 0.7
+        shuffle_eff_s = max(shuffle_s - overlap, 0.05 * shuffle_s)
+        m["shuffle_phase_s"] += shuffle_eff_s
+        m["net_s"] += shuffle_s
+
+        # ---- reduce phase -----------------------------------------------
+        red_slots = self._slots(float(config["mapreduce_reduce_memory_mb"]))
+        if red_slots == 0:
+            return None
+        m["reduce_slots"] = red_slots
+        per_red_mb = shuffle_mb / n_red
+        per_red_raw_mb = out_mb * n_maps / n_red  # decompressed
+        red_buffer_mb = (
+            config["mapreduce_reduce_memory_mb"]
+            * config["shuffle_input_buffer_percent"]
+        )
+        red_need = min(per_red_raw_mb, red_buffer_mb) + job.task_mem_overhead_mb
+        if config["mapreduce_reduce_memory_mb"] < red_need:
+            return None
+
+        red_io_s = 0.0
+        if per_red_raw_mb > red_buffer_mb:
+            merge_passes = max(
+                1,
+                math.ceil(
+                    math.log(
+                        max(per_red_raw_mb / max(red_buffer_mb, 1.0), 2.0),
+                        max(2, int(config["io_sort_factor"])),
+                    )
+                ),
+            )
+            m["merge_passes"] += merge_passes
+            red_io_s += (
+                per_red_mb * 2.0 * merge_passes
+                / (0.5 * (node.disk_read_mbps + node.disk_write_mbps))
+            )
+            m["spilled_mb"] += per_red_mb * n_red
+        red_cpu_s = per_red_raw_mb * job.reduce_cpu_ms_per_mb / 1000.0 / mean_speed
+        if compress:
+            red_cpu_s += per_red_raw_mb * codec_cpu / 1000.0 / mean_speed
+
+        out_per_red_mb = per_red_raw_mb * job.reduce_selectivity
+        repl = int(config["output_replication"])
+        write_s = out_per_red_mb / node.disk_write_mbps + (
+            out_per_red_mb * (repl - 1) / (node.network_mbps / 8.0)
+        )
+        m["hdfs_write_mb"] += out_per_red_mb * n_red * repl
+
+        # Key skew concentrates on few reducers; imbalance worsens as the
+        # partition count grows past the number of heavy keys.
+        skew_factor = 1.0 + job.skew * math.sqrt(math.log(n_red + 1.0))
+        m["skew_factor"] = skew_factor
+
+        red_task_s = per_red_mb / node.disk_read_mbps + red_io_s + red_cpu_s + write_s
+        jvm_reds = red_slots if config["jvm_reuse"] else n_red
+        red_jvm_s = _JVM_STARTUP_S * min(jvm_reds, n_red) / min(red_slots, max(n_red, 1))
+        red_waves = math.ceil(n_red / red_slots)
+        m["reduce_waves"] += red_waves
+        m["n_reduce_tasks"] += n_red
+        sched_overhead_s = 0.3 * n_red / red_slots  # task launch + small files
+        reduce_phase_s = (
+            red_waves * red_task_s * skew_factor * self._straggler(config, m, red_task_s)
+            + red_jvm_s
+            + sched_overhead_s
+        )
+        m["reduce_phase_s"] += reduce_phase_s
+        m["cpu_s"] += red_cpu_s * n_red
+        m["io_s"] += (red_io_s + write_s) * n_red
+
+        return map_phase_s + shuffle_eff_s + reduce_phase_s

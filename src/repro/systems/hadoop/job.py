@@ -1,0 +1,104 @@
+"""MapReduce job profiles.
+
+A :class:`MRJobSpec` captures the dataflow statistics Starfish's
+profiler would measure: input volume, map selectivity (output bytes per
+input byte), CPU densities, combiner effectiveness, and per-task memory
+demand beyond the sort buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Sequence
+
+from repro.core.workload import Workload
+from repro.exceptions import WorkloadError
+
+__all__ = ["MRJobSpec", "HadoopWorkload"]
+
+
+@dataclass(frozen=True)
+class MRJobSpec:
+    """Statistics of one MapReduce job.
+
+    Attributes:
+        input_mb: total HDFS input.
+        map_selectivity: map-output bytes per input byte (grep << 1,
+            sort = 1, join > 1).
+        combiner_reduction: fraction of map output the combiner
+            eliminates when enabled (0 = job has no useful combiner).
+        map_cpu_ms_per_mb / reduce_cpu_ms_per_mb: compute densities.
+        task_mem_overhead_mb: per-task JVM need beyond buffers; tasks
+            whose container is smaller than their need die with OOM.
+        reduce_selectivity: job-output bytes per reduce-input byte.
+        skew: relative imbalance of the key distribution (0 = uniform);
+            drives straggler tasks in the reduce phase.
+    """
+
+    name: str
+    input_mb: float
+    map_selectivity: float = 1.0
+    combiner_reduction: float = 0.0
+    map_cpu_ms_per_mb: float = 10.0
+    reduce_cpu_ms_per_mb: float = 10.0
+    task_mem_overhead_mb: float = 300.0
+    reduce_selectivity: float = 1.0
+    skew: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.input_mb <= 0:
+            raise ValueError(f"{self.name}: input_mb must be positive")
+        if self.map_selectivity < 0 or self.reduce_selectivity < 0:
+            raise ValueError(f"{self.name}: selectivities must be >= 0")
+        if not (0.0 <= self.combiner_reduction < 1.0):
+            raise ValueError(f"{self.name}: combiner_reduction in [0, 1)")
+        if self.skew < 0:
+            raise ValueError(f"{self.name}: skew must be >= 0")
+
+    @property
+    def map_output_mb(self) -> float:
+        return self.input_mb * self.map_selectivity
+
+
+class HadoopWorkload(Workload):
+    """A sequence of MapReduce jobs executed back-to-back.
+
+    Multi-job workloads model pipelines (e.g., an ETL chain or an
+    iterative algorithm unrolled into one job per iteration).
+    """
+
+    def __init__(self, name: str, jobs: Sequence[MRJobSpec]):
+        super().__init__(name)
+        if not jobs:
+            raise WorkloadError("workload needs at least one job")
+        self.jobs = list(jobs)
+
+    @property
+    def system_kind(self) -> str:
+        return "hadoop"
+
+    def total_input_mb(self) -> float:
+        return sum(j.input_mb for j in self.jobs)
+
+    def total_shuffle_mb(self) -> float:
+        return sum(j.map_output_mb for j in self.jobs)
+
+    def signature(self) -> Dict[str, float]:
+        n = len(self.jobs)
+        return {
+            "n_jobs": float(n),
+            "input_mb": self.total_input_mb(),
+            "shuffle_mb": self.total_shuffle_mb(),
+            "map_cpu": sum(j.map_cpu_ms_per_mb for j in self.jobs) / n,
+            "reduce_cpu": sum(j.reduce_cpu_ms_per_mb for j in self.jobs) / n,
+            "combiner": sum(j.combiner_reduction for j in self.jobs) / n,
+            "skew": sum(j.skew for j in self.jobs) / n,
+        }
+
+    def scaled(self, factor: float) -> "HadoopWorkload":
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return HadoopWorkload(
+            name=f"{self.name}@{factor:g}x",
+            jobs=[replace(j, input_mb=j.input_mb * factor) for j in self.jobs],
+        )

@@ -1,0 +1,138 @@
+"""Canonical MapReduce workloads.
+
+The jobs every Hadoop tuning paper benchmarks: WordCount, TeraSort,
+Grep, Join, an inverted index, and an iterative PageRank pipeline —
+plus a seeded ad-hoc generator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.systems.hadoop.job import HadoopWorkload, MRJobSpec
+
+__all__ = [
+    "wordcount",
+    "terasort",
+    "grep",
+    "join",
+    "inverted_index",
+    "pagerank",
+    "adhoc_job",
+    "make_workload_suite",
+]
+
+
+def wordcount(input_gb: float = 10.0) -> HadoopWorkload:
+    """Aggregation with a highly effective combiner."""
+    job = MRJobSpec(
+        "wordcount",
+        input_mb=input_gb * 1024,
+        map_selectivity=1.4,          # words + counts explode the input
+        combiner_reduction=0.85,
+        map_cpu_ms_per_mb=18.0,
+        reduce_cpu_ms_per_mb=6.0,
+        reduce_selectivity=0.05,
+        skew=0.4,                     # Zipfian words
+    )
+    return HadoopWorkload(f"wordcount-{input_gb:g}g", [job])
+
+
+def terasort(input_gb: float = 10.0) -> HadoopWorkload:
+    """Pure sort: selectivity 1, no combiner, shuffle-bound."""
+    job = MRJobSpec(
+        "terasort",
+        input_mb=input_gb * 1024,
+        map_selectivity=1.0,
+        combiner_reduction=0.0,
+        map_cpu_ms_per_mb=4.0,
+        reduce_cpu_ms_per_mb=4.0,
+        reduce_selectivity=1.0,
+        skew=0.05,                    # uniform synthetic keys
+    )
+    return HadoopWorkload(f"terasort-{input_gb:g}g", [job])
+
+
+def grep(input_gb: float = 10.0) -> HadoopWorkload:
+    """Selection: tiny map output, map-phase dominated."""
+    job = MRJobSpec(
+        "grep",
+        input_mb=input_gb * 1024,
+        map_selectivity=0.001,
+        combiner_reduction=0.0,
+        map_cpu_ms_per_mb=8.0,
+        reduce_cpu_ms_per_mb=2.0,
+        reduce_selectivity=1.0,
+        skew=0.0,
+    )
+    return HadoopWorkload(f"grep-{input_gb:g}g", [job])
+
+
+def join(input_gb: float = 10.0) -> HadoopWorkload:
+    """Repartition join: map output exceeds input (tagged records)."""
+    job = MRJobSpec(
+        "join",
+        input_mb=input_gb * 1024,
+        map_selectivity=1.6,
+        combiner_reduction=0.0,
+        map_cpu_ms_per_mb=9.0,
+        reduce_cpu_ms_per_mb=14.0,
+        reduce_selectivity=0.6,
+        skew=0.5,                     # foreign-key skew
+    )
+    return HadoopWorkload(f"join-{input_gb:g}g", [job])
+
+
+def inverted_index(input_gb: float = 10.0) -> HadoopWorkload:
+    job = MRJobSpec(
+        "inverted-index",
+        input_mb=input_gb * 1024,
+        map_selectivity=1.2,
+        combiner_reduction=0.5,
+        map_cpu_ms_per_mb=20.0,
+        reduce_cpu_ms_per_mb=10.0,
+        reduce_selectivity=0.3,
+        skew=0.35,
+    )
+    return HadoopWorkload(f"inverted-index-{input_gb:g}g", [job])
+
+
+def pagerank(input_gb: float = 5.0, iterations: int = 3) -> HadoopWorkload:
+    """Iterative graph computation: one shuffle-heavy job per iteration."""
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    jobs = [
+        MRJobSpec(
+            f"pagerank-iter{i}",
+            input_mb=input_gb * 1024,
+            map_selectivity=1.1,
+            combiner_reduction=0.3,
+            map_cpu_ms_per_mb=6.0,
+            reduce_cpu_ms_per_mb=8.0,
+            reduce_selectivity=0.9,
+            skew=0.6,                 # power-law vertex degrees
+        )
+        for i in range(iterations)
+    ]
+    return HadoopWorkload(f"pagerank-{input_gb:g}g-x{iterations}", jobs)
+
+
+def adhoc_job(seed: int, input_gb: float = 10.0) -> HadoopWorkload:
+    """A random single-job workload with unknown dataflow statistics."""
+    rng = np.random.default_rng(seed)
+    job = MRJobSpec(
+        f"adhoc-{seed}",
+        input_mb=input_gb * 1024 * float(rng.uniform(0.3, 3.0)),
+        map_selectivity=float(np.clip(rng.lognormal(0.0, 0.8), 0.001, 4.0)),
+        combiner_reduction=float(rng.choice([0.0, 0.0, rng.uniform(0.2, 0.9)])),
+        map_cpu_ms_per_mb=float(rng.uniform(2.0, 30.0)),
+        reduce_cpu_ms_per_mb=float(rng.uniform(2.0, 20.0)),
+        reduce_selectivity=float(rng.uniform(0.05, 1.2)),
+        skew=float(rng.uniform(0.0, 0.8)),
+    )
+    return HadoopWorkload(f"adhoc-{seed}", [job])
+
+
+def make_workload_suite(input_gb: float = 10.0):
+    """Standard Hadoop evaluation suite for the benchmark harness."""
+    return [wordcount(input_gb), terasort(input_gb), join(input_gb)]

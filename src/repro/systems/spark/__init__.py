@@ -1,0 +1,49 @@
+"""Spark simulator: knobs, stage DAG model, engine, workloads."""
+
+from repro.systems.spark.dag import SparkJob, SparkStage, SparkWorkload
+from repro.systems.spark.engine import SparkSimulator
+from repro.systems.spark.knobs import (
+    GROUND_TRUTH_IMPACT,
+    SPARK_TUNING_KNOBS,
+    build_spark_space,
+    build_spark_space_extended,
+)
+from repro.systems.spark.streaming import (
+    StreamingApp,
+    StreamingVerdict,
+    analyze_streaming,
+    make_streaming_app,
+)
+from repro.systems.spark.workloads import (
+    adhoc_app,
+    make_workload_suite,
+    spark_kmeans,
+    spark_pagerank,
+    spark_sort,
+    spark_sql_join,
+    spark_streaming_batches,
+    spark_wordcount,
+)
+
+__all__ = [
+    "GROUND_TRUTH_IMPACT",
+    "SPARK_TUNING_KNOBS",
+    "SparkJob",
+    "SparkSimulator",
+    "SparkStage",
+    "SparkWorkload",
+    "StreamingApp",
+    "StreamingVerdict",
+    "analyze_streaming",
+    "make_streaming_app",
+    "adhoc_app",
+    "build_spark_space",
+    "build_spark_space_extended",
+    "make_workload_suite",
+    "spark_kmeans",
+    "spark_pagerank",
+    "spark_sort",
+    "spark_sql_join",
+    "spark_streaming_batches",
+    "spark_wordcount",
+]

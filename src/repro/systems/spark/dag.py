@@ -1,0 +1,149 @@
+"""Spark application model: stage DAGs with caching and iteration.
+
+A :class:`SparkJob` is a topologically-ordered list of
+:class:`SparkStage` nodes.  Iterative applications (PageRank, k-means)
+mark the stages re-executed every iteration; whether their inputs come
+from memory or recomputation depends on cache capacity under the current
+configuration — the central Spark tuning tradeoff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.workload import Workload
+from repro.exceptions import WorkloadError
+
+__all__ = ["SparkStage", "SparkJob", "SparkWorkload"]
+
+
+@dataclass(frozen=True)
+class SparkStage:
+    """One stage of a Spark application.
+
+    Attributes:
+        name: stage identifier, unique within the job.
+        parents: names of upstream stages (empty = reads from source).
+        source_mb: input volume for source stages.
+        output_ratio: stage-output bytes per input byte.
+        shuffled: whether the stage boundary is a shuffle (wide) or a
+            narrow dependency.
+        cpu_ms_per_mb: compute density.
+        cached: persist this stage's output in storage memory.
+        iterative: re-executed every iteration of an iterative job.
+        join_small_mb: size of a dimension table joined in this stage
+            (0 = no join); eligible for broadcast under the threshold.
+        skew: partition imbalance of the stage's key distribution.
+    """
+
+    name: str
+    parents: Tuple[str, ...] = ()
+    source_mb: float = 0.0
+    output_ratio: float = 1.0
+    shuffled: bool = False
+    cpu_ms_per_mb: float = 5.0
+    cached: bool = False
+    iterative: bool = False
+    join_small_mb: float = 0.0
+    skew: float = 0.2
+
+    def __post_init__(self) -> None:
+        if not self.parents and self.source_mb <= 0:
+            raise ValueError(f"{self.name}: source stages need source_mb > 0")
+        if self.output_ratio < 0 or self.join_small_mb < 0 or self.skew < 0:
+            raise ValueError(f"{self.name}: negative statistic")
+
+
+class SparkJob:
+    """A DAG of stages plus an iteration count."""
+
+    def __init__(self, name: str, stages: Sequence[SparkStage], iterations: int = 1):
+        if not stages:
+            raise WorkloadError("job needs at least one stage")
+        if iterations < 1:
+            raise WorkloadError("iterations must be >= 1")
+        self.name = name
+        self.stages = list(stages)
+        self.iterations = iterations
+        names = [s.name for s in self.stages]
+        if len(set(names)) != len(names):
+            raise WorkloadError(f"{name}: duplicate stage names")
+        known = set()
+        for s in self.stages:
+            for p in s.parents:
+                if p not in known:
+                    raise WorkloadError(
+                        f"{name}: stage {s.name} references {p!r} before definition"
+                    )
+            known.add(s.name)
+
+    def stage_inputs_mb(self) -> Dict[str, float]:
+        """Input volume of every stage, propagated through the DAG."""
+        outputs: Dict[str, float] = {}
+        inputs: Dict[str, float] = {}
+        for s in self.stages:
+            in_mb = s.source_mb if not s.parents else sum(
+                outputs[p] for p in s.parents
+            )
+            inputs[s.name] = in_mb
+            outputs[s.name] = in_mb * s.output_ratio
+        return inputs
+
+    def total_input_mb(self) -> float:
+        return sum(s.source_mb for s in self.stages)
+
+    def cached_mb(self) -> float:
+        inputs = self.stage_inputs_mb()
+        return sum(
+            inputs[s.name] * s.output_ratio for s in self.stages if s.cached
+        )
+
+
+class SparkWorkload(Workload):
+    """One or more Spark applications submitted back-to-back."""
+
+    def __init__(self, name: str, jobs: Sequence[SparkJob]):
+        super().__init__(name)
+        if not jobs:
+            raise WorkloadError("workload needs at least one job")
+        self.jobs = list(jobs)
+
+    @property
+    def system_kind(self) -> str:
+        return "spark"
+
+    def signature(self) -> Dict[str, float]:
+        total_in = sum(j.total_input_mb() for j in self.jobs)
+        total_cached = sum(j.cached_mb() for j in self.jobs)
+        n_stages = sum(len(j.stages) for j in self.jobs)
+        shuffled = sum(
+            1 for j in self.jobs for s in j.stages if s.shuffled
+        )
+        cpu = sum(
+            s.cpu_ms_per_mb for j in self.jobs for s in j.stages
+        ) / max(n_stages, 1)
+        return {
+            "input_mb": total_in,
+            "cached_mb": total_cached,
+            "n_stages": float(n_stages),
+            "shuffle_stages": float(shuffled),
+            "iterations": float(sum(j.iterations for j in self.jobs)),
+            "cpu_density": cpu,
+        }
+
+    def scaled(self, factor: float) -> "SparkWorkload":
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        jobs = []
+        for job in self.jobs:
+            stages = [
+                replace(
+                    s,
+                    source_mb=s.source_mb * factor,
+                    join_small_mb=s.join_small_mb * factor,
+                )
+                for s in job.stages
+            ]
+            jobs.append(SparkJob(job.name, stages, job.iterations))
+        return SparkWorkload(f"{self.name}@{factor:g}x", jobs)

@@ -1,0 +1,137 @@
+"""Canonical Spark workloads.
+
+The applications the Spark-tuning literature motivates: batch ETL
+(wordcount/sort), SQL joins with broadcast decisions, and iterative
+analytics (PageRank, k-means) whose performance hinges on caching.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.systems.spark.dag import SparkJob, SparkStage, SparkWorkload
+
+__all__ = [
+    "spark_wordcount",
+    "spark_sort",
+    "spark_sql_join",
+    "spark_pagerank",
+    "spark_kmeans",
+    "spark_streaming_batches",
+    "adhoc_app",
+    "make_workload_suite",
+]
+
+
+def spark_wordcount(input_gb: float = 10.0) -> SparkWorkload:
+    mb = input_gb * 1024
+    job = SparkJob("wordcount", [
+        SparkStage("read-map", source_mb=mb, output_ratio=0.4,
+                   cpu_ms_per_mb=12.0, shuffled=False, skew=0.3),
+        SparkStage("reduce", parents=("read-map",), shuffled=True,
+                   output_ratio=0.1, cpu_ms_per_mb=4.0, skew=0.4),
+    ])
+    return SparkWorkload(f"spark-wordcount-{input_gb:g}g", [job])
+
+
+def spark_sort(input_gb: float = 10.0) -> SparkWorkload:
+    mb = input_gb * 1024
+    job = SparkJob("sort", [
+        SparkStage("read", source_mb=mb, output_ratio=1.0,
+                   cpu_ms_per_mb=2.0, skew=0.05),
+        SparkStage("sort", parents=("read",), shuffled=True,
+                   output_ratio=1.0, cpu_ms_per_mb=5.0, skew=0.05),
+    ])
+    return SparkWorkload(f"spark-sort-{input_gb:g}g", [job])
+
+
+def spark_sql_join(fact_gb: float = 8.0, dim_mb: float = 64.0) -> SparkWorkload:
+    """Star join: the dim table is broadcast-eligible if the threshold
+    allows — the classic Spark SQL tuning cliff."""
+    mb = fact_gb * 1024
+    job = SparkJob("sql-join", [
+        SparkStage("scan-fact", source_mb=mb, output_ratio=0.7,
+                   cpu_ms_per_mb=3.0, skew=0.3),
+        SparkStage("join", parents=("scan-fact",), shuffled=True,
+                   output_ratio=0.5, cpu_ms_per_mb=6.0,
+                   join_small_mb=dim_mb, skew=0.5),
+        SparkStage("aggregate", parents=("join",), shuffled=True,
+                   output_ratio=0.01, cpu_ms_per_mb=4.0, skew=0.2),
+    ])
+    return SparkWorkload(f"spark-sql-join-{fact_gb:g}g", [job])
+
+
+def spark_pagerank(input_gb: float = 4.0, iterations: int = 8) -> SparkWorkload:
+    mb = input_gb * 1024
+    job = SparkJob("pagerank", [
+        SparkStage("load-edges", source_mb=mb, output_ratio=1.2,
+                   cpu_ms_per_mb=4.0, cached=True, skew=0.6),
+        SparkStage("contribs", parents=("load-edges",), shuffled=True,
+                   output_ratio=0.8, cpu_ms_per_mb=5.0,
+                   iterative=True, skew=0.6),
+        SparkStage("ranks", parents=("contribs",), shuffled=True,
+                   output_ratio=0.05, cpu_ms_per_mb=3.0,
+                   iterative=True, skew=0.3),
+    ], iterations=iterations)
+    return SparkWorkload(f"spark-pagerank-{input_gb:g}g-x{iterations}", [job])
+
+
+def spark_kmeans(input_gb: float = 6.0, iterations: int = 10) -> SparkWorkload:
+    """CPU-dense iterative ML over a cached training set."""
+    mb = input_gb * 1024
+    job = SparkJob("kmeans", [
+        SparkStage("load-points", source_mb=mb, output_ratio=1.0,
+                   cpu_ms_per_mb=3.0, cached=True, skew=0.05),
+        SparkStage("assign", parents=("load-points",), shuffled=False,
+                   output_ratio=0.02, cpu_ms_per_mb=25.0,
+                   iterative=True, skew=0.1),
+        SparkStage("update-centers", parents=("assign",), shuffled=True,
+                   output_ratio=1.0, cpu_ms_per_mb=2.0,
+                   iterative=True, skew=0.05),
+    ], iterations=iterations)
+    return SparkWorkload(f"spark-kmeans-{input_gb:g}g-x{iterations}", [job])
+
+
+def spark_streaming_batches(batch_mb: float = 256.0, n_batches: int = 30) -> SparkWorkload:
+    """Micro-batch stream processing: many small jobs, overhead-bound."""
+    jobs = [
+        SparkJob(f"batch-{i}", [
+            SparkStage("ingest", source_mb=batch_mb, output_ratio=0.8,
+                       cpu_ms_per_mb=6.0, skew=0.2),
+            SparkStage("window-agg", parents=("ingest",), shuffled=True,
+                       output_ratio=0.05, cpu_ms_per_mb=4.0, skew=0.3),
+        ])
+        for i in range(n_batches)
+    ]
+    return SparkWorkload(f"spark-streaming-{n_batches}x{batch_mb:g}mb", jobs)
+
+
+def adhoc_app(seed: int, input_gb: float = 8.0) -> SparkWorkload:
+    """A random, never-profiled Spark application."""
+    rng = np.random.default_rng(seed)
+    mb = input_gb * 1024 * float(rng.uniform(0.3, 2.0))
+    n_extra = int(rng.integers(1, 4))
+    stages = [SparkStage(
+        "s0", source_mb=mb,
+        output_ratio=float(np.clip(rng.lognormal(-0.2, 0.6), 0.01, 3.0)),
+        cpu_ms_per_mb=float(rng.uniform(2.0, 30.0)),
+        cached=bool(rng.random() < 0.3),
+        skew=float(rng.uniform(0.0, 0.8)),
+    )]
+    for i in range(1, n_extra + 1):
+        stages.append(SparkStage(
+            f"s{i}", parents=(f"s{i-1}",), shuffled=bool(rng.random() < 0.7),
+            output_ratio=float(np.clip(rng.lognormal(-0.5, 0.6), 0.01, 2.0)),
+            cpu_ms_per_mb=float(rng.uniform(2.0, 20.0)),
+            join_small_mb=float(rng.choice([0.0, 0.0, rng.uniform(4.0, 256.0)])),
+            skew=float(rng.uniform(0.0, 0.8)),
+        ))
+    iters = int(rng.choice([1, 1, 1, rng.integers(2, 10)]))
+    return SparkWorkload(
+        f"spark-adhoc-{seed}", [SparkJob(f"adhoc-{seed}", stages, iterations=iters)]
+    )
+
+
+def make_workload_suite(input_gb: float = 8.0):
+    """Standard Spark evaluation suite for the benchmark harness."""
+    return [spark_sort(input_gb), spark_sql_join(input_gb), spark_pagerank(input_gb / 2)]

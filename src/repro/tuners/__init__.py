@@ -1,0 +1,106 @@
+"""Tuner implementations across the tutorial's six categories.
+
+Importing this package registers all tuners in the name registry.
+
+======================  =====================================================
+Category                Tuners
+======================  =====================================================
+rule-based              ``rule-based`` (expert rulebook), ``default``
+cost-modeling           ``cost-model`` (analytic what-if), ``stmm``,
+                        ``mrtuner`` (PTC pipeline model)
+simulation-based        ``trace-sim`` (trace replay), ``addm``
+experiment-driven       ``ituned``, ``sard``, ``adaptive-sampling``,
+                        ``genetic``, ``rrs``, ``random-search``,
+                        ``grid-search``
+machine-learning        ``ottertune``, ``bayesopt``, ``nn-tuner``,
+                        ``ensemble``, ``ernest``, ``cem``
+adaptive                ``colt``, ``mrmoulder``, ``dynamic-partition``,
+                        ``online-memory``
+======================  =====================================================
+"""
+
+from repro.tuners.adaptive import (
+    ColtOnlineTuner,
+    DriftDetector,
+    MetricDriftDetector,
+    DynamicPartitionTuner,
+    MrMoulderTuner,
+    OnlineMemoryTuner,
+)
+from repro.tuners.baseline import DefaultConfigTuner, GridSearchTuner, RandomSearchTuner
+from repro.tuners.cost_model_mrtuner import MrTunerTuner, ptc_breakdown
+from repro.tuners.cost_model import (
+    CostModel,
+    CostModelTuner,
+    DbmsCostModel,
+    HadoopCostModel,
+    SparkCostModel,
+    StmmMemoryTuner,
+    cost_model_for,
+)
+from repro.tuners.experiment import (
+    AdaptiveSamplingTuner,
+    GeneticTuner,
+    ITunedTuner,
+    RecursiveRandomSearchTuner,
+    SardRanker,
+    SardTuner,
+)
+from repro.tuners.ml import (
+    BayesOptTuner,
+    CrossEntropyTuner,
+    EnsembleTuner,
+    ErnestTuner,
+    NeuralNetTuner,
+    OtterTuneRepository,
+    OtterTuneTuner,
+    build_repository,
+)
+from repro.tuners.rule_based import (
+    ConfigNavigator,
+    RuleBasedTuner,
+    SpexValidator,
+    TuningRule,
+)
+from repro.tuners.simulation import AddmDiagnoser, TraceSimulationTuner
+
+__all__ = [
+    "AdaptiveSamplingTuner",
+    "AddmDiagnoser",
+    "BayesOptTuner",
+    "ColtOnlineTuner",
+    "ConfigNavigator",
+    "CostModel",
+    "CostModelTuner",
+    "CrossEntropyTuner",
+    "DbmsCostModel",
+    "DefaultConfigTuner",
+    "DriftDetector",
+    "DynamicPartitionTuner",
+    "EnsembleTuner",
+    "ErnestTuner",
+    "GeneticTuner",
+    "GridSearchTuner",
+    "HadoopCostModel",
+    "ITunedTuner",
+    "MetricDriftDetector",
+    "MrMoulderTuner",
+    "MrTunerTuner",
+    "NeuralNetTuner",
+    "OnlineMemoryTuner",
+    "OtterTuneRepository",
+    "OtterTuneTuner",
+    "RandomSearchTuner",
+    "RecursiveRandomSearchTuner",
+    "RuleBasedTuner",
+    "SardRanker",
+    "SardTuner",
+    "SparkCostModel",
+    "SpexValidator",
+    "StmmMemoryTuner",
+    "TraceSimulationTuner",
+    "TuningRule",
+    "build_repository",
+    "cost_model_for",
+    "ptc_breakdown",
+]

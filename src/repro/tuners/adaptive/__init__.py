@@ -1,0 +1,17 @@
+"""Adaptive (online) tuners: COLT, mrMoulder, dynamic partitioning,
+online memory rebalancing."""
+
+from repro.tuners.adaptive.colt import ColtOnlineTuner
+from repro.tuners.adaptive.drift import DriftDetector, MetricDriftDetector
+from repro.tuners.adaptive.mrmoulder import MrMoulderTuner
+from repro.tuners.adaptive.online_memory import OnlineMemoryTuner
+from repro.tuners.adaptive.spark_partition import DynamicPartitionTuner
+
+__all__ = [
+    "ColtOnlineTuner",
+    "DriftDetector",
+    "MetricDriftDetector",
+    "DynamicPartitionTuner",
+    "MrMoulderTuner",
+    "OnlineMemoryTuner",
+]

@@ -1,0 +1,121 @@
+"""Workload-drift detection for adaptive tuning.
+
+Adaptive tuners (Table 1's sixth row) must notice that "the environment
+changes".  :class:`DriftDetector` implements a two-sided Page–Hinkley
+test over a runtime (or metric) stream: it flags a drift when the
+cumulative deviation from the running mean exceeds a threshold, then
+resets.  :class:`MetricDriftDetector` watches a whole metric vector and
+flags when any component drifts — how a tuner can detect a workload
+shift *before* the runtime regresses (e.g., the read/write mix moved).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional
+
+__all__ = ["DriftDetector", "MetricDriftDetector"]
+
+
+class DriftDetector:
+    """Two-sided Page–Hinkley change detection on a scalar stream.
+
+    Args:
+        delta: magnitude of change considered negligible, as a fraction
+            of the running mean (robust to scale).
+        threshold: cumulative deviation (in the same fractional units)
+            that triggers a drift signal.
+        min_samples: observations required before signalling.
+    """
+
+    def __init__(
+        self,
+        delta: float = 0.05,
+        threshold: float = 0.5,
+        min_samples: int = 3,
+    ):
+        if delta < 0 or threshold <= 0:
+            raise ValueError("delta must be >= 0 and threshold > 0")
+        if min_samples < 2:
+            raise ValueError("min_samples must be >= 2")
+        self.delta = delta
+        self.threshold = threshold
+        self.min_samples = min_samples
+        self.reset()
+
+    def reset(self) -> None:
+        self._n = 0
+        self._mean = 0.0
+        self._cum_up = 0.0
+        self._cum_down = 0.0
+        self._min_up = 0.0
+        self._max_down = 0.0
+
+    @property
+    def n_samples(self) -> int:
+        return self._n
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    def update(self, value: float) -> bool:
+        """Feed one observation; True if a drift was detected (the
+        detector resets itself afterwards so the next regime gets a
+        fresh baseline)."""
+        if not math.isfinite(value):
+            # A crash is a drift by definition.
+            self.reset()
+            return True
+        self._n += 1
+        self._mean += (value - self._mean) / self._n
+        scale = max(abs(self._mean), 1e-12)
+        deviation = (value - self._mean) / scale
+
+        self._cum_up += deviation - self.delta
+        self._cum_down += deviation + self.delta
+        self._min_up = min(self._min_up, self._cum_up)
+        self._max_down = max(self._max_down, self._cum_down)
+
+        if self._n < self.min_samples:
+            return False
+        drifted = (
+            self._cum_up - self._min_up > self.threshold
+            or self._max_down - self._cum_down > self.threshold
+        )
+        if drifted:
+            self.reset()
+        return drifted
+
+
+class MetricDriftDetector:
+    """Per-metric Page–Hinkley detectors over a metric mapping.
+
+    ``update`` returns the names of metrics that drifted this step
+    (empty list = stable).  Constant metrics never fire.
+    """
+
+    def __init__(self, delta: float = 0.1, threshold: float = 1.0, min_samples: int = 3):
+        self.delta = delta
+        self.threshold = threshold
+        self.min_samples = min_samples
+        self._detectors: Dict[str, DriftDetector] = {}
+
+    def _detector(self, name: str) -> DriftDetector:
+        if name not in self._detectors:
+            self._detectors[name] = DriftDetector(
+                delta=self.delta, threshold=self.threshold,
+                min_samples=self.min_samples,
+            )
+        return self._detectors[name]
+
+    def update(self, metrics: Mapping[str, float]) -> List[str]:
+        drifted = []
+        for name, value in metrics.items():
+            if self._detector(name).update(float(value)):
+                drifted.append(name)
+        return drifted
+
+    def reset(self) -> None:
+        for detector in self._detectors.values():
+            detector.reset()

@@ -1,0 +1,117 @@
+"""mrMoulder: recommendation-based adaptive tuning (Cai et al., FGCS'19).
+
+For big-data platforms where each submission is expensive: keep a case
+base of (workload signature → best known configuration); when a new
+submission arrives, bootstrap from the most similar case (or the
+default), then refine online with small hill-climbing moves informed by
+each completed execution.  The case base persists across streams, so
+the tuner gets better the more it is used — the "recommendation" half
+of the name.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.parameters import Configuration
+from repro.core.registry import register_tuner
+from repro.core.system import SystemUnderTune
+from repro.core.tuner import OnlineTuner, StreamResult, StreamStep
+from repro.core.workload import Workload, WorkloadStream
+
+__all__ = ["MrMoulderTuner"]
+
+
+def _signature_distance(a: Dict[str, float], b: Dict[str, float]) -> float:
+    keys = sorted(set(a) | set(b))
+    total = 0.0
+    for k in keys:
+        va, vb = a.get(k, 0.0), b.get(k, 0.0)
+        scale = max(abs(va), abs(vb), 1.0)
+        total += ((va - vb) / scale) ** 2
+    return math.sqrt(total)
+
+
+@register_tuner("mrmoulder")
+class MrMoulderTuner(OnlineTuner):
+    """Case-based bootstrap + online hill climbing."""
+
+    name = "mrmoulder"
+    category = "adaptive"
+
+    def __init__(self, step_scale: float = 0.12, n_probe: int = 4):
+        self.step_scale = step_scale
+        self.n_probe = n_probe
+        # Case base: workload name -> (signature, best config, runtime).
+        self._cases: Dict[str, Tuple[Dict[str, float], Configuration, float]] = {}
+
+    def recommend(self, workload: Workload, default: Configuration) -> Configuration:
+        """Closest-case configuration, or the default on a cold start."""
+        if not self._cases:
+            return default
+        sig = workload.signature()
+        best_name = min(
+            self._cases,
+            key=lambda name: _signature_distance(sig, self._cases[name][0]),
+        )
+        return self._cases[best_name][1]
+
+    def _remember(self, workload: Workload, config: Configuration, runtime: float) -> None:
+        sig = workload.signature()
+        known = self._cases.get(workload.name)
+        if known is None or runtime < known[2]:
+            self._cases[workload.name] = (sig, config, runtime)
+
+    def tune_stream(
+        self,
+        system: SystemUnderTune,
+        stream: WorkloadStream,
+        rng: Optional[np.random.Generator] = None,
+    ) -> StreamResult:
+        rng = rng or np.random.default_rng(0)
+        space = system.config_space
+        default = system.default_configuration()
+        steps: List[StreamStep] = []
+
+        current: Optional[Configuration] = None
+        previous: Optional[Configuration] = None
+        current_workload: Optional[str] = None
+
+        for i, workload in enumerate(stream):
+            if workload.name != current_workload:
+                # New workload phase: consult the case base.
+                current = self.recommend(workload, default)
+                current_workload = workload.name
+            measurement = system.run(workload, current)
+            if measurement.ok:
+                self._remember(workload, current, measurement.runtime_s)
+            steps.append(
+                StreamStep(
+                    index=i,
+                    workload_name=workload.name,
+                    config=current,
+                    measurement=measurement,
+                    reconfigured=previous is not None and current != previous,
+                )
+            )
+            previous = current
+            # Next submission: alternate exploitation of the best known
+            # case with exploratory local moves around it; a crash pins
+            # the next run to the safe default.
+            if not measurement.ok:
+                current = default
+            elif workload.name in self._cases:
+                best_config = self._cases[workload.name][1]
+                if i % 2 == 0 and rng.random() < 0.7:
+                    base = best_config.to_array()
+                    x = np.clip(
+                        base + rng.normal(scale=self.step_scale, size=base.shape),
+                        0.0, 1.0,
+                    )
+                    current = space.from_array_feasible(x, rng)
+                else:
+                    current = best_config
+        return StreamResult(tuner_name=self.name, steps=steps)

@@ -1,0 +1,111 @@
+"""Online memory rebalancing — STMM's loop run as a true adaptive tuner.
+
+Where :class:`~repro.tuners.cost_model.StmmMemoryTuner` runs the
+cost-benefit loop inside an offline tuning session, this variant applies
+it *while a workload stream executes*: after each submission it reads
+the memory-pressure statistics and shifts memory between the buffer
+pool and operator memory for the next submission.  The pairing lets the
+benchmarks contrast the same mechanism across the cost-modeling and
+adaptive rows of Table 1.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.parameters import Configuration
+from repro.core.registry import register_tuner
+from repro.core.system import SystemUnderTune
+from repro.core.tuner import OnlineTuner, StreamResult, StreamStep
+from repro.core.workload import WorkloadStream
+from repro.tuners.rule_based import SpexValidator, _cluster_of
+
+__all__ = ["OnlineMemoryTuner"]
+
+
+@register_tuner("online-memory")
+class OnlineMemoryTuner(OnlineTuner):
+    """Per-submission memory rebalancing for the DBMS."""
+
+    name = "online-memory"
+    category = "adaptive"
+
+    def __init__(self, step_fraction: float = 0.4):
+        if not (0.0 < step_fraction <= 1.0):
+            raise ValueError("step_fraction in (0, 1]")
+        self.step_fraction = step_fraction
+
+    def tune_stream(
+        self,
+        system: SystemUnderTune,
+        stream: WorkloadStream,
+        rng: Optional[np.random.Generator] = None,
+    ) -> StreamResult:
+        space = system.config_space
+        config = system.default_configuration()
+        if "buffer_pool_mb" not in space or "work_mem_mb" not in space:
+            steps = [
+                StreamStep(i, w.name, config, system.run(w, config), False)
+                for i, w in enumerate(stream)
+            ]
+            return StreamResult(tuner_name=self.name, steps=steps)
+
+        memory_mb = _cluster_of(system).min_node.memory_mb
+        validator = SpexValidator(space)
+        steps: List[StreamStep] = []
+        best_runtime = float("inf")
+        best_config = config
+        step = self.step_fraction
+        for i, workload in enumerate(stream):
+            measurement = system.run(workload, config)
+            reconfigured = False
+            if measurement.ok and measurement.runtime_s < best_runtime:
+                best_runtime = measurement.runtime_s
+                best_config = config
+            elif measurement.ok and measurement.runtime_s > best_runtime * 1.05:
+                # Regression: damp the step and restart from the best
+                # point seen (STMM's oscillation control).
+                step = max(step * 0.5, 0.05)
+                config = best_config
+            if measurement.ok:
+                miss = 1.0 - measurement.metric("buffer_hit_ratio", 0.9)
+                spill = measurement.metric("spill_mb")
+                sig = workload.signature()
+                bp = float(config["buffer_pool_mb"])
+                wm = float(config["work_mem_mb"])
+                bp_benefit = miss * sig.get("scan_mb", 1000.0) / max(bp, 64.0)
+                wm_benefit = spill / max(wm * sig.get("sessions", 8.0), 1.0)
+                if bp_benefit >= wm_benefit:
+                    bp *= 1.0 + step
+                    wm *= 1.0 - 0.25 * step
+                else:
+                    wm *= 1.0 + step
+                    bp *= 1.0 - 0.25 * step
+                sessions = sig.get("sessions", 8.0)
+                while bp + wm * sessions > 0.6 * memory_mb:
+                    bp *= 0.9
+                    wm *= 0.9
+                values = validator.repair_values({
+                    **config.to_dict(),
+                    "buffer_pool_mb": space["buffer_pool_mb"].clip(bp),
+                    "work_mem_mb": space["work_mem_mb"].clip(wm),
+                })
+                new_config = space.configuration(values)
+                reconfigured = new_config != config
+                next_config = new_config
+            else:
+                next_config = system.default_configuration()
+                reconfigured = True
+            steps.append(
+                StreamStep(
+                    index=i,
+                    workload_name=workload.name,
+                    config=config,
+                    measurement=measurement,
+                    reconfigured=reconfigured,
+                )
+            )
+            config = next_config
+        return StreamResult(tuner_name=self.name, steps=steps)

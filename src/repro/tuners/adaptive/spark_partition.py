@@ -1,0 +1,99 @@
+"""Dynamic configuration of partitioning in Spark (Gounaris et al.,
+TPDS'17).
+
+Adjusts ``shuffle_partitions`` between submissions from runtime
+feedback only — no model, no search: multiply the partition count when
+execution memory spills, shrink it when task-launch overhead dominates,
+and settle once neither signal fires.  The published approach's point is
+that this single knob captures most of Spark's easy wins and can be
+driven entirely by observable symptoms.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.parameters import Configuration
+from repro.core.registry import register_tuner
+from repro.core.system import SystemUnderTune
+from repro.core.tuner import OnlineTuner, StreamResult, StreamStep
+from repro.core.workload import WorkloadStream
+
+__all__ = ["DynamicPartitionTuner"]
+
+
+@register_tuner("dynamic-partition")
+class DynamicPartitionTuner(OnlineTuner):
+    """Feedback-driven shuffle-partition adaptation for Spark."""
+
+    name = "dynamic-partition"
+    category = "adaptive"
+
+    def __init__(
+        self,
+        grow: float = 1.6,
+        shrink: float = 0.6,
+        overhead_threshold: float = 0.15,
+    ):
+        if grow <= 1.0 or not (0.0 < shrink < 1.0):
+            raise ValueError("grow must be > 1 and shrink in (0, 1)")
+        self.grow = grow
+        self.shrink = shrink
+        self.overhead_threshold = overhead_threshold
+
+    def tune_stream(
+        self,
+        system: SystemUnderTune,
+        stream: WorkloadStream,
+        rng: Optional[np.random.Generator] = None,
+    ) -> StreamResult:
+        space = system.config_space
+        config = system.default_configuration()
+        knob = "shuffle_partitions"
+        if knob not in space:
+            # Not a Spark-like system: run the stream untouched.
+            steps = [
+                StreamStep(i, w.name, config, system.run(w, config), False)
+                for i, w in enumerate(stream)
+            ]
+            return StreamResult(tuner_name=self.name, steps=steps)
+
+        steps: List[StreamStep] = []
+        best_runtime = np.inf
+        best_partitions = config[knob]
+        for i, workload in enumerate(stream):
+            ran_config = config
+            measurement = system.run(workload, ran_config)
+            reconfigured = False
+            partitions = float(config[knob])
+            if measurement.ok:
+                if measurement.runtime_s < best_runtime:
+                    best_runtime = measurement.runtime_s
+                    best_partitions = config[knob]
+                spilled = measurement.metric("spilled_mb")
+                launch = measurement.metric("task_launch_s")
+                overhead_frac = launch / max(measurement.runtime_s, 1e-9)
+                if spilled > 0:
+                    partitions *= self.grow
+                elif overhead_frac > self.overhead_threshold:
+                    partitions *= self.shrink
+                elif measurement.runtime_s > best_runtime * 1.1:
+                    partitions = float(best_partitions)  # regression: revert
+            else:
+                partitions *= self.grow  # OOM: more, smaller partitions
+            new_value = space[knob].clip(partitions)
+            if new_value != config[knob]:
+                config = config.replace(**{knob: new_value})
+                reconfigured = True
+            steps.append(
+                StreamStep(
+                    index=i,
+                    workload_name=workload.name,
+                    config=ran_config,
+                    measurement=measurement,
+                    reconfigured=reconfigured,
+                )
+            )
+        return StreamResult(tuner_name=self.name, steps=steps)

@@ -1,0 +1,97 @@
+"""Baseline tuners: vendor defaults, random search, grid search.
+
+Not one of the paper's six categories, but every evaluation needs them:
+the default configuration is what "untuned" means, and random/grid
+search are the naive experiment-driven floors that principled approaches
+must beat.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.parameters import Configuration
+from repro.core.registry import register_tuner
+from repro.core.session import TuningSession
+from repro.core.tuner import Tuner
+from repro.exceptions import BudgetExhausted
+from repro.mlkit.sampling import latin_hypercube
+
+__all__ = ["DefaultConfigTuner", "RandomSearchTuner", "GridSearchTuner"]
+
+
+@register_tuner("default")
+class DefaultConfigTuner(Tuner):
+    """Run the vendor default once and recommend it (the null tuner)."""
+
+    name = "default"
+    category = "rule-based"
+
+    def _tune(self, session: TuningSession) -> Optional[Configuration]:
+        default = session.default_config()
+        session.evaluate(default, tag="default")
+        return default
+
+
+@register_tuner("random-search")
+class RandomSearchTuner(Tuner):
+    """Uniform random sampling of feasible configurations.
+
+    Always evaluates the default first so the result can never be worse
+    than untuned.
+    """
+
+    name = "random-search"
+    category = "experiment-driven"
+
+    def _tune(self, session: TuningSession) -> Optional[Configuration]:
+        session.evaluate(session.default_config(), tag="default")
+        while session.can_run():
+            config = session.space.sample_configuration(session.rng)
+            session.evaluate(config, tag="random")
+        return None
+
+
+@register_tuner("grid-search")
+class GridSearchTuner(Tuner):
+    """Coordinate grid over the most promising knobs.
+
+    A full factorial over a ~28-knob space is hopeless, so the grid
+    covers ``n_knobs`` dimensions (by default the first knobs of the
+    catalog, or an explicit list) at ``levels`` levels each, holding the
+    rest at defaults — how practitioners actually grid-search.
+    """
+
+    name = "grid-search"
+    category = "experiment-driven"
+
+    def __init__(self, knobs: Optional[List[str]] = None, levels: int = 3, n_knobs: int = 3):
+        if levels < 2:
+            raise ValueError("levels must be >= 2")
+        self.knobs = knobs
+        self.levels = levels
+        self.n_knobs = n_knobs
+
+    def _tune(self, session: TuningSession) -> Optional[Configuration]:
+        space = session.space
+        names = self.knobs or space.names()[: self.n_knobs]
+        grids = {n: space[n].grid(self.levels) for n in names}
+        session.evaluate(session.default_config(), tag="default")
+
+        def recurse(idx: int, overrides: dict) -> None:
+            if idx == len(names):
+                try:
+                    config = space.partial(overrides)
+                except Exception:
+                    return  # infeasible grid corner
+                session.evaluate(config, tag="grid")
+                return
+            for value in grids[names[idx]]:
+                overrides[names[idx]] = value
+                recurse(idx + 1, overrides)
+            del overrides[names[idx]]
+
+        recurse(0, {})
+        return None

@@ -1,0 +1,78 @@
+"""Shared helpers for tuner implementations."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.measurement import Measurement, TuningHistory
+from repro.core.parameters import Configuration, ConfigurationSpace
+from repro.core.session import TuningSession
+
+__all__ = [
+    "FAILURE_PENALTY_FACTOR",
+    "penalized_runtime",
+    "history_to_training_data",
+    "candidate_pool",
+]
+
+#: Failed runs enter surrogate models at this multiple of the worst
+#: successful runtime, steering search away from the failure region
+#: without destroying the model's scale.
+FAILURE_PENALTY_FACTOR = 3.0
+
+
+def penalized_runtime(measurement: Measurement, history: TuningHistory) -> float:
+    """Runtime for model fitting: failures map to a large finite penalty."""
+    if measurement.ok:
+        return measurement.runtime_s
+    worst = max(
+        (o.runtime_s for o in history.successful()), default=100.0
+    )
+    return worst * FAILURE_PENALTY_FACTOR
+
+
+def history_to_training_data(
+    session: TuningSession,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """All real observations as (X, y), failures penalized.
+
+    Returns empty arrays when nothing was observed yet.
+    """
+    obs = session.history.real_observations()
+    if not obs:
+        return np.zeros((0, session.space.dimension)), np.zeros(0)
+    X = np.stack([o.config.to_array() for o in obs])
+    y = np.array(
+        [penalized_runtime(o.measurement, session.history) for o in obs]
+    )
+    return X, y
+
+
+def candidate_pool(
+    space: ConfigurationSpace,
+    rng: np.random.Generator,
+    n_random: int = 256,
+    anchors: Optional[List[Configuration]] = None,
+    jitter: float = 0.08,
+) -> List[Configuration]:
+    """Random candidates plus local perturbations of anchor configs.
+
+    The mix lets acquisition optimizers both explore globally and refine
+    around incumbents; infeasible decodes are repaired toward feasible
+    neighbors.
+    """
+    candidates: List[Configuration] = []
+    for _ in range(n_random):
+        try:
+            candidates.append(space.sample_configuration(rng))
+        except Exception:
+            continue
+    for anchor in anchors or []:
+        base = anchor.to_array()
+        for _ in range(16):
+            x = np.clip(base + rng.normal(scale=jitter, size=base.shape), 0.0, 1.0)
+            candidates.append(space.from_array_feasible(x, rng))
+    return candidates

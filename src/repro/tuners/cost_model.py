@@ -1,0 +1,339 @@
+"""Cost-modeling tuners: analytic what-if models and STMM.
+
+The category's signature move is predicting performance *without*
+running experiments, from closed-form formulas over system internals.
+The models here are deliberately simpler than the simulators they
+predict — they ignore skew, stragglers, lock contention, and planner
+mischoices — which reproduces the category's Table 1 weakness profile
+("models often based on simplified assumptions", "not effective on
+heterogeneous clusters") while remaining "very efficient" and decently
+accurate in basic scenarios.
+
+:class:`StmmMemoryTuner` reimplements the published DB2 Self-Tuning
+Memory Manager loop: estimate each memory consumer's marginal benefit
+from observed statistics, then shift memory from low-benefit to
+high-benefit consumers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.parameters import Configuration
+from repro.core.registry import register_tuner
+from repro.core.session import TuningSession
+from repro.core.system import SystemUnderTune
+from repro.core.tuner import Tuner
+from repro.core.workload import Workload
+from repro.systems.cluster import Cluster
+from repro.tuners.rule_based import SpexValidator, _cluster_of
+
+__all__ = [
+    "CostModel",
+    "DbmsCostModel",
+    "HadoopCostModel",
+    "SparkCostModel",
+    "cost_model_for",
+    "CostModelTuner",
+    "StmmMemoryTuner",
+]
+
+
+class CostModel:
+    """Analytic runtime predictor: seconds = f(workload, config, cluster)."""
+
+    kind: str = ""
+
+    def predict(
+        self, workload: Workload, config: Configuration, cluster: Cluster
+    ) -> float:
+        raise NotImplementedError
+
+
+def dbms_memory_infeasible(
+    config: Configuration, memory_mb: float, sessions: float, workers: float
+) -> bool:
+    """The documented DBMS memory-sizing rule: static allocations plus
+    per-session operator memory must fit in RAM.  Any competent modeler
+    includes this check, so the analytic models do too."""
+    static = (
+        config["buffer_pool_mb"]
+        + config["wal_buffers_mb"]
+        + config["temp_buffers_mb"]
+        + config["max_connections"] * 1.5
+    )
+    operator = config["work_mem_mb"] * (1.0 + 0.5 * config["hash_mem_multiplier"])
+    return static + operator * (sessions + workers) > memory_mb
+
+
+class DbmsCostModel(CostModel):
+    """Closed-form DBMS model: buffer hit curve, spill volume, commit
+    policy; ignores locks, checkpoint stalls, planner mistakes."""
+
+    kind = "dbms"
+
+    def predict(
+        self, workload: Workload, config: Configuration, cluster: Cluster
+    ) -> float:
+        sig = workload.signature()
+        node = cluster.min_node
+        workers = min(int(config["max_parallel_workers"]), cluster.total_cores)
+        if dbms_memory_infeasible(
+            config, node.memory_mb, sig.get("sessions", 8.0), workers
+        ):
+            return float("inf")
+        bp = float(config["buffer_pool_mb"])
+        ws = max(sig["hot_set_mb"], 1.0)
+        # The model's hit-rate law differs from the real curve (a
+        # textbook simplification): saturation arrives too early.
+        hit = min(0.995, bp / (bp + 0.25 * ws))
+
+        io_s = sig["scan_mb"] * (1.0 - hit) / node.disk_read_mbps / len(cluster)
+        # Simplified Amdahl with a fixed 85% parallel fraction.
+        cpu_s = sig["scan_mb"] * 2.0 / 1000.0 / cluster.mean_cpu_speed()
+        cpu_s *= 0.15 + 0.85 / max(workers, 1)
+
+        per_query_sort = sig["sort_mb"] / max(sig["n_queries"], 1.0)
+        runs = per_query_sort / max(float(config["work_mem_mb"]), 0.5)
+        spill_s = 0.0
+        if runs > 1.0:
+            passes = max(1, math.ceil(math.log(runs, 16)))
+            spill_s = 2.0 * sig["sort_mb"] * passes / (
+                0.5 * (node.disk_read_mbps + node.disk_write_mbps)
+            )
+        hash_mem = config["work_mem_mb"] * config["hash_mem_multiplier"]
+        per_query_hash = sig["hash_mb"] / max(sig["n_queries"], 1.0)
+        if per_query_hash > hash_mem:
+            spill_s += 2.5 * sig["hash_mb"] / (
+                0.5 * (node.disk_read_mbps + node.disk_write_mbps)
+            )
+
+        olap_s = max(io_s + spill_s, cpu_s)
+
+        oltp_s = 0.0
+        if sig["n_transactions"] > 0:
+            eff_iops = node.disk_random_iops * math.sqrt(
+                min(float(config["io_concurrency"]), 64.0)
+            )
+            read_s = 8.0 * (1.0 - hit) / eff_iops
+            flush_s = 1.0 / node.disk_random_iops
+            policy = config["log_flush_policy"]
+            commit_s = {"commit": flush_s, "batch": 0.4 * flush_s, "async": 0.05 * flush_s}[policy]
+            tx_s = read_s + commit_s + 0.0003
+            sessions = min(sig.get("sessions", 8), float(config["max_connections"]))
+            tps = max(sessions, 1.0) / tx_s
+            oltp_s = sig["n_transactions"] / tps
+        return max(olap_s + oltp_s, 1e-3)
+
+
+class HadoopCostModel(CostModel):
+    """Starfish-flavoured phase model from job statistics; ignores skew,
+    stragglers, and slot contention subtleties."""
+
+    kind = "hadoop"
+
+    def predict(
+        self, workload: Workload, config: Configuration, cluster: Cluster
+    ) -> float:
+        sig = workload.signature()
+        node = cluster.min_node
+        n_jobs = max(sig["n_jobs"], 1.0)
+        input_mb = sig["input_mb"] / n_jobs
+        shuffle_mb = sig["shuffle_mb"] / n_jobs
+        if config["combiner_enabled"] and sig["combiner"] > 0:
+            shuffle_mb *= 1.0 - sig["combiner"]
+        if config["map_output_compress"]:
+            shuffle_mb *= 0.55
+
+        n_maps = max(1.0, input_mb / float(config["dfs_block_size_mb"]))
+        map_slots = sum(
+            min(n.cores, int(n.memory_mb * 0.9 // config["mapreduce_map_memory_mb"]))
+            for n in cluster.nodes
+        )
+        if map_slots == 0:
+            return float("inf")
+        per_map = input_mb / n_maps
+        map_task_s = per_map / node.disk_read_mbps + per_map * sig["map_cpu"] / 1000.0
+        map_s = math.ceil(n_maps / map_slots) * map_task_s
+
+        net_mbps = sum(n.network_mbps for n in cluster.nodes) / 8.0
+        shuffle_s = shuffle_mb / net_mbps
+
+        n_red = float(config["mapreduce_job_reduces"])
+        red_slots = sum(
+            min(n.cores, int(n.memory_mb * 0.9 // config["mapreduce_reduce_memory_mb"]))
+            for n in cluster.nodes
+        )
+        if red_slots == 0:
+            return float("inf")
+        per_red = shuffle_mb / n_red
+        red_task_s = (
+            per_red / node.disk_read_mbps
+            + per_red * sig["reduce_cpu"] / 1000.0
+            + per_red / node.disk_write_mbps
+        )
+        red_s = math.ceil(n_red / red_slots) * red_task_s + 0.3 * n_red / red_slots
+        return max(n_jobs * (map_s + shuffle_s + red_s + 2.0), 1e-3)
+
+
+class SparkCostModel(CostModel):
+    """Ernest-flavoured model: serial + parallel + shuffle terms over the
+    allocated slots; ignores GC and partial cache fits."""
+
+    kind = "spark"
+
+    def predict(
+        self, workload: Workload, config: Configuration, cluster: Cluster
+    ) -> float:
+        sig = workload.signature()
+        node = cluster.min_node
+        exec_mem = float(config["executor_memory_mb"])
+        per_node = max(
+            0,
+            min(
+                int(node.memory_mb * 0.95 // (exec_mem + 300.0)),
+                node.cores // max(1, int(config["executor_cores"])),
+            ),
+        )
+        n_exec = min(int(config["num_executors"]), per_node * len(cluster))
+        if n_exec == 0:
+            return float("inf")
+        slots = n_exec * int(config["executor_cores"])
+
+        data_mb = sig["input_mb"] * max(sig["iterations"], 1.0) ** 0.5
+        ser = 0.9 if config["serializer"] == "kryo" else 2.5
+        cpu_s = data_mb * (sig["cpu_density"] + ser) / 1000.0 / slots
+        io_s = sig["input_mb"] / node.disk_read_mbps / n_exec
+        shuffle_s = (
+            sig["shuffle_stages"] * data_mb * 0.5 / (node.network_mbps / 8.0) / n_exec
+        )
+        overhead_s = 0.01 * float(config["shuffle_partitions"]) * sig["n_stages"] / slots
+        # Caching term: storage capacity vs cached need.
+        storage = (exec_mem - 300.0) * config["memory_fraction"] * config["storage_fraction"] * n_exec
+        cache_miss = max(0.0, 1.0 - storage / sig["cached_mb"]) if sig["cached_mb"] > 0 else 0.0
+        recompute_s = cache_miss * sig["cached_mb"] * max(sig["iterations"] - 1, 0) / node.disk_read_mbps / n_exec
+        return max(cpu_s + io_s + shuffle_s + overhead_s + recompute_s + 4.0, 1e-3)
+
+
+_MODELS = {"dbms": DbmsCostModel, "hadoop": HadoopCostModel, "spark": SparkCostModel}
+
+
+def cost_model_for(kind: str) -> CostModel:
+    try:
+        return _MODELS[kind]()
+    except KeyError:
+        raise ValueError(f"no cost model for system kind {kind!r}") from None
+
+
+@register_tuner("cost-model")
+class CostModelTuner(Tuner):
+    """Search the analytic model exhaustively (model evaluations are
+    free), then validate the top predictions with a handful of real runs.
+    """
+
+    name = "cost-model"
+    category = "cost-modeling"
+
+    def __init__(self, n_model_samples: int = 2000, n_validate: int = 3):
+        if n_validate < 1:
+            raise ValueError("n_validate must be >= 1")
+        self.n_model_samples = n_model_samples
+        self.n_validate = n_validate
+
+    def _tune(self, session: TuningSession) -> Optional[Configuration]:
+        model = cost_model_for(session.system.kind)
+        cluster = _cluster_of(session.system)
+        session.evaluate(session.default_config(), tag="default")
+
+        scored: List = []
+        for _ in range(self.n_model_samples):
+            config = session.space.sample_configuration(session.rng)
+            predicted = model.predict(session.workload, config, cluster)
+            scored.append((predicted, config))
+            session.predict(config, predicted, tag="model")
+        scored.sort(key=lambda item: item[0])
+
+        best: Optional[Configuration] = None
+        for predicted, config in scored[: self.n_validate]:
+            measurement = session.evaluate_if_budget(config, tag="validate")
+            if measurement is None:
+                break
+        return None  # recommend the measured best
+
+
+@register_tuner("stmm")
+class StmmMemoryTuner(Tuner):
+    """DB2 STMM: iterative cost-benefit memory redistribution.
+
+    Each iteration measures the workload, computes per-consumer benefit
+    signals (buffer-pool misses vs. operator spills), and moves memory
+    from the lower-benefit consumer to the higher-benefit one.  Only the
+    DBMS exposes the memory consumers STMM manages; on other systems the
+    tuner degrades to the measured default.
+    """
+
+    name = "stmm"
+    category = "cost-modeling"
+
+    def __init__(self, step_fraction: float = 1.0, max_iterations: int = 10):
+        if not (0.0 < step_fraction <= 1.0):
+            raise ValueError("step_fraction in (0, 1]")
+        self.step_fraction = step_fraction
+        self.max_iterations = max_iterations
+
+    def _tune(self, session: TuningSession) -> Optional[Configuration]:
+        if session.system.kind != "dbms":
+            session.evaluate(session.default_config(), tag="default")
+            return None
+        cluster = _cluster_of(session.system)
+        memory_mb = cluster.min_node.memory_mb
+        validator = SpexValidator(session.space)
+
+        config = session.default_config()
+        measurement = session.evaluate(config, tag="stmm-0")
+        best_config, best_runtime = config, measurement.runtime_s
+
+        for step in range(1, self.max_iterations + 1):
+            if not session.can_run():
+                break
+            metrics = measurement.metrics
+            miss = 1.0 - metrics.get("buffer_hit_ratio", 0.9)
+            spill = metrics.get("spill_mb", 0.0)
+            sig = session.workload.signature()
+            # Benefit densities: seconds saved per MB granted (coarse,
+            # exactly as coarse as STMM's simulation-lite estimates).
+            bp_benefit = miss * sig["scan_mb"] / max(config["buffer_pool_mb"], 64)
+            wm_benefit = spill / max(config["work_mem_mb"] * sig.get("sessions", 8), 1)
+            bp, wm = float(config["buffer_pool_mb"]), float(config["work_mem_mb"])
+            sessions = max(sig.get("sessions", 8), 1)
+            total = bp + wm * sessions
+            # Transfer memory from the low-benefit consumer to the
+            # high-benefit one; the total stays constant (STMM's
+            # invariant) unless headroom allows growth.
+            headroom = 0.6 * memory_mb - total
+            if headroom > 0:
+                total += headroom * 0.5
+            if bp_benefit >= wm_benefit:
+                delta = min(wm * sessions * 0.5, total * 0.25)
+                wm -= delta / sessions
+                bp = total - wm * sessions
+            else:
+                delta = min(bp * 0.5, total * 0.25)
+                bp -= delta
+                wm = (total - bp) / sessions
+            values = validator.repair_values(
+                {**config.to_dict(),
+                 "buffer_pool_mb": session.space["buffer_pool_mb"].clip(bp),
+                 "work_mem_mb": session.space["work_mem_mb"].clip(wm)}
+            )
+            config = session.space.configuration(values)
+            result = session.evaluate_if_budget(config, tag=f"stmm-{step}")
+            if result is None:
+                break
+            measurement = result
+            if measurement.ok and measurement.runtime_s < best_runtime:
+                best_config, best_runtime = config, measurement.runtime_s
+        return best_config

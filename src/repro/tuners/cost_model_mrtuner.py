@@ -1,0 +1,147 @@
+"""MRTuner-style holistic MapReduce optimization (Shi et al., PVLDB'14).
+
+MRTuner models a MapReduce job as a Producer–Transporter–Consumer (PTC)
+pipeline — map tasks produce, the shuffle transports, reduce tasks
+consume — and searches the *pipeline-critical* knobs analytically: the
+phase that bounds throughput determines the knob to move.  Unlike
+generic cost-model search, MRTuner enumerates a small structured grid
+over the PTC-relevant knobs (reducers, compression, sort buffer,
+slowstart, container sizes) and prunes candidates whose predicted
+bottleneck phase does not improve — a few dozen model evaluations, then
+validation runs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.parameters import Configuration
+from repro.core.registry import register_tuner
+from repro.core.session import TuningSession
+from repro.core.tuner import Tuner
+from repro.core.workload import Workload
+from repro.systems.cluster import Cluster
+from repro.tuners.cost_model import HadoopCostModel
+from repro.tuners.rule_based import SpexValidator, _cluster_of
+
+__all__ = ["MrTunerTuner", "ptc_breakdown"]
+
+
+def ptc_breakdown(
+    workload: Workload, config: Configuration, cluster: Cluster
+) -> Dict[str, float]:
+    """Predicted producer / transporter / consumer phase times.
+
+    A decomposed view of the Hadoop cost model, used to identify the
+    pipeline bottleneck.
+    """
+    sig = workload.signature()
+    node = cluster.min_node
+    n_jobs = max(sig["n_jobs"], 1.0)
+    input_mb = sig["input_mb"] / n_jobs
+    shuffle_mb = sig["shuffle_mb"] / n_jobs
+    if config["combiner_enabled"] and sig["combiner"] > 0:
+        shuffle_mb *= 1.0 - sig["combiner"]
+    if config["map_output_compress"]:
+        shuffle_mb *= 0.55
+
+    n_maps = max(1.0, input_mb / float(config["dfs_block_size_mb"]))
+    map_slots = sum(
+        min(n.cores, int(n.memory_mb * 0.9 // config["mapreduce_map_memory_mb"]))
+        for n in cluster.nodes
+    )
+    per_map = input_mb / n_maps
+    producer = (
+        math.ceil(n_maps / max(map_slots, 1))
+        * (per_map / node.disk_read_mbps + per_map * sig["map_cpu"] / 1000.0)
+        if map_slots
+        else math.inf
+    )
+
+    net_mbps = sum(n.network_mbps for n in cluster.nodes) / 8.0
+    transporter = shuffle_mb / net_mbps
+    # Slowstart overlaps transport under the producer phase.
+    transporter *= max(0.2, config["reduce_slowstart"])
+
+    n_red = float(config["mapreduce_job_reduces"])
+    red_slots = sum(
+        min(n.cores, int(n.memory_mb * 0.9 // config["mapreduce_reduce_memory_mb"]))
+        for n in cluster.nodes
+    )
+    per_red = shuffle_mb / n_red
+    consumer = (
+        math.ceil(n_red / max(red_slots, 1))
+        * (per_red / node.disk_read_mbps + per_red * sig["reduce_cpu"] / 1000.0
+           + per_red / node.disk_write_mbps)
+        if red_slots
+        else math.inf
+    )
+    return {"producer": producer, "transporter": transporter, "consumer": consumer}
+
+
+@register_tuner("mrtuner")
+class MrTunerTuner(Tuner):
+    """PTC-model grid enumeration + validation for MapReduce.
+
+    Degrades to the measured default on non-Hadoop systems (the PTC
+    model is MapReduce-specific, as in the original toolkit).
+    """
+
+    name = "mrtuner"
+    category = "cost-modeling"
+
+    _REDUCERS = (1, 4, 16, 32, 64, 128)
+    _SORT_MB = (64, 256, 512)
+    _SLOWSTART = (0.05, 0.8)
+    _CONTAINERS = (1024, 2048)
+
+    def __init__(self, n_validate: int = 3):
+        self.n_validate = n_validate
+
+    def _tune(self, session: TuningSession) -> Optional[Configuration]:
+        if session.system.kind != "hadoop":
+            session.evaluate(session.default_config(), tag="default")
+            return None
+        cluster = _cluster_of(session.system)
+        model = HadoopCostModel()
+        validator = SpexValidator(session.space)
+        default = session.default_config()
+        session.evaluate(default, tag="default")
+
+        scored: List[Tuple[float, Configuration]] = []
+        sig = session.workload.signature()
+        for reduces, sort_mb, slowstart, container, compress, combiner in itertools.product(
+            self._REDUCERS, self._SORT_MB, self._SLOWSTART,
+            self._CONTAINERS, (False, True), (False, True),
+        ):
+            if combiner and sig.get("combiner", 0.0) == 0.0:
+                continue  # the job has no combiner to enable
+            values = validator.repair_values({
+                **default.to_dict(),
+                "mapreduce_job_reduces": reduces,
+                "io_sort_mb": sort_mb,
+                "reduce_slowstart": slowstart,
+                "mapreduce_map_memory_mb": container,
+                "mapreduce_reduce_memory_mb": container,
+                "map_output_compress": compress,
+                "combiner_enabled": combiner,
+            })
+            config = session.space.configuration(values)
+            phases = ptc_breakdown(session.workload, config, cluster)
+            predicted = sum(phases.values())
+            if not math.isfinite(predicted):
+                continue
+            scored.append((predicted, config))
+            session.predict(config, predicted, tag="ptc")
+        scored.sort(key=lambda item: item[0])
+        session.extras["ptc_candidates"] = len(scored)
+        if scored:
+            best_phases = ptc_breakdown(session.workload, scored[0][1], cluster)
+            session.extras["ptc_bottleneck"] = max(best_phases, key=best_phases.get)
+
+        for _, config in scored[: self.n_validate]:
+            if session.evaluate_if_budget(config, tag="validate") is None:
+                break
+        return None

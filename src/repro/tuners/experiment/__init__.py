@@ -1,0 +1,16 @@
+"""Experiment-driven tuners: SARD, iTuned, adaptive sampling, RRS."""
+
+from repro.tuners.experiment.adaptive_sampling import AdaptiveSamplingTuner
+from repro.tuners.experiment.gunther import GeneticTuner
+from repro.tuners.experiment.ituned import ITunedTuner
+from repro.tuners.experiment.rrs import RecursiveRandomSearchTuner
+from repro.tuners.experiment.sard import SardRanker, SardTuner
+
+__all__ = [
+    "AdaptiveSamplingTuner",
+    "GeneticTuner",
+    "ITunedTuner",
+    "RecursiveRandomSearchTuner",
+    "SardRanker",
+    "SardTuner",
+]

@@ -1,0 +1,113 @@
+"""Gunther-style genetic-algorithm tuning (Liao et al., HPDC'13).
+
+One of the "over 40 highly-cited approaches" the tutorial counts for
+Hadoop: a genetic algorithm over the knob space with real executions as
+the fitness function.  Population members are unit-space vectors;
+selection is tournament, crossover is uniform, mutation is Gaussian.
+Works unchanged on any of the three systems.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.parameters import Configuration
+from repro.core.registry import register_tuner
+from repro.core.session import TuningSession
+from repro.core.tuner import Tuner
+from repro.tuners.common import penalized_runtime
+
+__all__ = ["GeneticTuner"]
+
+
+@register_tuner("genetic")
+class GeneticTuner(Tuner):
+    """GA over unit-encoded configurations with measured fitness."""
+
+    name = "genetic"
+    category = "experiment-driven"
+
+    def __init__(
+        self,
+        population: int = 8,
+        elite: int = 2,
+        mutation_scale: float = 0.12,
+        mutation_rate: float = 0.3,
+        tournament: int = 3,
+    ):
+        if population < 4:
+            raise ValueError("population must be >= 4")
+        if not (0 < elite < population):
+            raise ValueError("elite must be in (0, population)")
+        self.population = population
+        self.elite = elite
+        self.mutation_scale = mutation_scale
+        self.mutation_rate = mutation_rate
+        self.tournament = tournament
+
+    def _fitness(
+        self, session: TuningSession, config: Configuration, tag: str
+    ) -> Optional[float]:
+        measurement = session.evaluate_if_budget(config, tag=tag)
+        if measurement is None:
+            return None
+        return penalized_runtime(measurement, session.history)
+
+    def _select(
+        self, rng: np.random.Generator, scored: List[Tuple[float, np.ndarray]]
+    ) -> np.ndarray:
+        """Tournament selection: best of a random subset."""
+        picks = rng.choice(len(scored), size=min(self.tournament, len(scored)), replace=False)
+        best = min(picks, key=lambda i: scored[i][0])
+        return scored[best][1]
+
+    def _tune(self, session: TuningSession) -> Optional[Configuration]:
+        space = session.space
+        rng = session.rng
+        d = space.dimension
+
+        # Generation 0: the default plus random individuals.
+        scored: List[Tuple[float, np.ndarray]] = []
+        default = session.default_config()
+        y = self._fitness(session, default, "gen0-default")
+        if y is None:
+            return None
+        scored.append((y, default.to_array()))
+        for i in range(self.population - 1):
+            config = space.sample_configuration(rng)
+            y = self._fitness(session, config, f"gen0-{i}")
+            if y is None:
+                return None
+            scored.append((y, config.to_array()))
+
+        generation = 1
+        while session.can_run():
+            scored.sort(key=lambda item: item[0])
+            next_pop: List[np.ndarray] = [x for _, x in scored[: self.elite]]
+            while len(next_pop) < self.population:
+                mother = self._select(rng, scored)
+                father = self._select(rng, scored)
+                mask = rng.random(d) < 0.5
+                child = np.where(mask, mother, father)
+                mutate = rng.random(d) < self.mutation_rate
+                child = np.where(
+                    mutate,
+                    np.clip(child + rng.normal(scale=self.mutation_scale, size=d), 0, 1),
+                    child,
+                )
+                next_pop.append(child)
+
+            new_scored: List[Tuple[float, np.ndarray]] = list(scored[: self.elite])
+            for i, x in enumerate(next_pop[self.elite:]):
+                config = space.from_array_feasible(x, rng)
+                y = self._fitness(session, config, f"gen{generation}-{i}")
+                if y is None:
+                    session.extras["generations"] = generation
+                    return None
+                new_scored.append((y, config.to_array()))
+            scored = new_scored
+            generation += 1
+        session.extras["generations"] = generation
+        return None

@@ -1,0 +1,102 @@
+"""iTuned: LHS initialization + Gaussian process + expected improvement.
+
+Duan, Thummala & Babu (PVLDB'09).  The planning loop:
+
+1. *Initialization*: a maximin Latin hypercube of ``n_init`` experiments
+   covers the space.
+2. *Sequential sampling*: fit a GP to all (config, runtime) pairs; pick
+   the candidate maximizing expected improvement; run it; repeat.
+3. Failed runs enter the model at a penalty so EI avoids the region —
+   iTuned's practical answer to crashing configurations.
+
+The ``shrink_after`` option reproduces iTuned's space-shrinking trick:
+once enough data exists, sampling concentrates around the incumbent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.parameters import Configuration
+from repro.core.registry import register_tuner
+from repro.core.session import TuningSession
+from repro.core.tuner import Tuner
+from repro.mlkit.acquisition import expected_improvement
+from repro.mlkit.gp import GaussianProcess
+from repro.mlkit.kernels import Matern52
+from repro.mlkit.sampling import maximin_latin_hypercube
+from repro.tuners.common import candidate_pool, history_to_training_data
+
+__all__ = ["ITunedTuner"]
+
+
+@register_tuner("ituned")
+class ITunedTuner(Tuner):
+    """LHS + GP + EI experiment-driven tuning."""
+
+    name = "ituned"
+    category = "experiment-driven"
+
+    def __init__(
+        self,
+        n_init: int = 10,
+        n_candidates: int = 400,
+        xi: float = 0.0,
+        shrink_after: int = 20,
+    ):
+        if n_init < 2:
+            raise ValueError("n_init must be >= 2")
+        self.n_init = n_init
+        self.n_candidates = n_candidates
+        self.xi = xi
+        self.shrink_after = shrink_after
+
+    def _tune(self, session: TuningSession) -> Optional[Configuration]:
+        space = session.space
+        rng = session.rng
+        session.evaluate(session.default_config(), tag="default")
+
+        # Phase 1: space-filling initialization.
+        n_init = min(self.n_init, max(session.remaining_runs - 2, 1))
+        design = maximin_latin_hypercube(n_init, space.dimension, rng)
+        for i, row in enumerate(design):
+            config = space.from_array_feasible(row, rng)
+            if session.evaluate_if_budget(config, tag=f"lhs-{i}") is None:
+                return None
+
+        # Phase 2: adaptive sampling with EI.
+        step = 0
+        while session.can_run():
+            X, y = history_to_training_data(session)
+            if len(y) < 3:
+                config = space.sample_configuration(rng)
+                session.evaluate(config, tag="fallback")
+                continue
+            # Runtimes (and failure penalties) span decades; the GP is
+            # far better behaved on log targets, and EI in log space
+            # optimizes relative improvement.
+            gp = GaussianProcess(kernel=Matern52(), optimize=True).fit(X, np.log(y))
+            best = float(np.log(session.best_runtime()))
+            anchors: List[Configuration] = []
+            if self.shrink_after and len(y) >= self.shrink_after:
+                incumbent = session.best_config()
+                if incumbent is not None:
+                    anchors.append(incumbent)
+            candidates = candidate_pool(
+                space, rng, n_random=self.n_candidates, anchors=anchors
+            )
+            if not candidates:
+                break
+            Xc = np.stack([c.to_array() for c in candidates])
+            mean, std = gp.predict(Xc, return_std=True)
+            ei = expected_improvement(mean, std, best, xi=self.xi)
+            chosen = candidates[int(np.argmax(ei))]
+            session.predict(
+                chosen, float(np.exp(mean[int(np.argmax(ei))])), tag="gp-mean"
+            )
+            if session.evaluate_if_budget(chosen, tag=f"ei-{step}") is None:
+                break
+            step += 1
+        return None

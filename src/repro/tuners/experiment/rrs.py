@@ -1,0 +1,95 @@
+"""Recursive random search (RRS).
+
+A classic black-box algorithm used by several Hadoop tuners (e.g.,
+Gunther-style searchers): alternate global random sampling with
+recursive shrink-and-resample around the best point, restarting the
+local phase when it stops paying off.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.parameters import Configuration
+from repro.core.registry import register_tuner
+from repro.core.session import TuningSession
+from repro.core.tuner import Tuner
+from repro.tuners.common import penalized_runtime
+
+__all__ = ["RecursiveRandomSearchTuner"]
+
+
+@register_tuner("rrs")
+class RecursiveRandomSearchTuner(Tuner):
+    """Global/local recursive random search."""
+
+    name = "rrs"
+    category = "experiment-driven"
+
+    def __init__(
+        self,
+        n_global: int = 6,
+        shrink: float = 0.5,
+        local_fail_limit: int = 3,
+        min_radius: float = 0.02,
+    ):
+        if not (0.0 < shrink < 1.0):
+            raise ValueError("shrink must be in (0, 1)")
+        self.n_global = n_global
+        self.shrink = shrink
+        self.local_fail_limit = local_fail_limit
+        self.min_radius = min_radius
+
+    def _run(self, session: TuningSession, config: Configuration, tag: str) -> Optional[float]:
+        measurement = session.evaluate_if_budget(config, tag=tag)
+        if measurement is None:
+            return None
+        return penalized_runtime(measurement, session.history)
+
+    def _tune(self, session: TuningSession) -> Optional[Configuration]:
+        space = session.space
+        rng = session.rng
+        default = session.default_config()
+        best_y = self._run(session, default, "default")
+        if best_y is None:
+            return None
+        best_x = default.to_array()
+
+        while session.can_run():
+            # Global phase: a burst of uniform samples.
+            improved_globally = False
+            for i in range(self.n_global):
+                config = space.sample_configuration(rng)
+                y = self._run(session, config, f"global-{i}")
+                if y is None:
+                    return None
+                if y < best_y:
+                    best_y, best_x = y, config.to_array()
+                    improved_globally = True
+
+            # Local phase: shrink a box around the incumbent.
+            radius = 0.25
+            failures = 0
+            while radius > self.min_radius and session.can_run():
+                x = np.clip(
+                    best_x + rng.uniform(-radius, radius, size=space.dimension),
+                    0.0,
+                    1.0,
+                )
+                config = space.from_array_feasible(x, rng)
+                y = self._run(session, config, f"local-r{radius:.2f}")
+                if y is None:
+                    return None
+                if y < best_y:
+                    best_y, best_x = y, config.to_array()
+                    failures = 0
+                else:
+                    failures += 1
+                    if failures >= self.local_fail_limit:
+                        radius *= self.shrink
+                        failures = 0
+            if not improved_globally and not session.can_run():
+                break
+        return None

@@ -1,0 +1,125 @@
+"""SARD: Statistical Approach for Ranking Database tuning parameters.
+
+Debnath et al. (ICDE'08): screen all knobs with a Plackett–Burman
+two-level design (plus foldover to cancel even-order confounding), rank
+them by main-effect magnitude, and focus subsequent tuning on the top
+few.  :class:`SardRanker` exposes the ranking; :class:`SardTuner` adds
+the natural follow-up — a small grid over the top-ranked knobs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.parameters import Configuration, ConfigurationSpace
+from repro.core.registry import register_tuner
+from repro.core.session import TuningSession
+from repro.core.tuner import Tuner
+from repro.exceptions import BudgetExhausted
+from repro.mlkit.doe import foldover, main_effects, plackett_burman
+from repro.tuners.common import penalized_runtime
+
+__all__ = ["SardRanker", "SardTuner"]
+
+_LOW_UNIT, _HIGH_UNIT = 0.2, 0.8
+
+
+class SardRanker:
+    """Plackett–Burman screening of a configuration space.
+
+    The design assigns each knob its low/high level (unit coordinates
+    0.15/0.85) per run; after measuring all runs, the absolute main
+    effect of each knob estimates its importance.
+    """
+
+    def __init__(self, use_foldover: bool = True):
+        self.use_foldover = use_foldover
+
+    def design_for(self, space: ConfigurationSpace) -> np.ndarray:
+        design = plackett_burman(space.dimension)
+        if self.use_foldover:
+            design = foldover(design)
+        return design
+
+    def configs_for(
+        self, space: ConfigurationSpace, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, List[Configuration]]:
+        design = self.design_for(space)
+        unit = np.where(design > 0, _HIGH_UNIT, _LOW_UNIT)
+        configs = [space.from_array_feasible(row, rng) for row in unit]
+        return design, configs
+
+    def rank(
+        self, session: TuningSession, max_runs: Optional[int] = None
+    ) -> List[Tuple[str, float]]:
+        """Execute the design on budget and return (knob, |effect|)
+        sorted descending.  Rows that do not fit the budget are dropped
+        symmetrically (design rows are exchangeable)."""
+        space = session.space
+        design, configs = self.configs_for(space, session.rng)
+        limit = len(configs)
+        if max_runs is not None:
+            limit = min(limit, max_runs)
+        responses: List[float] = []
+        used_rows: List[int] = []
+        for i in range(limit):
+            measurement = session.evaluate_if_budget(configs[i], tag=f"pb-{i}")
+            if measurement is None:
+                break
+            responses.append(penalized_runtime(measurement, session.history))
+            used_rows.append(i)
+        if len(used_rows) < 4:
+            return [(name, 0.0) for name in space.names()]
+        effects = main_effects(design[used_rows], np.array(responses))
+        ranked = sorted(
+            zip(space.names(), np.abs(effects)), key=lambda kv: -kv[1]
+        )
+        return ranked
+
+
+@register_tuner("sard")
+class SardTuner(Tuner):
+    """PB screening, then a grid over the top-ranked knobs."""
+
+    name = "sard"
+    category = "experiment-driven"
+
+    def __init__(self, top_k: int = 3, levels: int = 3, use_foldover: bool = True):
+        if top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        self.top_k = top_k
+        self.levels = levels
+        self.ranker = SardRanker(use_foldover=use_foldover)
+
+    def _tune(self, session: TuningSession) -> Optional[Configuration]:
+        session.evaluate(session.default_config(), tag="default")
+        # Spend at most ~60% of the budget on screening, the rest on the
+        # focused grid.
+        screen_budget = max(4, int(session.budget.max_runs * 0.6))
+        ranked = self.ranker.rank(session, max_runs=screen_budget)
+        session.extras["sard_ranking"] = ranked
+        top = [name for name, _ in ranked[: self.top_k]]
+
+        space = session.space
+        grids = {n: space[n].grid(self.levels) for n in top}
+
+        def recurse(idx: int, overrides: dict) -> None:
+            if idx == len(top):
+                try:
+                    config = space.partial(overrides)
+                except Exception:
+                    return
+                session.evaluate(config, tag="sard-grid")
+                return
+            for value in grids[top[idx]]:
+                overrides[top[idx]] = value
+                recurse(idx + 1, overrides)
+            del overrides[top[idx]]
+
+        try:
+            recurse(0, {})
+        except BudgetExhausted:
+            pass
+        return None

@@ -1,0 +1,23 @@
+"""Machine-learning tuners: OtterTune, Bayesian optimization, MLP."""
+
+from repro.tuners.ml.cem import CrossEntropyTuner
+from repro.tuners.ml.ensemble import EnsembleTuner
+from repro.tuners.ml.ernest import ErnestTuner
+from repro.tuners.ml.gp_tuner import BayesOptTuner
+from repro.tuners.ml.nn_tuner import NeuralNetTuner
+from repro.tuners.ml.ottertune import (
+    OtterTuneRepository,
+    OtterTuneTuner,
+    build_repository,
+)
+
+__all__ = [
+    "BayesOptTuner",
+    "CrossEntropyTuner",
+    "EnsembleTuner",
+    "ErnestTuner",
+    "NeuralNetTuner",
+    "OtterTuneRepository",
+    "OtterTuneTuner",
+    "build_repository",
+]

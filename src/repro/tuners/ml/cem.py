@@ -1,0 +1,96 @@
+"""Cross-entropy method tuner — policy-search-style configuration
+optimization.
+
+The tutorial's closing discussion points toward learning-based control;
+the field's next step after it (CDBTune/QTune) was reinforcement-style
+policy search.  The cross-entropy method is the simplest member of that
+family: maintain a Gaussian *policy* over unit-encoded configurations,
+sample a batch, keep the elite fraction, refit the policy toward them,
+and repeat.  No value function, no gradients — just distribution
+shaping, which is robust at tuning's tiny sample sizes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.parameters import Configuration
+from repro.core.registry import register_tuner
+from repro.core.session import TuningSession
+from repro.core.tuner import Tuner
+from repro.tuners.common import penalized_runtime
+
+__all__ = ["CrossEntropyTuner"]
+
+
+@register_tuner("cem")
+class CrossEntropyTuner(Tuner):
+    """Gaussian policy search over the unit cube."""
+
+    name = "cem"
+    category = "machine-learning"
+
+    def __init__(
+        self,
+        batch: int = 8,
+        elite_frac: float = 0.3,
+        init_std: float = 0.35,
+        min_std: float = 0.04,
+        smoothing: float = 0.5,
+    ):
+        if batch < 4:
+            raise ValueError("batch must be >= 4")
+        if not (0.0 < elite_frac < 1.0):
+            raise ValueError("elite_frac in (0, 1)")
+        if not (0.0 <= smoothing <= 1.0):
+            raise ValueError("smoothing in [0, 1]")
+        self.batch = batch
+        self.elite_frac = elite_frac
+        self.init_std = init_std
+        self.min_std = min_std
+        self.smoothing = smoothing
+
+    def _tune(self, session: TuningSession) -> Optional[Configuration]:
+        space = session.space
+        rng = session.rng
+        d = space.dimension
+
+        default = session.default_config()
+        session.evaluate(default, tag="default")
+
+        # Policy initialized at the default configuration — tuning
+        # starts from what the operator runs today.
+        mean = default.to_array().astype(float)
+        std = np.full(d, self.init_std)
+        n_elite = max(2, int(round(self.batch * self.elite_frac)))
+
+        generation = 0
+        while session.can_run():
+            scored: List[Tuple[float, np.ndarray]] = []
+            for i in range(self.batch):
+                if not session.can_run():
+                    break
+                x = np.clip(rng.normal(mean, std), 0.0, 1.0)
+                config = space.from_array_feasible(x, rng)
+                measurement = session.evaluate(config, tag=f"cem-g{generation}-{i}")
+                scored.append(
+                    (penalized_runtime(measurement, session.history), config.to_array())
+                )
+            if len(scored) < n_elite:
+                break
+            scored.sort(key=lambda item: item[0])
+            elite = np.stack([x for _, x in scored[:n_elite]])
+            new_mean = elite.mean(axis=0)
+            new_std = elite.std(axis=0)
+            # Smooth updates keep the policy from collapsing on a fluke.
+            mean = self.smoothing * new_mean + (1 - self.smoothing) * mean
+            std = np.maximum(
+                self.smoothing * new_std + (1 - self.smoothing) * std,
+                self.min_std,
+            )
+            generation += 1
+        session.extras["cem_generations"] = generation
+        session.extras["cem_final_std"] = float(np.mean(std))
+        return None

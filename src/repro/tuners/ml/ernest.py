@@ -1,0 +1,149 @@
+"""Ernest: efficient performance prediction for large-scale analytics
+(Venkataraman et al., NSDI'16).
+
+Ernest predicts a job's runtime at *full* data scale and *any* resource
+allocation from a handful of cheap runs on *small samples* of the data.
+The model is a non-negative least-squares fit of interpretable terms:
+
+    t(s, m) = c0 + c1 * (s / m) + c2 * log(m) + c3 * m
+
+where ``s`` is the data-scale fraction and ``m`` the parallelism
+(executors here).  Training points are chosen on small scales (optimal
+experiment design in the paper; a small grid here), so the *real* runs
+are far cheaper than a full-scale execution — the trait that puts
+Ernest in the paper's Spark section.
+
+The tuner fits the model, picks the best parallelism for the full-scale
+job, applies expert settings for the non-resource knobs, and validates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+from scipy.optimize import nnls
+
+from repro.core.parameters import Configuration
+from repro.core.registry import register_tuner
+from repro.core.session import TuningSession
+from repro.core.tuner import Tuner
+from repro.tuners.rule_based import _cluster_of
+
+__all__ = ["ErnestTuner", "fit_ernest_model", "ernest_features"]
+
+
+def ernest_features(scale: float, parallelism: float) -> np.ndarray:
+    """The Ernest basis: [1, scale/m, log(m), m]."""
+    m = max(parallelism, 1.0)
+    return np.array([1.0, scale / m, math.log(m), m])
+
+
+def fit_ernest_model(
+    points: List[Tuple[float, float, float]]
+) -> np.ndarray:
+    """Fit non-negative coefficients to (scale, parallelism, runtime)
+    observations.  NNLS keeps every term physically meaningful
+    (runtimes cannot decrease without bound)."""
+    if len(points) < 4:
+        raise ValueError("Ernest needs at least 4 training points")
+    A = np.stack([ernest_features(s, m) for s, m, _ in points])
+    b = np.array([t for _, _, t in points])
+    coef, _ = nnls(A, b)
+    return coef
+
+
+def predict_ernest(coef: np.ndarray, scale: float, parallelism: float) -> float:
+    return float(coef @ ernest_features(scale, parallelism))
+
+
+@register_tuner("ernest")
+class ErnestTuner(Tuner):
+    """Small-sample scaling-model tuning of parallelism (Spark-style).
+
+    Args:
+        sample_scales: data fractions used for training runs.
+        sample_parallelism: executor counts used for training runs.
+    """
+
+    name = "ernest"
+    category = "machine-learning"
+
+    def __init__(
+        self,
+        sample_plan: Tuple[Tuple[float, int], ...] = (
+            (0.05, 1), (0.05, 2), (0.05, 4), (0.05, 8),
+            (0.1, 4), (0.1, 8), (0.2, 8),
+        ),
+    ):
+        """Args:
+            sample_plan: (data scale, parallelism) training points.  The
+                default spends most points at the smallest scale and
+                only ever samples slow low-parallelism settings there —
+                Ernest's experiment-design frugality.
+        """
+        if any(not (0 < s < 1) for s, _ in sample_plan):
+            raise ValueError("sample scales must be in (0, 1)")
+        if len(sample_plan) < 4:
+            raise ValueError("need at least 4 sample points")
+        self.sample_plan = sample_plan
+
+    def _parallelism_knob(self, session: TuningSession) -> Optional[str]:
+        for knob in ("num_executors", "max_parallel_workers", "mapreduce_job_reduces"):
+            if knob in session.space:
+                return knob
+        return None
+
+    def _tune(self, session: TuningSession) -> Optional[Configuration]:
+        knob = self._parallelism_knob(session)
+        try:
+            small = session.workload.scaled(self.sample_plan[0][0])
+        except (NotImplementedError, ValueError):
+            small = None
+        if knob is None or small is None:
+            session.evaluate(session.default_config(), tag="default")
+            return None
+
+        space = session.space
+        param = space[knob]
+        default = session.default_config()
+
+        # Training runs on sampled data (cheap by construction).
+        points: List[Tuple[float, float, float]] = []
+        for scale, m in self.sample_plan:
+            if not session.can_run():
+                break
+            workload = session.workload.scaled(scale)
+            config = default.replace(**{knob: param.clip(m)})
+            measurement = session.evaluate_workload(
+                workload, config, tag=f"sample-s{scale:g}-m{m}"
+            )
+            if measurement.ok:
+                points.append((scale, float(m), measurement.runtime_s))
+
+        if len(points) < 4:
+            session.evaluate_if_budget(default, tag="fallback")
+            return None
+        coef = fit_ernest_model(points)
+        session.extras["ernest_coefficients"] = coef.tolist()
+
+        # Choose parallelism for the full-scale job from the model.
+        candidates = sorted({
+            int(param.clip(m))
+            for m in [1, 2, 4, 8, 12, 16, 24, 32, 48, 64]
+        })
+        predictions = {
+            m: predict_ernest(coef, 1.0, m) for m in candidates
+        }
+        session.extras["ernest_predictions"] = predictions
+        best_m = min(predictions, key=predictions.get)
+        recommended = default.replace(**{knob: best_m})
+        session.predict(recommended, predictions[best_m], tag="ernest")
+        validation = session.evaluate_if_budget(recommended, tag="validate")
+        if validation is not None and not validation.ok:
+            return default
+        # Return the recommendation explicitly: the session history also
+        # contains *sampled-scale* runs whose small runtimes must not be
+        # mistaken for full-scale results.
+        return recommended

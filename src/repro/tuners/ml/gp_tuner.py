@@ -1,0 +1,81 @@
+"""Plain Bayesian-optimization tuner (GP surrogate, selectable
+acquisition).
+
+The generic "machine learning" member of the taxonomy: a black-box
+model over configurations with no knowledge of system internals, no
+history, and no designs — everything is learned from this session's
+observations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.parameters import Configuration
+from repro.core.registry import register_tuner
+from repro.core.session import TuningSession
+from repro.core.tuner import Tuner
+from repro.mlkit.acquisition import maximize_acquisition
+from repro.mlkit.gp import GaussianProcess
+from repro.tuners.common import candidate_pool, history_to_training_data
+
+__all__ = ["BayesOptTuner"]
+
+
+@register_tuner("bayesopt")
+class BayesOptTuner(Tuner):
+    """GP-based Bayesian optimization over the full knob space."""
+
+    name = "bayesopt"
+    category = "machine-learning"
+
+    def __init__(
+        self,
+        n_init: int = 5,
+        acquisition: str = "ei",
+        kappa: float = 2.0,
+        xi: float = 0.0,
+        n_candidates: int = 400,
+    ):
+        if acquisition not in ("ei", "pi", "lcb"):
+            raise ValueError(f"unknown acquisition {acquisition!r}")
+        self.n_init = n_init
+        self.acquisition = acquisition
+        self.kappa = kappa
+        self.xi = xi
+        self.n_candidates = n_candidates
+
+    def _tune(self, session: TuningSession) -> Optional[Configuration]:
+        space = session.space
+        rng = session.rng
+        session.evaluate(session.default_config(), tag="default")
+        for i in range(min(self.n_init, max(session.remaining_runs - 1, 0))):
+            config = space.sample_configuration(rng)
+            if session.evaluate_if_budget(config, tag=f"init-{i}") is None:
+                return None
+
+        step = 0
+        while session.can_run():
+            X, y = history_to_training_data(session)
+            if len(y) < 3:
+                session.evaluate(space.sample_configuration(rng), tag="fallback")
+                continue
+            gp = GaussianProcess(optimize=True).fit(X, np.log(y))
+            incumbent = session.best_config()
+            candidates = candidate_pool(
+                space, rng, n_random=self.n_candidates,
+                anchors=[incumbent] if incumbent else None,
+            )
+            if not candidates:
+                break
+            Xc = np.stack([c.to_array() for c in candidates])
+            idx, _ = maximize_acquisition(
+                gp, float(np.log(session.best_runtime())), Xc,
+                kind=self.acquisition, xi=self.xi, kappa=self.kappa,
+            )
+            if session.evaluate_if_budget(candidates[idx], tag=f"bo-{step}") is None:
+                break
+            step += 1
+        return None

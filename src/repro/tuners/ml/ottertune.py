@@ -1,0 +1,271 @@
+"""OtterTune: tuning through large-scale machine learning.
+
+Van Aken et al. (SIGMOD'17).  The pipeline, faithfully staged:
+
+1. **Repository** — historical observations from previously tuned
+   workloads (other tenants' sessions).  Here the repository is built by
+   sampling the simulator offline; the target workload is excluded.
+2. **Metric pruning** — factor analysis embeds each runtime metric by
+   its loadings; k-means clusters the embeddings; the metric nearest
+   each centroid represents its cluster.
+3. **Knob ranking** — lasso-path order over (knobs → runtime) with the
+   repository's data picks the few knobs worth tuning.
+4. **Workload mapping** — the target's observed metric vectors are
+   compared against each repository workload's (predicted) metrics at
+   the same configurations; the closest workload's data is merged into
+   the training set.
+5. **Recommendation** — a GP over the top knobs, trained on mapped +
+   target data, maximizes expected improvement to propose the next
+   configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.parameters import Configuration, ConfigurationSpace
+from repro.core.registry import register_tuner
+from repro.core.session import TuningSession
+from repro.core.system import SystemUnderTune
+from repro.core.tuner import Tuner
+from repro.core.workload import Workload
+from repro.exceptions import TuningError
+from repro.mlkit.acquisition import expected_improvement
+from repro.mlkit.cluster import KMeans
+from repro.mlkit.factor import FactorAnalysis
+from repro.mlkit.gp import GaussianProcess
+from repro.mlkit.linear import lasso_rank_features
+from repro.mlkit.sampling import latin_hypercube
+from repro.mlkit.scaler import StandardScaler
+from repro.tuners.common import candidate_pool, history_to_training_data, penalized_runtime
+
+__all__ = ["OtterTuneRepository", "OtterTuneTuner", "build_repository"]
+
+
+@dataclass
+class _WorkloadData:
+    """Observations for one repository workload."""
+
+    name: str
+    X: np.ndarray          # (n, d) unit-scaled configs
+    y: np.ndarray          # (n,) runtimes
+    metrics: np.ndarray    # (n, m) metric matrix
+
+
+@dataclass
+class OtterTuneRepository:
+    """Historical tuning data across many workloads on one system."""
+
+    metric_names: List[str]
+    workloads: List[_WorkloadData] = field(default_factory=list)
+
+    def add(self, name: str, X: np.ndarray, y: np.ndarray, metrics: np.ndarray) -> None:
+        self.workloads.append(_WorkloadData(name, X, y, metrics))
+
+    def all_observations(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        X = np.vstack([w.X for w in self.workloads])
+        y = np.concatenate([w.y for w in self.workloads])
+        M = np.vstack([w.metrics for w in self.workloads])
+        return X, y, M
+
+    # -- stage 2: metric pruning -------------------------------------------
+    def pruned_metrics(self, n_factors: int = 5, max_clusters: int = 8) -> List[int]:
+        """Indices of representative metrics (one per k-means cluster)."""
+        _, _, M = self.all_observations()
+        # Drop constant metrics first; they carry no signal.
+        keep = [j for j in range(M.shape[1]) if M[:, j].std() > 1e-9]
+        if not keep:
+            return list(range(min(3, M.shape[1])))
+        Z = StandardScaler().fit_transform(M[:, keep])
+        fa = FactorAnalysis(n_factors=min(n_factors, Z.shape[1], max(1, Z.shape[0] - 1)))
+        fa.fit(Z)
+        embeddings = fa.loadings_  # (n_kept_metrics, k)
+        k = min(max_clusters, len(keep))
+        if k < 2:
+            return keep
+        km = KMeans(k=k, n_init=3).fit(embeddings)
+        reps = km.representatives(embeddings)
+        return sorted({keep[int(r)] for r in reps})
+
+    # -- stage 3: knob ranking ----------------------------------------------
+    def ranked_knobs(self, space: ConfigurationSpace) -> List[str]:
+        X, y, _ = self.all_observations()
+        order = lasso_rank_features(X, y)
+        names = space.names()
+        return [names[j] for j in order]
+
+
+def build_repository(
+    system: SystemUnderTune,
+    workloads: Sequence[Workload],
+    n_samples: int = 30,
+    rng: Optional[np.random.Generator] = None,
+) -> OtterTuneRepository:
+    """Sample the system offline over several workloads.
+
+    This plays the role of OtterTune's multi-tenant history: data that
+    existed *before* the target tuning session and is therefore not
+    charged to its budget.
+    """
+    rng = rng or np.random.default_rng(7)
+    repo = OtterTuneRepository(metric_names=list(system.metric_names))
+    space = system.config_space
+    for workload in workloads:
+        X_rows, y_rows, m_rows = [], [], []
+        design = latin_hypercube(n_samples, space.dimension, rng)
+        for row in design:
+            config = space.from_array_feasible(row, rng)
+            measurement = system.run(workload, config)
+            X_rows.append(config.to_array())
+            if measurement.ok:
+                y_rows.append(measurement.runtime_s)
+            else:
+                y_rows.append(np.inf)
+            m_rows.append(measurement.metric_vector(repo.metric_names))
+        X = np.array(X_rows)
+        y = np.array(y_rows)
+        M = np.array(m_rows)
+        ok = np.isfinite(y)
+        if ok.sum() >= 5:
+            worst = y[ok].max()
+            y = np.where(ok, y, worst * 3.0)
+            repo.add(workload.name, X, y, M)
+    if not repo.workloads:
+        raise TuningError("repository construction produced no usable data")
+    return repo
+
+
+@register_tuner("ottertune")
+class OtterTuneTuner(Tuner):
+    """The OtterTune recommendation loop against a repository.
+
+    Args:
+        repository: historical data (required; OtterTune without history
+            degrades to plain BO — use ``BayesOptTuner`` for that).
+        top_k_knobs: how many ranked knobs the GP tunes.
+        n_init: target-session observations before mapping kicks in.
+    """
+
+    name = "ottertune"
+    category = "machine-learning"
+
+    def __init__(
+        self,
+        repository: OtterTuneRepository,
+        top_k_knobs: int = 8,
+        n_init: int = 5,
+        n_candidates: int = 400,
+        use_mapping: bool = True,
+    ):
+        self.repository = repository
+        self.top_k_knobs = top_k_knobs
+        self.n_init = n_init
+        self.n_candidates = n_candidates
+        #: Ablation switch: with mapping off, the GP trains on target
+        #: observations only (history still drives pruning/ranking).
+        self.use_mapping = use_mapping
+
+    # -- stage 4: workload mapping -------------------------------------------
+    def _map_workload(
+        self, target_X: np.ndarray, target_M: np.ndarray, pruned: List[int]
+    ) -> Optional[_WorkloadData]:
+        if not self.repository.workloads or len(target_X) == 0:
+            return None
+        _, _, all_M = self.repository.all_observations()
+        scaler = StandardScaler().fit(all_M[:, pruned])
+        target_Z = scaler.transform(target_M[:, pruned])
+        best_dist, best = np.inf, None
+        for wdata in self.repository.workloads:
+            dists = []
+            repo_Z = scaler.transform(wdata.metrics[:, pruned])
+            for j in range(len(pruned)):
+                gp = GaussianProcess(optimize=False)
+                try:
+                    gp.fit(wdata.X, repo_Z[:, j])
+                except Exception:
+                    continue
+                pred, _ = gp.predict(target_X)
+                dists.append(np.mean((pred - target_Z[:, j]) ** 2))
+            if not dists:
+                continue
+            d = float(np.mean(dists))
+            if d < best_dist:
+                best_dist, best = d, wdata
+        return best
+
+    def _tune(self, session: TuningSession) -> Optional[Configuration]:
+        space = session.space
+        rng = session.rng
+        metric_names = self.repository.metric_names
+
+        pruned = self.repository.pruned_metrics()
+        ranked = self.repository.ranked_knobs(space)
+        top_knobs = ranked[: self.top_k_knobs]
+        session.extras["ottertune_pruned_metrics"] = [
+            metric_names[i] for i in pruned
+        ]
+        session.extras["ottertune_top_knobs"] = top_knobs
+        knob_idx = [space.names().index(k) for k in top_knobs]
+
+        session.evaluate(session.default_config(), tag="default")
+        n_init = min(self.n_init, max(session.remaining_runs - 2, 1))
+        for i, row in enumerate(latin_hypercube(n_init, space.dimension, rng)):
+            if session.evaluate_if_budget(
+                space.from_array_feasible(row, rng), tag=f"init-{i}"
+            ) is None:
+                return None
+
+        step = 0
+        mapped_name = None
+        while session.can_run():
+            obs = session.history.successful()
+            target_X = np.stack([o.config.to_array() for o in obs]) if obs else np.zeros((0, space.dimension))
+            target_y = np.array([o.runtime_s for o in obs])
+            target_M = (
+                np.stack([o.measurement.metric_vector(metric_names) for o in obs])
+                if obs else np.zeros((0, len(metric_names)))
+            )
+            mapped = (
+                self._map_workload(target_X, target_M, pruned)
+                if self.use_mapping else None
+            )
+            if mapped is not None:
+                mapped_name = mapped.name
+                # Scale the mapped workload's runtimes onto the target's
+                # scale before merging (OtterTune's target-first merge).
+                scale = (
+                    np.median(target_y) / np.median(mapped.y)
+                    if len(target_y) and np.median(mapped.y) > 0
+                    else 1.0
+                )
+                train_X = np.vstack([mapped.X, target_X])
+                train_y = np.concatenate([mapped.y * scale, target_y])
+            else:
+                train_X, train_y = history_to_training_data(session)
+            if len(train_y) < 3:
+                session.evaluate(space.sample_configuration(rng), tag="fallback")
+                continue
+
+            gp = GaussianProcess(optimize=True).fit(
+                train_X[:, knob_idx], np.log(np.maximum(train_y, 1e-6))
+            )
+            best = float(np.log(session.best_runtime()))
+            incumbent = session.best_config()
+            candidates = candidate_pool(
+                space, rng, n_random=self.n_candidates,
+                anchors=[incumbent] if incumbent else None,
+            )
+            if not candidates:
+                break
+            Xc = np.stack([c.to_array() for c in candidates])[:, knob_idx]
+            mean, std = gp.predict(Xc, return_std=True)
+            ei = expected_improvement(mean, std, best)
+            chosen = candidates[int(np.argmax(ei))]
+            if session.evaluate_if_budget(chosen, tag=f"rec-{step}") is None:
+                break
+            step += 1
+        session.extras["ottertune_mapped_workload"] = mapped_name
+        return None

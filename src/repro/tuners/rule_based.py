@@ -1,0 +1,357 @@
+"""Rule-based tuning: expert heuristics, constraint checking, navigation.
+
+Three approaches from the taxonomy's first row:
+
+* :class:`RuleBasedTuner` — the tuning-guide heuristics administrators
+  apply by hand ("give the buffer pool 25% of RAM", "reducers = 0.95 ×
+  slots", "always use Kryo"), encoded as per-system rule sets over the
+  cluster's hardware and the workload's coarse signature.
+* :class:`SpexValidator` — SPEX-style constraint inference: validate a
+  configuration against declared constraints plus inferred performance
+  hazards, and repair violations (avoid error-prone configs).
+* :class:`ConfigNavigator` — Xu et al.'s answer to knob overload:
+  surface the small subset of parameters worth a user's attention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from repro.core.parameters import Configuration, ConfigurationSpace
+from repro.core.registry import register_tuner
+from repro.core.session import TuningSession
+from repro.core.system import SystemUnderTune
+from repro.core.tuner import Tuner
+from repro.exceptions import ConstraintViolation
+from repro.systems.cluster import Cluster, NodeSpec
+
+__all__ = ["TuningRule", "RuleBasedTuner", "SpexValidator", "ConfigNavigator"]
+
+
+def _cluster_of(system: SystemUnderTune) -> Cluster:
+    """Find the cluster behind (possibly wrapped) simulators."""
+    for obj in (system, getattr(system, "inner", None)):
+        cluster = getattr(obj, "cluster", None)
+        if cluster is not None:
+            return cluster
+    return Cluster.single_node()
+
+
+@dataclass(frozen=True)
+class TuningRule:
+    """One expert heuristic.
+
+    Attributes:
+        name: short identifier, e.g. ``"buffer-pool-25pct"``.
+        rationale: the folklore the rule encodes.
+        apply: callable (node, cluster, signature) -> knob overrides.
+    """
+
+    name: str
+    rationale: str
+    apply: Callable[[NodeSpec, Cluster, Mapping[str, float]], Dict[str, Any]]
+
+
+# ---------------------------------------------------------------------------
+# Per-system expert rule sets
+# ---------------------------------------------------------------------------
+
+def _dbms_rules() -> List[TuningRule]:
+    return [
+        TuningRule(
+            "buffer-pool-25pct",
+            "Dedicate ~25% of RAM to the shared buffer pool.",
+            lambda node, cl, sig: {"buffer_pool_mb": int(node.memory_mb * 0.25)},
+        ),
+        TuningRule(
+            "work-mem-per-session",
+            "Split a quarter of RAM across sessions and parallel workers.",
+            lambda node, cl, sig: {
+                "work_mem_mb": max(
+                    4,
+                    min(
+                        2048,
+                        int(
+                            node.memory_mb * 0.25
+                            / (max(sig.get("sessions", 8), 1) + min(8, node.cores))
+                            / 1.5
+                        ),
+                    ),
+                )
+            },
+        ),
+        TuningRule(
+            "parallel-workers-cores",
+            "Parallel workers up to the core count of one node.",
+            lambda node, cl, sig: {"max_parallel_workers": min(8, node.cores)},
+        ),
+        TuningRule(
+            "wal-and-checkpoints",
+            "Raise WAL buffers and stretch checkpoints for write workloads.",
+            lambda node, cl, sig: {
+                "wal_buffers_mb": 64,
+                "checkpoint_interval_s": 900,
+            },
+        ),
+        TuningRule(
+            "io-depth-for-fast-disks",
+            "Deep I/O queues and cheap random reads on high-IOPS storage.",
+            lambda node, cl, sig: (
+                {"io_concurrency": 64, "random_page_cost": 2.0, "prefetch_depth": 64}
+                if node.disk_random_iops >= 200
+                else {"io_concurrency": 8, "random_page_cost": 4.0}
+            ),
+        ),
+        TuningRule(
+            "batch-commits-when-oltp",
+            "Group commits under write-heavy transaction mixes.",
+            lambda node, cl, sig: (
+                {"log_flush_policy": "batch", "commit_delay_us": 2000}
+                if sig.get("n_transactions", 0) > 0
+                else {}
+            ),
+        ),
+    ]
+
+
+def _hadoop_rules() -> List[TuningRule]:
+    def reducers(node: NodeSpec, cl: Cluster, sig: Mapping[str, float]) -> Dict[str, Any]:
+        slots = sum(min(n.cores, int(n.memory_mb * 0.9 // 1024)) for n in cl.nodes)
+        return {"mapreduce_job_reduces": max(1, int(0.95 * slots))}
+
+    return [
+        TuningRule(
+            "reducers-95pct-slots",
+            "Use ~0.95 × reduce slots so all reducers finish in one wave.",
+            reducers,
+        ),
+        TuningRule(
+            "sort-buffer-generous",
+            "Size io.sort.mb to avoid multi-spill maps; grow containers to match.",
+            lambda node, cl, sig: {
+                "io_sort_mb": 256,
+                "mapreduce_map_memory_mb": 1536,
+                "mapreduce_reduce_memory_mb": 2048,
+            },
+        ),
+        TuningRule(
+            "compress-intermediates",
+            "Snappy-compress map output: cheap CPU, big shuffle savings.",
+            lambda node, cl, sig: {
+                "map_output_compress": True,
+                "compress_codec": "snappy",
+            },
+        ),
+        TuningRule(
+            "combiner-and-jvm-reuse",
+            "Enable the combiner when the job has one; reuse JVMs.",
+            lambda node, cl, sig: {"combiner_enabled": True, "jvm_reuse": True},
+        ),
+        TuningRule(
+            "slowstart-for-shuffle-heavy",
+            "Delay reducers when the shuffle is large relative to slots.",
+            lambda node, cl, sig: (
+                {"reduce_slowstart": 0.8}
+                if sig.get("shuffle_mb", 0) > 4096
+                else {"reduce_slowstart": 0.05}
+            ),
+        ),
+        TuningRule(
+            "big-blocks-for-big-inputs",
+            "256 MiB blocks cut map-task overhead on large inputs.",
+            lambda node, cl, sig: (
+                {"dfs_block_size_mb": 256} if sig.get("input_mb", 0) > 20480 else {}
+            ),
+        ),
+    ]
+
+
+def _spark_rules() -> List[TuningRule]:
+    def executors(node: NodeSpec, cl: Cluster, sig: Mapping[str, float]) -> Dict[str, Any]:
+        cores_per_exec = 4
+        per_node = max(1, node.cores // cores_per_exec)
+        n_exec = max(1, per_node * len(cl) - 1)  # leave room for the driver
+        exec_mem = int(node.memory_mb * 0.9 / per_node - 384)
+        return {
+            "executor_cores": cores_per_exec,
+            "num_executors": min(64, n_exec),
+            "executor_memory_mb": max(512, min(exec_mem, int(node.memory_mb * 0.9))),
+        }
+
+    return [
+        TuningRule(
+            "fat-executors-4cores",
+            "~4 cores per executor balances HDFS throughput and GC.",
+            executors,
+        ),
+        TuningRule(
+            "partitions-2x-cores",
+            "2-3 partitions per core keeps all slots busy without overhead.",
+            lambda node, cl, sig: {
+                "shuffle_partitions": max(8, min(2000, 2 * cl.total_cores))
+            },
+        ),
+        TuningRule(
+            "kryo-always",
+            "Kryo serialization is strictly better for shuffle-heavy jobs.",
+            lambda node, cl, sig: {"serializer": "kryo"},
+        ),
+        TuningRule(
+            "broadcast-64mb",
+            "Broadcast dimension tables up to 64 MiB.",
+            lambda node, cl, sig: {"broadcast_threshold_mb": 64},
+        ),
+        TuningRule(
+            "cache-room-for-iterative",
+            "Give storage memory headroom when the app iterates over cached data.",
+            lambda node, cl, sig: (
+                {"memory_fraction": 0.75, "storage_fraction": 0.6}
+                if sig.get("iterations", 1) > 1
+                else {}
+            ),
+        ),
+    ]
+
+
+_RULEBOOK: Dict[str, Callable[[], List[TuningRule]]] = {
+    "dbms": _dbms_rules,
+    "hadoop": _hadoop_rules,
+    "spark": _spark_rules,
+}
+
+
+@register_tuner("rule-based")
+class RuleBasedTuner(Tuner):
+    """Apply the expert rulebook for the system kind, then keep whichever
+    of {default, rule config} measures faster.
+
+    Costs exactly two real runs — the approach's defining strength
+    (Table 1: cheap, no specialized software) and weakness (no search,
+    so it plateaus at folklore quality).
+    """
+
+    name = "rule-based"
+    category = "rule-based"
+
+    def __init__(self, extra_rules: Optional[List[TuningRule]] = None):
+        self.extra_rules = list(extra_rules or [])
+
+    def rules_for(self, kind: str) -> List[TuningRule]:
+        build = _RULEBOOK.get(kind)
+        rules = build() if build else []
+        return rules + self.extra_rules
+
+    def _tune(self, session: TuningSession) -> Optional[Configuration]:
+        cluster = _cluster_of(session.system)
+        node = cluster.min_node
+        signature = session.workload.signature()
+        overrides: Dict[str, Any] = {}
+        applied: List[str] = []
+        for rule in self.rules_for(session.system.kind):
+            try:
+                patch = rule.apply(node, cluster, signature)
+            except Exception:
+                continue
+            if patch:
+                overrides.update(patch)
+                applied.append(rule.name)
+        session.extras["rules_applied"] = applied
+
+        default = session.default_config()
+        default_m = session.evaluate(default, tag="default")
+        # Repair any constraint violation the combined rules introduce.
+        validator = SpexValidator(session.space)
+        overrides = validator.repair_values({**default.to_dict(), **overrides})
+        try:
+            candidate = session.space.configuration(overrides)
+        except ConstraintViolation:
+            return default
+        cand_m = session.evaluate_if_budget(candidate, tag="rules")
+        if cand_m is not None and cand_m.ok and cand_m.runtime_s < default_m.runtime_s:
+            return candidate
+        return default
+
+
+class SpexValidator:
+    """SPEX-style configuration validation and repair.
+
+    Checks a value mapping against the space's declared constraints and
+    parameter domains, reporting violations instead of raising; *repair*
+    walks offending values back toward the defaults until feasible.
+    """
+
+    def __init__(self, space: ConfigurationSpace):
+        self.space = space
+
+    def violations(self, values: Mapping[str, Any]) -> List[str]:
+        found: List[str] = []
+        for param in self.space.parameters():
+            if param.name in values:
+                try:
+                    param.validate(values[param.name])
+                except Exception:
+                    found.append(f"domain:{param.name}")
+        complete = {p.name: p.default for p in self.space.parameters()}
+        complete.update({k: v for k, v in values.items() if k in complete})
+        for constraint in self.space.constraints():
+            try:
+                if not constraint.holds(complete):
+                    found.append(f"constraint:{constraint.name}")
+            except Exception:
+                found.append(f"constraint:{constraint.name}")
+        return found
+
+    def repair_values(self, values: Mapping[str, Any]) -> Dict[str, Any]:
+        """Clamp domain violations, then bisect toward defaults until all
+        constraints hold.  Always terminates: the default is feasible."""
+        repaired: Dict[str, Any] = {}
+        for param in self.space.parameters():
+            v = values.get(param.name, param.default)
+            try:
+                repaired[param.name] = param.validate(v)
+            except Exception:
+                clip = getattr(param, "clip", None)
+                repaired[param.name] = clip(v) if clip else param.default
+        for _ in range(32):
+            if self.space.is_feasible(repaired):
+                return repaired
+            for param in self.space.parameters():
+                default = param.default
+                current = repaired[param.name]
+                if param.is_numeric and current != default:
+                    repaired[param.name] = param.validate(
+                        0.5 * (float(current) + float(default))
+                    )
+                elif current != default:
+                    repaired[param.name] = default
+        return {p.name: p.default for p in self.space.parameters()}
+
+
+class ConfigNavigator:
+    """Xu et al.: "you have given me too many knobs".
+
+    Ranks a system's knobs by the expert knowledge base's impact tiers
+    and produces the reduced space a non-expert should tune.  (The tiers
+    come from the simulators' documented ground truth — exactly the role
+    vendor documentation plays for the real tool.)
+    """
+
+    _KB = {
+        "dbms": "repro.systems.dbms.knobs",
+        "hadoop": "repro.systems.hadoop.knobs",
+        "spark": "repro.systems.spark.knobs",
+    }
+
+    def ranked_knobs(self, kind: str) -> List[str]:
+        import importlib
+
+        module = importlib.import_module(self._KB[kind])
+        impact: Dict[str, int] = module.GROUND_TRUTH_IMPACT
+        return sorted(impact, key=lambda k: -impact[k])
+
+    def navigated_space(
+        self, space: ConfigurationSpace, kind: str, top_k: int = 8
+    ) -> ConfigurationSpace:
+        keep = [k for k in self.ranked_knobs(kind) if k in space][:top_k]
+        return space.subspace(keep, name=f"{space.name}.navigated")

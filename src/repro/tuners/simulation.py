@@ -1,0 +1,414 @@
+"""Simulation-based tuners: trace replay and ADDM-style diagnosis.
+
+* :class:`TraceSimulationTuner` (Narayanan et al., MASCOTS'05): one
+  instrumented run yields a *trace* — the decomposition of runtime into
+  resource components.  What-if questions are answered by replaying the
+  trace against a resource model that rescales each component under the
+  candidate configuration.  Fine-grained and cheap, but only as good as
+  the component-scaling laws (Table 1: "hard to comprehensively simulate
+  complex internal dynamics").
+
+* :class:`AddmDiagnoser` (Dias et al., CIDR'05): Oracle's Automatic
+  Database Diagnostic Monitor walks a DAG of time components, finds the
+  dominant one, and applies the targeted remedy — then measures again.
+  An iterative measure→diagnose→fix loop rather than a search.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.measurement import Measurement
+from repro.core.parameters import Configuration
+from repro.core.registry import register_tuner
+from repro.core.session import TuningSession
+from repro.core.tuner import Tuner
+from repro.tuners.rule_based import SpexValidator, _cluster_of
+
+__all__ = ["TraceSimulationTuner", "AddmDiagnoser", "trace_replay_predict"]
+
+
+# ---------------------------------------------------------------------------
+# Trace replay
+# ---------------------------------------------------------------------------
+
+def _hit_ratio(bp_mb: float, hot_set_mb: float) -> float:
+    """The replay model's buffer-hit law — deliberately a *linear-capped*
+    approximation, not the system's true saturating curve; trace models
+    are only as good as their component scaling laws."""
+    return min(0.98, 0.9 * bp_mb / max(hot_set_mb, 1.0))
+
+
+def trace_replay_predict(
+    kind: str,
+    base_config: Configuration,
+    base_measurement: Measurement,
+    candidate: Configuration,
+    hot_set_mb: float = 1024.0,
+) -> float:
+    """Predict the candidate's runtime by rescaling the base trace.
+
+    Each measured component is multiplied by the ratio of the resource
+    law evaluated at candidate vs. base settings.
+    """
+    m = base_measurement.metrics
+    base_total = base_measurement.runtime_s
+
+    if kind == "dbms":
+        # Raw component weights; per-transaction waits are reconstructed
+        # from throughput.  Because sessions overlap, raw weights can
+        # exceed wall time, so attribute the measured runtime to
+        # components *proportionally* — the replay then rescales each
+        # share under the candidate's resource laws and is exact at the
+        # base configuration.
+        n_tx = base_total * m.get("tps", 0.0)
+        weights = {
+            "io": m.get("io_time_s", 0.3 * base_total),
+            "cpu": m.get("cpu_time_s", 0.3 * base_total),
+            "commit": m.get("commit_wait_s", 0.0) * n_tx,
+            "lock": m.get("lock_wait_s", 0.0) * n_tx,
+            "checkpoint": m.get("checkpoint_overhead_s", 0.0),
+        }
+        total_w = sum(weights.values())
+        if total_w <= 0:
+            return base_total
+        slack = max(1.0 - min(total_w / base_total, 1.0), 0.1)
+        scale_to_s = base_total * (1.0 - slack) / total_w
+        io = weights["io"] * scale_to_s
+        cpu = weights["cpu"] * scale_to_s
+        commit = weights["commit"] * scale_to_s
+        lock = weights["lock"] * scale_to_s
+        checkpoint = weights["checkpoint"] * scale_to_s
+        other = base_total * slack
+
+        base_miss = 1.0 - _hit_ratio(base_config["buffer_pool_mb"], hot_set_mb)
+        cand_miss = 1.0 - _hit_ratio(candidate["buffer_pool_mb"], hot_set_mb)
+        io_scale = cand_miss / max(base_miss, 1e-4)
+        spill_scale = math.sqrt(
+            max(float(base_config["work_mem_mb"]), 1.0)
+            / max(float(candidate["work_mem_mb"]), 1.0)
+        )
+        io_scale *= spill_scale
+
+        base_w = max(int(base_config["max_parallel_workers"]), 1)
+        cand_w = max(int(candidate["max_parallel_workers"]), 1)
+        cpu_scale = (0.15 + 0.85 / cand_w) / (0.15 + 0.85 / base_w)
+
+        policy_cost = {"commit": 1.0, "batch": 0.4, "async": 0.05}
+        commit_scale = policy_cost[candidate["log_flush_policy"]] / policy_cost[
+            base_config["log_flush_policy"]
+        ]
+        cp_scale = float(base_config["checkpoint_interval_s"]) / max(
+            float(candidate["checkpoint_interval_s"]), 1.0
+        )
+        lock_scale = math.sqrt(
+            float(candidate["deadlock_timeout_ms"])
+            / max(float(base_config["deadlock_timeout_ms"]), 1.0)
+        )
+        return (
+            io * io_scale
+            + cpu * cpu_scale
+            + commit * commit_scale
+            + lock * lock_scale
+            + checkpoint * cp_scale
+            + other
+        )
+
+    if kind == "hadoop":
+        mp = m.get("map_phase_s", 0.3 * base_total)
+        sh = m.get("shuffle_phase_s", 0.2 * base_total)
+        rd = m.get("reduce_phase_s", 0.4 * base_total)
+        other = max(base_total - mp - sh - rd, 0.0)
+        base_red = max(float(base_config["mapreduce_job_reduces"]), 1.0)
+        cand_red = max(float(candidate["mapreduce_job_reduces"]), 1.0)
+        # Reduce work parallelizes sub-linearly with reducers; per-task
+        # launch overhead is an absolute cost, not a multiple of the
+        # phase length.
+        rd_new = rd * (base_red / cand_red) ** 0.85 + 0.05 * (cand_red - base_red)
+        rd_new = max(rd_new, 0.02 * rd)
+        comp = lambda c: 0.55 if c["map_output_compress"] else 1.0
+        combiner = lambda c: 0.5 if c["combiner_enabled"] else 1.0
+        shuffle_scale = (
+            comp(candidate) / comp(base_config)
+            * combiner(candidate) / combiner(base_config)
+        )
+        sh_new = sh * shuffle_scale
+        rd_new *= combiner(candidate) / combiner(base_config)
+        slot_scale = float(base_config["mapreduce_map_memory_mb"]) / float(
+            candidate["mapreduce_map_memory_mb"]
+        )
+        mp_new = mp * (0.7 + 0.3 / max(min(slot_scale, 4.0), 0.25))
+        return mp_new + sh_new + rd_new + other
+
+    if kind == "spark":
+        stage = m.get("stage_time_s", base_total)
+        other = max(base_total - stage, 0.0)
+        slots = lambda c: max(int(c["num_executors"]) * int(c["executor_cores"]), 1)
+        slot_scale = slots(base_config) / slots(candidate)
+        part_scale = float(candidate["shuffle_partitions"]) / max(
+            float(base_config["shuffle_partitions"]), 1.0
+        )
+        overhead = 0.02 * (part_scale - 1.0)
+        ser = lambda c: 0.9 if c["serializer"] == "kryo" else 2.5
+        ser_scale = 0.7 + 0.3 * ser(candidate) / ser(base_config)
+        return stage * (0.3 + 0.7 * slot_scale) * ser_scale * (1.0 + max(overhead, -0.015)) + other
+
+    raise ValueError(f"no trace model for kind {kind!r}")
+
+
+_TASK_OVERHEAD_MB = 300.0  # JVM overhead a profiled trace reveals
+
+
+def hadoop_container_infeasible(config, trace_shuffle_mb: float) -> bool:
+    """Container-sizing sanity a MapReduce modeler applies: the map JVM
+    must hold its sort buffer plus overhead, and the reduce JVM must
+    hold its shuffle buffer (bounded by its per-reducer share) plus
+    overhead."""
+    if config["mapreduce_map_memory_mb"] < config["io_sort_mb"] + _TASK_OVERHEAD_MB:
+        return True
+    per_red = trace_shuffle_mb / max(float(config["mapreduce_job_reduces"]), 1.0)
+    red_buffer = (
+        config["mapreduce_reduce_memory_mb"]
+        * config["shuffle_input_buffer_percent"]
+    )
+    need = min(per_red, red_buffer) + _TASK_OVERHEAD_MB
+    return config["mapreduce_reduce_memory_mb"] < need
+
+
+@register_tuner("trace-sim")
+class TraceSimulationTuner(Tuner):
+    """Instrument one run, replay the trace over many candidates, then
+    validate the best predictions with real runs."""
+
+    name = "trace-sim"
+    category = "simulation-based"
+
+    def __init__(self, n_model_samples: int = 1500, n_validate: int = 3):
+        self.n_model_samples = n_model_samples
+        self.n_validate = n_validate
+
+    def _tune(self, session: TuningSession) -> Optional[Configuration]:
+        base_config = session.default_config()
+        base = session.evaluate(base_config, tag="trace-capture")
+        if not base.ok:
+            return None  # cannot build a trace from a failed run
+        hot_set = session.workload.signature().get("hot_set_mb", 1024.0)
+
+        cluster = _cluster_of(session.system)
+        sessions = session.workload.signature().get("sessions", 8.0)
+        trace_shuffle_mb = base.metric("shuffle_mb", 0.0)
+
+        scored: List[Tuple[float, Configuration]] = []
+        for _ in range(self.n_model_samples):
+            candidate = session.space.sample_configuration(session.rng)
+            # The documented sizing rules any modeler applies before
+            # proposing a configuration.
+            if session.system.kind == "dbms":
+                from repro.tuners.cost_model import dbms_memory_infeasible
+
+                workers = min(
+                    int(candidate["max_parallel_workers"]), cluster.total_cores
+                )
+                if dbms_memory_infeasible(
+                    candidate, cluster.min_node.memory_mb, sessions, workers
+                ):
+                    continue
+            elif session.system.kind == "hadoop":
+                if hadoop_container_infeasible(candidate, trace_shuffle_mb):
+                    continue
+            predicted = trace_replay_predict(
+                session.system.kind, base_config, base, candidate, hot_set
+            )
+            scored.append((predicted, candidate))
+            session.predict(candidate, predicted, tag="trace-replay")
+        scored.sort(key=lambda item: item[0])
+        for predicted, candidate in scored[: self.n_validate]:
+            if session.evaluate_if_budget(candidate, tag="validate") is None:
+                break
+        return None
+
+
+# ---------------------------------------------------------------------------
+# ADDM
+# ---------------------------------------------------------------------------
+
+#: component extractor: measurement -> seconds attributed to the finding
+_Extractor = Callable[[Measurement], float]
+#: remedy: (config values, severity) -> knob overrides
+_Remedy = Callable[[Dict, float], Dict]
+
+
+def _dbms_findings() -> List[Tuple[str, _Extractor, _Remedy]]:
+    def n_tx(meas: Measurement) -> float:
+        return meas.runtime_s * meas.metric("tps")
+
+    return [
+        (
+            "buffer-pool-misses",
+            lambda meas: meas.metric("io_time_s") * meas.metric("cache_miss_ratio"),
+            lambda v, s: {"buffer_pool_mb": v["buffer_pool_mb"] * 2},
+        ),
+        (
+            "operator-spills",
+            lambda meas: meas.metric("spill_mb") / 100.0,
+            lambda v, s: {"work_mem_mb": v["work_mem_mb"] * 4},
+        ),
+        (
+            "log-commit-waits",
+            lambda meas: meas.metric("commit_wait_s") * meas.runtime_s * meas.metric("tps"),
+            lambda v, s: {"log_flush_policy": "batch", "commit_delay_us": 2000},
+        ),
+        (
+            "lock-contention",
+            lambda meas: meas.metric("lock_wait_s") * meas.runtime_s * meas.metric("tps"),
+            lambda v, s: {"deadlock_timeout_ms": max(100, v["deadlock_timeout_ms"] // 4)},
+        ),
+        (
+            "checkpoint-pressure",
+            lambda meas: meas.metric("checkpoint_overhead_s"),
+            lambda v, s: {"checkpoint_interval_s": min(3600, v["checkpoint_interval_s"] * 2)},
+        ),
+        (
+            "cpu-saturation",
+            lambda meas: meas.metric("cpu_time_s"),
+            lambda v, s: {"max_parallel_workers": min(64, v["max_parallel_workers"] * 2)},
+        ),
+    ]
+
+
+def _hadoop_findings() -> List[Tuple[str, _Extractor, _Remedy]]:
+    return [
+        (
+            "reduce-underparallelized",
+            lambda meas: meas.metric("reduce_phase_s"),
+            lambda v, s: {"mapreduce_job_reduces": min(256, v["mapreduce_job_reduces"] * 4)},
+        ),
+        (
+            "shuffle-volume",
+            lambda meas: meas.metric("shuffle_phase_s"),
+            lambda v, s: {"map_output_compress": True, "combiner_enabled": True},
+        ),
+        (
+            "map-spills",
+            lambda meas: meas.metric("spilled_mb") / 200.0,
+            lambda v, s: {
+                "io_sort_mb": min(1024, v["io_sort_mb"] * 2),
+                "mapreduce_map_memory_mb": min(8192, v["mapreduce_map_memory_mb"] * 2),
+            },
+        ),
+        (
+            "jvm-churn",
+            lambda meas: meas.metric("jvm_startup_s"),
+            lambda v, s: {"jvm_reuse": True},
+        ),
+    ]
+
+
+def _spark_findings() -> List[Tuple[str, _Extractor, _Remedy]]:
+    return [
+        (
+            "gc-pressure",
+            lambda meas: meas.metric("gc_time_s"),
+            lambda v, s: {"executor_memory_mb": min(14000, v["executor_memory_mb"] * 2)},
+        ),
+        (
+            "execution-spills",
+            lambda meas: meas.metric("spilled_mb") / 200.0,
+            lambda v, s: {
+                "memory_fraction": min(0.9, v["memory_fraction"] + 0.15),
+                "shuffle_partitions": min(2000, v["shuffle_partitions"] * 2),
+            },
+        ),
+        (
+            "task-launch-overhead",
+            lambda meas: meas.metric("task_launch_s"),
+            lambda v, s: {"shuffle_partitions": max(8, v["shuffle_partitions"] // 4)},
+        ),
+        (
+            "cache-misses",
+            lambda meas: meas.metric("recomputed_mb") / 500.0,
+            lambda v, s: {
+                "storage_fraction": min(0.9, v["storage_fraction"] + 0.2),
+                "executor_memory_mb": min(14000, v["executor_memory_mb"] * 2),
+            },
+        ),
+        (
+            "serialization-cpu",
+            lambda meas: meas.metric("ser_cpu_s"),
+            lambda v, s: {"serializer": "kryo"},
+        ),
+        (
+            "under-provisioned",
+            lambda meas: meas.metric("waves") * 2.0,
+            lambda v, s: {"num_executors": min(64, v["num_executors"] * 2)},
+        ),
+    ]
+
+
+_FINDINGS = {
+    "dbms": _dbms_findings,
+    "hadoop": _hadoop_findings,
+    "spark": _spark_findings,
+}
+
+
+@register_tuner("addm")
+class AddmDiagnoser(Tuner):
+    """Measure → attribute time to findings → remedy the biggest one →
+    repeat.  Keeps the best configuration seen; stops early when the
+    last remedy regressed twice in a row."""
+
+    name = "addm"
+    category = "simulation-based"
+
+    def __init__(self, max_rounds: int = 8):
+        self.max_rounds = max_rounds
+
+    def _tune(self, session: TuningSession) -> Optional[Configuration]:
+        findings = _FINDINGS.get(session.system.kind)
+        if findings is None:
+            session.evaluate(session.default_config(), tag="default")
+            return None
+        catalog = findings()
+        validator = SpexValidator(session.space)
+
+        config = session.default_config()
+        measurement = session.evaluate(config, tag="addm-0")
+        best_config, best_runtime = config, measurement.runtime_s
+        regressions = 0
+        applied: List[str] = []
+        tried: set = set()
+
+        for round_no in range(1, self.max_rounds + 1):
+            if not session.can_run() or not measurement.ok:
+                break
+            ranked = sorted(
+                ((extract(measurement), name, remedy) for name, extract, remedy in catalog),
+                key=lambda t: -t[0],
+            )
+            override = None
+            for severity, name, remedy in ranked:
+                if severity <= 0 or name in tried:
+                    continue
+                override = remedy(dict(config.to_dict()), severity)
+                tried.add(name)
+                applied.append(name)
+                break
+            if override is None:
+                break
+            values = validator.repair_values({**config.to_dict(), **override})
+            new_config = session.space.configuration(values)
+            result = session.evaluate_if_budget(new_config, tag=f"addm-{round_no}")
+            if result is None:
+                break
+            if result.ok and result.runtime_s < best_runtime:
+                best_config, best_runtime = new_config, result.runtime_s
+                regressions = 0
+                config, measurement = new_config, result
+            else:
+                regressions += 1
+                if regressions >= 2:
+                    break
+        session.extras["findings_applied"] = applied
+        return best_config

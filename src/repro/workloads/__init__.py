@@ -1,0 +1,61 @@
+"""Workload generators for all three systems, in one namespace.
+
+Convenience re-exports: the canonical generators live next to their
+simulators (``repro.systems.<system>.workloads``).
+"""
+
+from repro.core.workload import StreamPhase, Workload, WorkloadStream
+from repro.systems.dbms.workloads import (
+    adhoc_query,
+    htap_mixed,
+    olap_analytics,
+    oltp_orders,
+)
+from repro.systems.dbms.workloads import make_workload_suite as dbms_suite
+from repro.systems.hadoop.workloads import (
+    adhoc_job,
+    grep,
+    inverted_index,
+    join,
+    pagerank,
+    terasort,
+    wordcount,
+)
+from repro.systems.hadoop.workloads import make_workload_suite as hadoop_suite
+from repro.systems.spark.workloads import (
+    adhoc_app,
+    spark_kmeans,
+    spark_pagerank,
+    spark_sort,
+    spark_sql_join,
+    spark_streaming_batches,
+    spark_wordcount,
+)
+from repro.systems.spark.workloads import make_workload_suite as spark_suite
+
+__all__ = [
+    "StreamPhase",
+    "Workload",
+    "WorkloadStream",
+    "adhoc_app",
+    "adhoc_job",
+    "adhoc_query",
+    "dbms_suite",
+    "grep",
+    "hadoop_suite",
+    "htap_mixed",
+    "inverted_index",
+    "join",
+    "olap_analytics",
+    "oltp_orders",
+    "pagerank",
+    "spark_kmeans",
+    "spark_pagerank",
+    "spark_sort",
+    "spark_sql_join",
+    "spark_streaming_batches",
+    "spark_suite",
+    "spark_wordcount",
+    "terasort",
+    "wordcount",
+]

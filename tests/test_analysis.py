@@ -1,0 +1,144 @@
+"""Tests for the analysis utilities."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    area_under_curve,
+    banner,
+    convergence_curve,
+    evaluate_predictor,
+    forest_importance,
+    format_table,
+    format_value,
+    lasso_importance,
+    rank_correlation,
+    runs_to_reach,
+    speedup_curve,
+    sweep_importance,
+    top_k_overlap,
+)
+from repro.core import Budget
+from repro.systems.cluster import Cluster
+from repro.systems.dbms import DbmsSimulator, htap_mixed, olap_analytics
+from repro.tuners import RandomSearchTuner, cost_model_for
+
+
+@pytest.fixture(scope="module")
+def dbms():
+    return DbmsSimulator(Cluster.uniform(4))
+
+
+@pytest.fixture(scope="module")
+def result(dbms):
+    return RandomSearchTuner().tune(
+        dbms, htap_mixed(0.5), Budget(max_runs=12), np.random.default_rng(0)
+    )
+
+
+class TestRankingMetrics:
+    def test_rank_correlation_perfect(self):
+        truth = {"a": 3.0, "b": 2.0, "c": 1.0, "d": 0.5}
+        assert rank_correlation(["a", "b", "c", "d"], truth) == pytest.approx(1.0)
+
+    def test_rank_correlation_reversed(self):
+        truth = {"a": 3.0, "b": 2.0, "c": 1.0, "d": 0.5}
+        assert rank_correlation(["d", "c", "b", "a"], truth) == pytest.approx(-1.0)
+
+    def test_rank_correlation_too_few(self):
+        assert rank_correlation(["a"], {"a": 1.0}) == 0.0
+
+    def test_top_k_overlap(self):
+        truth = {"a": 3.0, "b": 2.0, "c": 1.0, "d": 0.5}
+        assert top_k_overlap(["a", "b"], truth, k=2) == 1.0
+        assert top_k_overlap(["d", "c"], truth, k=2) == 0.0
+        assert top_k_overlap(["a", "c"], truth, k=2) == 0.5
+
+    def test_sweep_importance_finds_designed_knobs(self, dbms):
+        scores = sweep_importance(
+            dbms, olap_analytics(0.5), levels=3,
+            knobs=["buffer_pool_mb", "stats_target"],
+        )
+        assert scores["buffer_pool_mb"] > 1.1
+        assert scores["stats_target"] == pytest.approx(1.0, abs=0.02)
+
+    def test_lasso_importance_returns_all(self, dbms):
+        names = lasso_importance(
+            dbms, olap_analytics(0.5), n_samples=25,
+            rng=np.random.default_rng(0),
+        )
+        assert sorted(names) == sorted(dbms.config_space.names())
+
+    def test_forest_importance_normalized(self, dbms):
+        scores = forest_importance(
+            dbms, olap_analytics(0.5), n_samples=25,
+            rng=np.random.default_rng(0),
+        )
+        assert sum(scores.values()) == pytest.approx(1.0, abs=1e-6)
+
+
+class TestConvergence:
+    def test_curve_shapes(self, result):
+        curve = convergence_curve(result)
+        assert len(curve) == result.n_real_runs
+        bests = [b for _, b in curve]
+        assert all(x >= y for x, y in zip(bests, bests[1:]))
+
+    def test_speedup_curve_monotone(self, result):
+        curve = speedup_curve(result, baseline_runtime_s=100.0)
+        speeds = [s for _, s in curve]
+        assert all(y >= x for x, y in zip(speeds, speeds[1:]))
+
+    def test_auc_between_extremes(self, result):
+        base = 100.0
+        auc = area_under_curve(result, base)
+        final = speedup_curve(result, base)[-1][1]
+        assert 0 < auc <= final
+
+    def test_runs_to_reach(self, result):
+        base = result.best_runtime_s * 2
+        idx = runs_to_reach(result, base, target_speedup=2.0)
+        assert idx >= 1
+        assert runs_to_reach(result, base, target_speedup=1e9) == -1
+
+
+class TestWhatIf:
+    def test_cost_model_accuracy_scored(self, dbms):
+        model = cost_model_for("dbms")
+        wl = htap_mixed(0.5)
+        acc = evaluate_predictor(
+            dbms, wl,
+            lambda cfg: model.predict(wl, cfg, dbms.cluster),
+            n_points=15, rng=np.random.default_rng(1),
+        )
+        assert acc.n_points >= 5
+        assert -1.0 <= acc.rank_fidelity <= 1.0
+        assert acc.mape >= 0
+
+    def test_broken_predictor_gives_empty(self, dbms):
+        acc = evaluate_predictor(
+            dbms, htap_mixed(0.5),
+            lambda cfg: float("nan") / 0 if True else 0,  # always raises
+            n_points=5, rng=np.random.default_rng(1),
+        )
+        assert acc.n_points == 0
+        assert math.isinf(acc.mape)
+
+
+class TestReport:
+    def test_format_value(self):
+        assert format_value(float("inf")) == "inf"
+        assert format_value(0.1234) == "0.12"
+        assert format_value(1234567.0) == "1,234,567"
+        assert format_value("text") == "text"
+
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1.0], ["bbbb", 22.5]])
+        lines = text.splitlines()
+        assert len({len(l) for l in lines}) == 1  # all rows same width
+        assert "bbbb" in text
+
+    def test_banner(self):
+        assert "hello" in banner("hello")

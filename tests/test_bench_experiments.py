@@ -1,0 +1,111 @@
+"""Smoke tests for every experiment module (quick modes).
+
+The benchmark suite asserts shapes at full fidelity; these tests only
+verify each experiment runs end-to-end, returns a well-formed
+ExperimentResult, and exposes the raw data its benchmark consumes.
+"""
+
+import pytest
+
+from repro.bench import (
+    ExperimentResult,
+    run_adhoc,
+    run_cloud,
+    run_convergence,
+    run_hadoop_vs_dbms,
+    run_heterogeneity,
+    run_ituned_ablation,
+    run_misconfig,
+    run_ottertune_ablation,
+    run_ranking,
+    run_spark_significance,
+    run_table1,
+    run_table2,
+    run_whatif,
+)
+
+
+def _check(result: ExperimentResult, experiment_id: str) -> None:
+    assert result.experiment_id == experiment_id
+    assert result.headers and result.rows
+    for row in result.rows:
+        assert len(row) == len(result.headers)
+    text = result.to_text()
+    assert experiment_id in text
+    assert result.headers[0] in text
+
+
+class TestExperimentSmoke:
+    def test_e1(self):
+        result = run_table1(budget_runs=8, quick=True, seed=0)
+        _check(result, "E1")
+        assert set(result.raw["mean_speedup_by_category"]) == {
+            "rule-based", "cost-modeling", "simulation-based",
+            "experiment-driven", "machine-learning", "adaptive",
+        }
+
+    def test_e2(self):
+        result = run_table2(budget_runs=10, quick=True, seed=0)
+        _check(result, "E2")
+        assert len(result.rows) == 11
+
+    def test_e3(self):
+        result = run_misconfig(n_samples=20, quick=True, seed=0)
+        _check(result, "E3")
+
+    def test_e4(self):
+        result = run_hadoop_vs_dbms(budget_runs=8, quick=True, seed=0)
+        _check(result, "E4")
+
+    def test_e5(self):
+        result = run_spark_significance(quick=True, seed=0)
+        _check(result, "E5")
+        assert 0 < result.raw["fraction_significant"] < 1
+
+    def test_e6(self):
+        result = run_convergence(budget_runs=10, quick=True, seed=0)
+        _check(result, "E6")
+        assert result.raw["curves"]
+
+    def test_e7(self):
+        result = run_heterogeneity(budget_runs=6, quick=True, seed=0)
+        _check(result, "E7")
+        assert len(result.rows) == 4
+
+    def test_e8(self):
+        result = run_adhoc(n_jobs=3, tune_budget=4, quick=True, seed=0)
+        _check(result, "E8")
+        assert "per-job ituned" in result.raw["totals"]
+
+    def test_e9(self):
+        result = run_ranking(quick=True, seed=0)
+        _check(result, "E9")
+        assert {row[0] for row in result.rows} == {
+            "sard-pb", "lasso-path", "forest-impurity", "navigation-kb",
+        }
+
+    def test_e10(self):
+        result = run_whatif(n_points=8, quick=True, seed=0)
+        _check(result, "E10")
+
+    def test_e11(self):
+        result = run_cloud(budget_runs=6, quick=True, seed=0)
+        _check(result, "E11")
+        assert result.raw["cost_optimal_nodes"] in (2, 8)
+
+    def test_e12(self):
+        result = run_ituned_ablation(budget_runs=8, quick=True)
+        _check(result, "E12")
+
+    def test_e13(self):
+        result = run_ottertune_ablation(budget_runs=8, quick=True)
+        _check(result, "E13")
+
+
+class TestExperimentResultApi:
+    def test_column_and_row_by(self):
+        result = run_misconfig(n_samples=10, quick=True, seed=0)
+        assert result.column("system") == ["dbms"]
+        assert result.row_by("dbms")[0] == "dbms"
+        with pytest.raises(KeyError):
+            result.row_by("mainframe")

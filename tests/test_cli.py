@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_everything(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for fragment in ("rule-based", "ituned", "ottertune", "dbms", "E1", "E13"):
+            assert fragment in out
+
+
+class TestTune:
+    def test_tune_session(self, capsys):
+        rc = main([
+            "tune", "--system", "dbms", "--workload", "olap",
+            "--tuner", "rule-based", "--runs", "2", "--show-config",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+
+    def test_unknown_workload(self, capsys):
+        rc = main([
+            "tune", "--system", "dbms", "--workload", "nope", "--tuner", "default",
+        ])
+        assert rc == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_cheap_tuner_on_spark(self, capsys):
+        rc = main([
+            "tune", "--system", "spark", "--workload", "sort",
+            "--tuner", "cost-model", "--runs", "4",
+        ])
+        assert rc == 0
+        assert "best" in capsys.readouterr().out
+
+
+class TestExperiment:
+    def test_quick_experiment(self, capsys):
+        assert main(["experiment", "E3", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "[E3]" in out and "worst/best" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "E99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_case_insensitive_id(self, capsys):
+        assert main(["experiment", "e3", "--quick"]) == 0
+
+
+class TestSweep:
+    def test_sweep_prints_grid(self, capsys):
+        rc = main([
+            "sweep", "--system", "hadoop", "--workload", "terasort",
+            "--knob", "mapreduce_job_reduces", "--levels", "3",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.count("s") > 3  # runtimes printed
+
+    def test_unknown_knob(self, capsys):
+        rc = main([
+            "sweep", "--system", "dbms", "--workload", "olap", "--knob", "bogus",
+        ])
+        assert rc == 2
+        assert "unknown knob" in capsys.readouterr().err

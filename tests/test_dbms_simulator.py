@@ -1,0 +1,234 @@
+"""Behavioural tests for the DBMS simulator.
+
+These pin the response-surface features the tuning experiments rely on:
+diminishing returns, spill cliffs, U-shaped optima, failure regions,
+planner effects, and determinism.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.systems.cluster import Cluster, NodeSpec
+from repro.systems.dbms import (
+    DBMS_TUNING_KNOBS,
+    DbmsSimulator,
+    DbmsWorkload,
+    GROUND_TRUTH_IMPACT,
+    QuerySpec,
+    ScanSpec,
+    TableSpec,
+    TransactionSpec,
+    adhoc_query,
+    build_screening_space,
+    htap_mixed,
+    olap_analytics,
+    oltp_orders,
+)
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return DbmsSimulator()
+
+
+@pytest.fixture(scope="module")
+def space(sim):
+    return sim.config_space
+
+
+@pytest.fixture(scope="module")
+def olap():
+    return olap_analytics()
+
+
+@pytest.fixture(scope="module")
+def oltp():
+    return oltp_orders()
+
+
+def runtime(sim, wl, **overrides):
+    return sim.run(wl, sim.config_space.partial(overrides)).runtime_s
+
+
+class TestWorkloadModel:
+    def test_signature_keys_stable(self, olap, oltp):
+        assert set(olap.signature()) == set(oltp.signature())
+
+    def test_tables_validated(self):
+        with pytest.raises(ValueError):
+            TableSpec("t", pages=0, rows=1)
+        with pytest.raises(ValueError):
+            TableSpec("t", pages=1, rows=1, hot_fraction=0)
+
+    def test_scan_spec_validated(self):
+        with pytest.raises(ValueError):
+            ScanSpec("t", selectivity=0.0)
+
+    def test_unknown_table_rejected(self):
+        t = TableSpec("a", pages=10, rows=100)
+        q = QuerySpec("q", scans=(ScanSpec("missing"),))
+        with pytest.raises(WorkloadError):
+            DbmsWorkload("w", tables=[t], queries=[q])
+
+    def test_transactions_need_count(self):
+        t = TableSpec("a", pages=10, rows=100)
+        with pytest.raises(WorkloadError):
+            DbmsWorkload(
+                "w", tables=[t], transactions=[TransactionSpec("tx")], n_transactions=0
+            )
+
+    def test_adhoc_seeded(self):
+        assert adhoc_query(5).signature() == adhoc_query(5).signature()
+        assert adhoc_query(5).signature() != adhoc_query(6).signature()
+
+
+class TestEngineBehaviour:
+    def test_deterministic(self, sim, olap, space):
+        config = space.default_configuration()
+        a = sim.run(olap, config)
+        b = sim.run(olap, config)
+        assert a.runtime_s == b.runtime_s
+        assert dict(a.metrics) == dict(b.metrics)
+
+    def test_metrics_complete(self, sim, olap, space):
+        m = sim.run(olap, space.default_configuration())
+        for name in sim.metric_names:
+            assert name in m.metrics
+
+    def test_buffer_pool_diminishing_returns(self, sim, olap):
+        r = [runtime(sim, olap, buffer_pool_mb=b) for b in (64, 512, 4096, 12288)]
+        assert r[0] > r[1] > r[2] > r[3]
+        # Diminishing: the first 8x helps more than the last 3x.
+        assert (r[0] - r[2]) > (r[2] - r[3]) * 2
+
+    def test_buffer_pool_hit_metric_tracks(self, sim, olap, space):
+        low = sim.run(olap, space.partial({"buffer_pool_mb": 64}))
+        high = sim.run(olap, space.partial({"buffer_pool_mb": 8192}))
+        assert high.metric("buffer_hit_ratio") > low.metric("buffer_hit_ratio")
+
+    def test_work_mem_spill_cliff(self, sim, olap, space):
+        small = sim.run(olap, space.partial({"work_mem_mb": 1}))
+        large = sim.run(olap, space.partial({"work_mem_mb": 512}))
+        assert small.metric("spill_mb") > large.metric("spill_mb")
+        assert small.runtime_s > large.runtime_s
+
+    def test_parallel_workers_amdahl(self, sim, olap):
+        r1 = runtime(sim, olap, max_parallel_workers=1)
+        r8 = runtime(sim, olap, max_parallel_workers=8)
+        r64 = runtime(sim, olap, max_parallel_workers=64)
+        assert r1 > r8
+        assert abs(r8 - r64) < (r1 - r8)  # saturation
+
+    def test_oom_failure_region(self, sim, olap, space):
+        config = space.partial({
+            "work_mem_mb": 4096,
+            "hash_mem_multiplier": 8,
+            "max_connections": 1000,
+        })
+        m = sim.run(olap, config)
+        assert m.failed and math.isinf(m.runtime_s)
+        assert m.metric("elapsed_before_failure_s") > 0
+
+    def test_deadlock_timeout_u_shape(self, sim, oltp):
+        low = runtime(sim, oltp, deadlock_timeout_ms=10)
+        mid = runtime(sim, oltp, deadlock_timeout_ms=200)
+        high = runtime(sim, oltp, deadlock_timeout_ms=10000)
+        assert mid < low
+        assert mid < high
+
+    def test_checkpoint_interval_u_shape(self, sim, oltp):
+        short = runtime(sim, oltp, checkpoint_interval_s=30)
+        mid = runtime(sim, oltp, checkpoint_interval_s=600)
+        long = runtime(sim, oltp, checkpoint_interval_s=3600)
+        assert mid < short
+        assert mid < long
+
+    def test_flush_policy_ordering(self, sim, oltp):
+        commit = runtime(sim, oltp, log_flush_policy="commit")
+        batch = runtime(sim, oltp, log_flush_policy="batch")
+        async_ = runtime(sim, oltp, log_flush_policy="async")
+        assert async_ < batch < commit
+
+    def test_compression_tradeoff_depends_on_cpu(self, olap):
+        fast_cpu = DbmsSimulator(Cluster.uniform(1, NodeSpec(cpu_speed=2.0, disk_read_mbps=80)))
+        slow_cpu = DbmsSimulator(Cluster.uniform(1, NodeSpec(cpu_speed=0.3, disk_read_mbps=2000, disk_write_mbps=1500)))
+        def gain(sim):
+            space = sim.config_space
+            off = sim.run(olap, space.partial({"compression": False})).runtime_s
+            on = sim.run(olap, space.partial({"compression": True, "compression_algo": "zlib"})).runtime_s
+            return off / on
+        # Compression pays on slow disks + fast CPU, not the reverse.
+        assert gain(fast_cpu) > gain(slow_cpu)
+
+    def test_random_page_cost_affects_plan_choice(self, sim, space):
+        table = TableSpec("t", pages=50_000, rows=5_000_000, hot_fraction=0.1)
+        query = QuerySpec("q", scans=(ScanSpec("t", selectivity=0.2, index_available=True),))
+        wl = DbmsWorkload("plans", tables=[table], queries=[query], sessions=2)
+        cheap_random = sim.run(wl, space.partial({"random_page_cost": 1.0}))
+        expensive_random = sim.run(wl, space.partial({"random_page_cost": 10.0}))
+        assert cheap_random.metric("index_scans") >= 1
+        assert expensive_random.metric("seq_scans") >= 1
+
+    def test_inert_knobs_are_inert(self, sim, olap, space):
+        base = sim.run(olap, space.default_configuration()).runtime_s
+        for knob in ("stats_target", "geqo_threshold", "tcp_keepalive_s"):
+            param = space[knob]
+            for value in param.grid(3):
+                r = sim.run(olap, space.partial({knob: value})).runtime_s
+                assert r == pytest.approx(base, rel=0.01), knob
+
+    def test_cluster_scaling_speeds_up_scans(self, olap):
+        one = DbmsSimulator(Cluster.uniform(1))
+        eight = DbmsSimulator(Cluster.uniform(8))
+        # Use an IO-bound config so the node count matters.
+        config = {"buffer_pool_mb": 64, "max_parallel_workers": 1}
+        r1 = one.run(olap, one.config_space.partial(config)).runtime_s
+        r8 = eight.run(olap, eight.config_space.partial(config)).runtime_s
+        assert r8 < r1
+
+    def test_oltp_tps_positive(self, sim, oltp, space):
+        m = sim.run(oltp, space.default_configuration())
+        assert m.metric("tps") > 0
+        assert m.metric("wal_mb") > 0
+
+    def test_cost_units_scale_with_cluster(self, olap):
+        small = DbmsSimulator(Cluster.uniform(1))
+        big = DbmsSimulator(Cluster.uniform(8))
+        cs = small.run(olap, small.config_space.default_configuration())
+        cb = big.run(olap, big.config_space.default_configuration())
+        assert cb.cost_units / cb.runtime_s > cs.cost_units / cs.runtime_s
+
+
+class TestKnobCatalog:
+    def test_ground_truth_covers_catalog(self, space):
+        assert set(GROUND_TRUTH_IMPACT) == set(space.names())
+
+    def test_tuning_knobs_subset(self, space):
+        assert set(DBMS_TUNING_KNOBS) <= set(space.names())
+        assert len(DBMS_TUNING_KNOBS) >= 10
+
+    def test_default_is_feasible(self, space):
+        space.default_configuration()  # must not raise
+
+    def test_memory_constraint_active(self, space):
+        from repro.exceptions import ConstraintViolation
+
+        with pytest.raises(ConstraintViolation):
+            space.partial({"buffer_pool_mb": space["buffer_pool_mb"].high,
+                           "wal_buffers_mb": 1024, "temp_buffers_mb": 1024})
+
+    def test_screening_space_is_conservative(self):
+        screening = build_screening_space(16384)
+        assert screening["work_mem_mb"].high < 4096
+        assert set(screening.names()) == set(DBMS_TUNING_KNOBS)
+
+    def test_screening_values_valid_in_full_space(self, space):
+        screening = build_screening_space(16384)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            values = {p.name: p.sample(rng) for p in screening.parameters()}
+            for name, value in values.items():
+                space[name].validate(value)

@@ -1,0 +1,38 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are user-facing documentation; they must not rot.  Each is run
+in a subprocess exactly as the README instructs.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_EXAMPLES = sorted(
+    f for f in os.listdir(os.path.join(_ROOT, "examples")) if f.endswith(".py")
+)
+
+
+@pytest.mark.parametrize("script", _EXAMPLES)
+def test_example_runs(script):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(_ROOT, "src") + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, os.path.join(_ROOT, "examples", script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=env,
+    )
+    assert proc.returncode == 0, f"{script} failed:\n{proc.stderr[-2000:]}"
+    assert proc.stdout.strip(), f"{script} produced no output"
+
+
+def test_every_example_is_documented_in_readme():
+    with open(os.path.join(_ROOT, "README.md")) as f:
+        readme = f.read()
+    for script in _EXAMPLES:
+        assert script in readme, f"{script} missing from README examples table"

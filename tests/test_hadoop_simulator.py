@@ -1,0 +1,178 @@
+"""Behavioural tests for the Hadoop MapReduce simulator."""
+
+import math
+
+import pytest
+
+from repro.systems.cluster import Cluster, NodeSpec
+from repro.systems.hadoop import (
+    GROUND_TRUTH_IMPACT,
+    HADOOP_TUNING_KNOBS,
+    HadoopSimulator,
+    HadoopWorkload,
+    MRJobSpec,
+    adhoc_job,
+    grep,
+    join,
+    pagerank,
+    terasort,
+    wordcount,
+)
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return HadoopSimulator()
+
+
+@pytest.fixture(scope="module")
+def space(sim):
+    return sim.config_space
+
+
+@pytest.fixture(scope="module")
+def sort_wl():
+    return terasort(8.0)
+
+
+def runtime(sim, wl, **overrides):
+    return sim.run(wl, sim.config_space.partial(overrides)).runtime_s
+
+
+class TestJobModel:
+    def test_job_validation(self):
+        with pytest.raises(ValueError):
+            MRJobSpec("j", input_mb=0)
+        with pytest.raises(ValueError):
+            MRJobSpec("j", input_mb=1, combiner_reduction=1.0)
+        with pytest.raises(ValueError):
+            MRJobSpec("j", input_mb=1, skew=-1)
+
+    def test_workload_needs_jobs(self):
+        with pytest.raises(Exception):
+            HadoopWorkload("w", [])
+
+    def test_map_output(self):
+        job = MRJobSpec("j", input_mb=100, map_selectivity=1.5)
+        assert job.map_output_mb == pytest.approx(150.0)
+
+    def test_pagerank_iterations(self):
+        wl = pagerank(2.0, iterations=4)
+        assert len(wl.jobs) == 4
+
+    def test_adhoc_seeded(self):
+        assert adhoc_job(3).signature() == adhoc_job(3).signature()
+
+    def test_scaled(self, sort_wl):
+        assert sort_wl.scaled(2.0).total_input_mb() == pytest.approx(
+            sort_wl.total_input_mb() * 2.0
+        )
+
+
+class TestEngineBehaviour:
+    def test_deterministic(self, sim, sort_wl, space):
+        config = space.default_configuration()
+        assert sim.run(sort_wl, config).runtime_s == sim.run(sort_wl, config).runtime_s
+
+    def test_reducer_count_u_shape(self, sim, sort_wl):
+        r1 = runtime(sim, sort_wl, mapreduce_job_reduces=1)
+        r64 = runtime(sim, sort_wl, mapreduce_job_reduces=64)
+        r256 = runtime(sim, sort_wl, mapreduce_job_reduces=256)
+        assert r64 < r1 / 5  # reducers are the dominant knob
+        assert r256 > r64  # overhead + skew bite back
+
+    def test_combiner_massive_for_wordcount(self, sim):
+        wl = wordcount(8.0)
+        off = runtime(sim, wl, combiner_enabled=False)
+        on = runtime(sim, wl, combiner_enabled=True)
+        assert off / on > 3.0
+
+    def test_combiner_useless_for_terasort(self, sim, sort_wl):
+        off = runtime(sim, sort_wl, combiner_enabled=False)
+        on = runtime(sim, sort_wl, combiner_enabled=True)
+        assert on == pytest.approx(off, rel=0.02)
+
+    def test_compression_helps_shuffle_heavy(self, sim, sort_wl):
+        off = runtime(sim, sort_wl, map_output_compress=False)
+        on = runtime(sim, sort_wl, map_output_compress=True)
+        assert on < off
+
+    def test_gzip_costs_more_cpu_than_snappy(self, sim, sort_wl, space):
+        snappy = sim.run(sort_wl, space.partial(
+            {"map_output_compress": True, "compress_codec": "snappy"}))
+        gzip = sim.run(sort_wl, space.partial(
+            {"map_output_compress": True, "compress_codec": "gzip"}))
+        assert gzip.metric("shuffle_mb") < snappy.metric("shuffle_mb")
+
+    def test_sort_buffer_reduces_spills(self, sim, sort_wl, space):
+        small = sim.run(sort_wl, space.partial(
+            {"io_sort_mb": 16, "mapreduce_map_memory_mb": 2048}))
+        big = sim.run(sort_wl, space.partial(
+            {"io_sort_mb": 1024, "mapreduce_map_memory_mb": 2048}))
+        assert small.metric("spilled_mb") > big.metric("spilled_mb")
+
+    def test_container_oom(self, sim, sort_wl, space):
+        m = sim.run(sort_wl, space.partial({"mapreduce_map_memory_mb": 256}))
+        assert m.failed  # 256 MiB < sort buffer + JVM overhead
+
+    def test_reduce_oom_with_tiny_reduce_memory(self, sim, space):
+        wl = join(16.0)
+        m = sim.run(wl, space.partial({
+            "mapreduce_job_reduces": 4,
+            "mapreduce_reduce_memory_mb": 256,
+        }))
+        assert m.failed
+
+    def test_jvm_reuse_helps_many_small_tasks(self, sim, space):
+        wl = grep(20.0)
+        off = sim.run(wl, space.partial(
+            {"dfs_block_size_mb": 16, "jvm_reuse": False})).runtime_s
+        on = sim.run(wl, space.partial(
+            {"dfs_block_size_mb": 16, "jvm_reuse": True})).runtime_s
+        assert on < off
+
+    def test_speculation_flips_sign_with_heterogeneity(self, sort_wl):
+        homo = HadoopSimulator(Cluster.uniform(8))
+        het = HadoopSimulator(Cluster.heterogeneous(
+            [(6, NodeSpec()), (2, NodeSpec().scaled(cpu=0.4, disk=0.5))]
+        ))
+        def gain(sim):
+            on = runtime(sim, sort_wl, speculative_execution=True)
+            off = runtime(sim, sort_wl, speculative_execution=False)
+            return off / on
+        assert gain(homo) < 1.0 < gain(het)
+
+    def test_output_replication_costs(self, sim, sort_wl):
+        r1 = runtime(sim, sort_wl, output_replication=1)
+        r5 = runtime(sim, sort_wl, output_replication=5)
+        assert r5 > r1
+
+    def test_multi_job_workloads_additive(self, sim, space):
+        one = pagerank(2.0, iterations=1)
+        three = pagerank(2.0, iterations=3)
+        config = space.default_configuration()
+        r1 = sim.run(one, config).runtime_s
+        r3 = sim.run(three, config).runtime_s
+        assert r3 == pytest.approx(3 * r1, rel=0.05)
+
+    def test_inert_knobs_are_inert(self, sim, sort_wl, space):
+        base = sim.run(sort_wl, space.default_configuration()).runtime_s
+        for knob in ("heartbeat_interval_s", "counters_limit", "log_level"):
+            for value in space[knob].grid(3):
+                r = sim.run(sort_wl, space.partial({knob: value})).runtime_s
+                assert r == pytest.approx(base, rel=0.01), knob
+
+    def test_metrics_complete(self, sim, sort_wl, space):
+        m = sim.run(sort_wl, space.default_configuration())
+        for name in sim.metric_names:
+            assert name in m.metrics
+
+    def test_constraint_sort_buffer_vs_container(self, space):
+        from repro.exceptions import ConstraintViolation
+
+        with pytest.raises(ConstraintViolation):
+            space.partial({"io_sort_mb": 2048, "mapreduce_map_memory_mb": 1024})
+
+    def test_ground_truth_covers_catalog(self, space):
+        assert set(GROUND_TRUTH_IMPACT) == set(space.names())
+        assert set(HADOOP_TUNING_KNOBS) <= set(space.names())

@@ -1,0 +1,98 @@
+"""Tests for the bench harness helpers, the run-all registry, and the
+CLI 'experiment all' path."""
+
+import numpy as np
+import pytest
+
+from repro.bench import EXPERIMENT_REGISTRY, run_all_experiments
+from repro.bench.harness import (
+    default_runtime,
+    heterogeneous_cluster,
+    representative_tuners,
+    standard_cluster,
+    tuned_result,
+)
+from repro.core import Budget
+from repro.core.tuner import CATEGORIES
+from repro.systems.dbms import DbmsSimulator, htap_mixed, olap_analytics
+
+
+class TestHarness:
+    def test_standard_cluster(self):
+        cluster = standard_cluster(4)
+        assert len(cluster) == 4
+        assert not cluster.is_heterogeneous
+
+    def test_heterogeneous_cluster(self):
+        cluster = heterogeneous_cluster(3, 2)
+        assert len(cluster) == 5
+        assert cluster.is_heterogeneous
+        assert cluster.straggler_factor() > 1.3
+
+    def test_default_runtime_noisy_but_close(self):
+        system = DbmsSimulator(standard_cluster())
+        wl = htap_mixed(0.3)
+        clean = system.run(wl, system.default_configuration()).runtime_s
+        noisy = default_runtime(system, wl, seed=3)
+        assert noisy == pytest.approx(clean, rel=0.25)
+
+    def test_representative_tuners_cover_all_categories(self):
+        system = DbmsSimulator(standard_cluster())
+        tuners = representative_tuners(system, [olap_analytics(0.3)])
+        assert [category for category, _ in tuners] == list(CATEGORIES)
+
+    def test_representative_tuners_without_history_fall_back(self):
+        system = DbmsSimulator(standard_cluster())
+        tuners = dict(representative_tuners(system, None))
+        assert tuners["machine-learning"].name == "bayesopt"
+
+    def test_tuned_result_respects_budget(self):
+        from repro.tuners import RandomSearchTuner
+
+        system = DbmsSimulator(standard_cluster())
+        result = tuned_result(
+            system, htap_mixed(0.3), RandomSearchTuner(), Budget(max_runs=4),
+        )
+        assert result.n_real_runs == 4
+
+
+class TestRunAll:
+    def test_registry_complete(self):
+        assert set(EXPERIMENT_REGISTRY) == {f"E{i}" for i in range(1, 18)}
+
+    def test_subset_run(self):
+        results = run_all_experiments(quick=True, only=["E3"])
+        assert len(results) == 1
+        key, result, elapsed = results[0]
+        assert key == "E3"
+        assert result.experiment_id == "E3"
+        assert elapsed >= 0
+
+    def test_all_runners_accept_quick(self):
+        import inspect
+
+        for key, runner in EXPERIMENT_REGISTRY.items():
+            assert "quick" in inspect.signature(runner).parameters, key
+
+
+class TestCliAll:
+    def test_experiment_all_quick(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiment", "all", "--quick"]) == 0
+        out = capsys.readouterr().out
+        for key in ("[E1]", "[E5]", "[E15]"):
+            assert key in out
+
+
+class TestCsvExport:
+    def test_to_csv_roundtrips(self):
+        import csv
+        import io
+
+        from repro.bench import run_misconfig
+
+        result = run_misconfig(n_samples=10, quick=True, seed=0)
+        rows = list(csv.reader(io.StringIO(result.to_csv())))
+        assert rows[0] == result.headers
+        assert len(rows) == len(result.rows) + 1

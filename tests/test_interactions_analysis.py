@@ -1,0 +1,66 @@
+"""Tests for the interaction-detection analysis."""
+
+import pytest
+
+from repro.analysis.interactions import (
+    interaction_matrix,
+    interaction_strength,
+    top_interactions,
+)
+from repro.bench.harness import standard_cluster
+from repro.core import SubspaceSystem
+from repro.systems.dbms import (
+    DBMS_TUNING_KNOBS,
+    DbmsSimulator,
+    build_screening_space,
+    oltp_orders,
+)
+
+
+@pytest.fixture(scope="module")
+def fsystem():
+    cluster = standard_cluster()
+    system = DbmsSimulator(cluster)
+    return SubspaceSystem(
+        system, DBMS_TUNING_KNOBS,
+        space=build_screening_space(cluster.min_node.memory_mb),
+    )
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return oltp_orders(0.5)
+
+
+class TestInteractionStrength:
+    def test_designed_coupling_detected(self, fsystem, workload):
+        strength = interaction_strength(
+            fsystem, workload, "wal_buffers_mb", "checkpoint_interval_s"
+        )
+        assert strength is not None and strength > 0.05
+
+    def test_independent_pair_near_zero(self, fsystem, workload):
+        strength = interaction_strength(
+            fsystem, workload, "prefetch_depth", "deadlock_timeout_ms"
+        )
+        assert strength is not None and strength < 0.02
+
+    def test_symmetric(self, fsystem, workload):
+        ab = interaction_strength(fsystem, workload, "wal_buffers_mb", "checkpoint_interval_s")
+        ba = interaction_strength(fsystem, workload, "checkpoint_interval_s", "wal_buffers_mb")
+        assert ab == pytest.approx(ba)
+
+    def test_matrix_covers_all_pairs(self, fsystem, workload):
+        knobs = ["wal_buffers_mb", "checkpoint_interval_s", "prefetch_depth"]
+        matrix = interaction_matrix(fsystem, workload, knobs)
+        assert len(matrix) == 3
+
+    def test_top_interactions_sorted(self, fsystem, workload):
+        knobs = [
+            "wal_buffers_mb", "checkpoint_interval_s",
+            "deadlock_timeout_ms", "log_flush_policy", "prefetch_depth",
+        ]
+        tops = top_interactions(fsystem, workload, knobs, k=4)
+        strengths = [v for _, _, v in tops]
+        assert strengths == sorted(strengths, reverse=True)
+        assert tops[0][2] > tops[-1][2]

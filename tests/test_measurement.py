@@ -1,0 +1,125 @@
+"""Tests for measurements, observations, and tuning histories."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.measurement import Measurement, Observation, TuningHistory
+from repro.core.parameters import ConfigurationSpace, NumericParameter
+
+
+@pytest.fixture
+def space():
+    return ConfigurationSpace([NumericParameter("x", 5, 0, 10)])
+
+
+def obs(space, x, runtime, source="real", failed=False, **metrics):
+    m = (
+        Measurement.failure()
+        if failed
+        else Measurement(runtime_s=runtime, metrics=metrics)
+    )
+    return Observation(space.partial({"x": x}), m, source=source)
+
+
+class TestMeasurement:
+    def test_basic(self):
+        m = Measurement(runtime_s=2.0, metrics={"a": 1.0})
+        assert m.ok and m.metric("a") == 1.0 and m.metric("b", 9.0) == 9.0
+
+    def test_negative_runtime_rejected(self):
+        with pytest.raises(ValueError):
+            Measurement(runtime_s=-1.0)
+
+    def test_nan_runtime_rejected(self):
+        with pytest.raises(ValueError):
+            Measurement(runtime_s=float("nan"))
+
+    def test_failure_is_inf(self):
+        m = Measurement.failure()
+        assert m.failed and math.isinf(m.runtime_s) and not m.ok
+
+    def test_failed_flag_forces_inf(self):
+        m = Measurement(runtime_s=5.0, failed=True)
+        assert math.isinf(m.runtime_s)
+
+    def test_metric_vector(self):
+        m = Measurement(runtime_s=1.0, metrics={"a": 1.0, "b": 2.0})
+        assert np.allclose(m.metric_vector(["b", "a", "zzz"]), [2.0, 1.0, 0.0])
+
+
+class TestTuningHistory:
+    def test_best_ignores_failures_and_models(self, space):
+        h = TuningHistory()
+        h.record(obs(space, 1, 10.0))
+        h.record(obs(space, 2, 5.0, source="model"))
+        h.record(obs(space, 3, 0, failed=True))
+        h.record(obs(space, 4, 7.0))
+        best = h.best()
+        assert best.runtime_s == 7.0
+        assert best.config["x"] == 4
+
+    def test_best_none_when_empty(self):
+        assert TuningHistory().best() is None
+        assert math.isinf(TuningHistory().best_runtime())
+
+    def test_incumbent_trajectory_monotone(self, space):
+        h = TuningHistory()
+        for i, r in enumerate([10.0, 12.0, 6.0, 8.0]):
+            h.record(obs(space, i, r))
+        traj = h.incumbent_trajectory()
+        assert [t[0] for t in traj] == [1, 2, 3, 4]
+        values = [t[1] for t in traj]
+        assert values == sorted(values, reverse=True)
+        assert values[-1] == 6.0
+
+    def test_trajectory_counts_failures(self, space):
+        h = TuningHistory()
+        h.record(obs(space, 0, 0, failed=True))
+        h.record(obs(space, 1, 4.0))
+        traj = h.incumbent_trajectory()
+        assert traj[0] == (1, math.inf)
+        assert traj[1] == (2, 4.0)
+
+    def test_model_observations_not_counted(self, space):
+        h = TuningHistory()
+        h.record(obs(space, 0, 3.0, source="model"))
+        assert h.incumbent_trajectory() == []
+        assert h.real_observations() == []
+
+    def test_total_runtime_charges_failures_via_metric(self, space):
+        h = TuningHistory()
+        h.record(obs(space, 0, 10.0))
+        failed = Observation(
+            space.partial({"x": 1}),
+            Measurement(
+                runtime_s=float("inf"),
+                failed=True,
+                metrics={"elapsed_before_failure_s": 30.0},
+            ),
+        )
+        h.record(failed)
+        assert h.total_runtime_s() == pytest.approx(40.0)
+
+    def test_to_arrays(self, space):
+        h = TuningHistory()
+        h.record(obs(space, 2, 5.0, m1=1.0))
+        h.record(obs(space, 8, 3.0, m1=2.0))
+        X, y, M = h.to_arrays(["m1"])
+        assert X.shape == (2, 1)
+        assert list(y) == [5.0, 3.0]
+        assert list(M[:, 0]) == [1.0, 2.0]
+
+    def test_to_arrays_empty(self):
+        X, y, M = TuningHistory().to_arrays(["m"])
+        assert X.shape[0] == 0 and y.shape == (0,)
+
+    def test_summary(self, space):
+        h = TuningHistory()
+        h.record(obs(space, 0, 5.0))
+        h.record(obs(space, 1, 0, failed=True))
+        s = h.summary()
+        assert s["n_real_runs"] == 2
+        assert s["n_failures"] == 1
+        assert s["best_runtime_s"] == 5.0

@@ -1,0 +1,184 @@
+"""Tests for kernels, GP regression, and acquisition functions."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelNotFitted
+from repro.mlkit.acquisition import (
+    expected_improvement,
+    lower_confidence_bound,
+    maximize_acquisition,
+    probability_of_improvement,
+)
+from repro.mlkit.gp import GaussianProcess
+from repro.mlkit.kernels import RBF, ConstantTimes, Matern52, Sum
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def data(rng):
+    X = rng.random((25, 2))
+    y = np.sin(3 * X[:, 0]) + X[:, 1] ** 2 + 10.0
+    return X, y
+
+
+class TestKernels:
+    @pytest.mark.parametrize("kernel", [RBF(0.3), Matern52(0.3)])
+    def test_diagonal_is_variance(self, kernel, rng):
+        X = rng.random((10, 3))
+        K = kernel(X)
+        assert np.allclose(np.diag(K), kernel.diag(X))
+        assert np.allclose(np.diag(K), 1.0)
+
+    @pytest.mark.parametrize("kernel", [RBF(0.3), Matern52(0.3)])
+    def test_psd(self, kernel, rng):
+        X = rng.random((15, 3))
+        eigs = np.linalg.eigvalsh(kernel(X))
+        assert eigs.min() > -1e-8
+
+    def test_symmetry(self, rng):
+        X = rng.random((8, 2))
+        K = RBF(0.5)(X)
+        assert np.allclose(K, K.T)
+
+    def test_decay_with_distance(self):
+        k = RBF(0.2)
+        near = k(np.array([[0.0]]), np.array([[0.1]]))[0, 0]
+        far = k(np.array([[0.0]]), np.array([[0.9]]))[0, 0]
+        assert near > far
+
+    def test_ard_lengthscales(self, rng):
+        k = RBF(lengthscale=[0.1, 10.0])
+        a = np.array([[0.0, 0.0]])
+        moved_sensitive = np.array([[0.3, 0.0]])
+        moved_insensitive = np.array([[0.0, 0.3]])
+        assert k(a, moved_sensitive)[0, 0] < k(a, moved_insensitive)[0, 0]
+
+    def test_wrong_dims_rejected(self, rng):
+        k = RBF(lengthscale=[0.1, 0.2])
+        with pytest.raises(ValueError):
+            k(rng.random((4, 3)))
+
+    def test_composed_kernels(self, rng):
+        X = rng.random((5, 2))
+        base = RBF(0.3)
+        assert np.allclose(ConstantTimes(2.0, base)(X), 2.0 * base(X))
+        assert np.allclose(Sum(base, base)(X), 2.0 * base(X))
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_invalid_lengthscale(self, bad):
+        with pytest.raises(ValueError):
+            RBF(lengthscale=bad)
+
+
+class TestGaussianProcess:
+    def test_interpolates_training_data(self, data):
+        X, y = data
+        gp = GaussianProcess(noise=1e-6, optimize=False).fit(X, y)
+        pred, _ = gp.predict(X)
+        assert np.abs(pred - y).max() < 0.05
+
+    def test_uncertainty_grows_away_from_data(self, data):
+        X, y = data
+        gp = GaussianProcess(optimize=False).fit(X, y)
+        _, std_near = gp.predict(X[:1], return_std=True)
+        _, std_far = gp.predict(np.array([[5.0, 5.0]]), return_std=True)
+        assert std_far[0] > std_near[0]
+
+    def test_handles_offset_targets(self, rng):
+        X = rng.random((15, 1))
+        y = 1e4 + X[:, 0]
+        gp = GaussianProcess().fit(X, y)
+        pred, _ = gp.predict(X)
+        assert np.abs(pred - y).max() < 1.0
+
+    def test_hyperparameter_optimization_improves_ll(self, data):
+        X, y = data
+        fixed = GaussianProcess(optimize=False, noise=0.1)
+        fixed.fit(X, y)
+        opt = GaussianProcess(optimize=True).fit(X, y)
+        assert opt.log_marginal_likelihood_ >= fixed.log_marginal_likelihood_ - 1e-6
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(ModelNotFitted):
+            GaussianProcess().predict(np.zeros((1, 2)))
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianProcess().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_mismatched_lengths_rejected(self, rng):
+        with pytest.raises(ValueError):
+            GaussianProcess().fit(rng.random((5, 2)), rng.random(4))
+
+    def test_constant_targets(self, rng):
+        X = rng.random((10, 2))
+        gp = GaussianProcess().fit(X, np.full(10, 7.0))
+        pred, _ = gp.predict(X[:3])
+        assert np.allclose(pred, 7.0, atol=1e-6)
+
+    def test_posterior_samples_shape_and_spread(self, data, rng):
+        X, y = data
+        gp = GaussianProcess(optimize=False).fit(X, y)
+        far = np.array([[3.0, 3.0], [4.0, 4.0]])
+        draws = gp.sample_posterior(far, 64, rng)
+        assert draws.shape == (64, 2)
+        assert draws.std(axis=0).min() > 0.01
+
+    def test_duplicate_points_no_crash(self, rng):
+        X = np.vstack([rng.random((5, 2))] * 3)
+        y = np.concatenate([rng.random(5)] * 3)
+        gp = GaussianProcess().fit(X, y)
+        gp.predict(X[:2], return_std=True)
+
+
+class TestAcquisition:
+    def test_ei_zero_when_certain_and_worse(self):
+        ei = expected_improvement(np.array([10.0]), np.array([0.0]), best=5.0)
+        assert ei[0] == 0.0
+
+    def test_ei_positive_when_certain_and_better(self):
+        ei = expected_improvement(np.array([3.0]), np.array([0.0]), best=5.0)
+        assert ei[0] == pytest.approx(2.0)
+
+    def test_ei_increases_with_uncertainty(self):
+        low = expected_improvement(np.array([6.0]), np.array([0.1]), best=5.0)
+        high = expected_improvement(np.array([6.0]), np.array([2.0]), best=5.0)
+        assert high[0] > low[0]
+
+    def test_ei_nonnegative(self):
+        rng = np.random.default_rng(1)
+        ei = expected_improvement(rng.normal(size=100), np.abs(rng.normal(size=100)), 0.0)
+        assert (ei >= 0).all()
+
+    def test_pi_bounds(self):
+        rng = np.random.default_rng(1)
+        pi = probability_of_improvement(
+            rng.normal(size=100), np.abs(rng.normal(size=100)), 0.0
+        )
+        assert (pi >= 0).all() and (pi <= 1).all()
+
+    def test_pi_degenerate(self):
+        pi = probability_of_improvement(np.array([1.0, -1.0]), np.zeros(2), 0.0)
+        assert list(pi) == [0.0, 1.0]
+
+    def test_lcb_prefers_low_mean_high_std(self):
+        scores = lower_confidence_bound(np.array([5.0, 5.0]), np.array([0.0, 1.0]))
+        assert scores[1] > scores[0]
+
+    def test_maximize_acquisition_picks_argmax(self, data):
+        X, y = data
+        gp = GaussianProcess().fit(X, y)
+        candidates = np.random.default_rng(2).random((50, 2))
+        idx, scores = maximize_acquisition(gp, y.min(), candidates, kind="ei")
+        assert idx == int(np.argmax(scores))
+
+    def test_unknown_kind(self, data):
+        X, y = data
+        gp = GaussianProcess().fit(X, y)
+        with pytest.raises(ValueError):
+            maximize_acquisition(gp, 0.0, X, kind="bogus")

@@ -1,0 +1,244 @@
+"""Tests for scalers, linear models, clustering, factor analysis, MLP,
+and tree ensembles."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelNotFitted
+from repro.mlkit.cluster import KMeans, select_k_by_silhouette
+from repro.mlkit.factor import PCA, FactorAnalysis
+from repro.mlkit.linear import Lasso, RidgeRegression, lasso_path, lasso_rank_features
+from repro.mlkit.neural import MLPRegressor
+from repro.mlkit.scaler import MinMaxScaler, StandardScaler
+from repro.mlkit.tree import RandomForest, RegressionTree
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestScalers:
+    def test_standard_scaler_stats(self, rng):
+        X = rng.normal(5.0, 3.0, size=(100, 4))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0, atol=1e-9)
+        assert np.allclose(Z.std(axis=0), 1, atol=1e-9)
+
+    def test_standard_scaler_constant_column(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z[:, 0], 0)
+
+    def test_standard_scaler_roundtrip(self, rng):
+        X = rng.normal(size=(20, 3))
+        s = StandardScaler().fit(X)
+        assert np.allclose(s.inverse_transform(s.transform(X)), X)
+
+    def test_minmax_range(self, rng):
+        X = rng.normal(size=(50, 3)) * 10
+        Z = MinMaxScaler().fit_transform(X)
+        assert Z.min() >= 0 and Z.max() <= 1
+
+    def test_not_fitted(self):
+        with pytest.raises(ModelNotFitted):
+            StandardScaler().transform(np.ones((2, 2)))
+
+    def test_wrong_ndim(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.ones(5))
+
+
+class TestLinear:
+    def test_ridge_recovers_exact_line(self):
+        X = np.arange(10.0)[:, None]
+        y = 3.0 * X[:, 0] + 2.0
+        model = RidgeRegression(alpha=1e-8).fit(X, y)
+        assert model.coef_[0] == pytest.approx(3.0, abs=1e-6)
+        assert model.intercept_ == pytest.approx(2.0, abs=1e-6)
+
+    def test_ridge_shrinks_with_alpha(self, rng):
+        X = rng.normal(size=(50, 3))
+        y = X @ np.array([5.0, 0.0, 0.0]) + rng.normal(0, 0.1, 50)
+        small = RidgeRegression(alpha=1e-6).fit(X, y).coef_[0]
+        big = RidgeRegression(alpha=1e3).fit(X, y).coef_[0]
+        assert abs(big) < abs(small)
+
+    def test_lasso_produces_sparsity(self, rng):
+        X = rng.normal(size=(80, 10))
+        y = 4 * X[:, 0] - 3 * X[:, 5] + rng.normal(0, 0.05, 80)
+        coef = Lasso(alpha=0.3).fit(X, y).coef_
+        nonzero = np.nonzero(np.abs(coef) > 1e-6)[0]
+        assert 0 in nonzero and 5 in nonzero
+        assert len(nonzero) <= 4
+
+    def test_lasso_predict_reasonable(self, rng):
+        X = rng.normal(size=(80, 4))
+        y = 2 * X[:, 1] + 1.0
+        model = Lasso(alpha=0.01).fit(X, y)
+        assert np.abs(model.predict(X) - y).mean() < 0.3
+
+    def test_lasso_path_monotone_alphas(self, rng):
+        X = rng.normal(size=(40, 5))
+        y = X[:, 0] + rng.normal(0, 0.1, 40)
+        alphas, coefs = lasso_path(X, y, n_alphas=10)
+        assert (np.diff(alphas) < 0).all()
+        assert coefs.shape == (10, 5)
+        # At the strongest alpha everything is zero.
+        assert np.allclose(coefs[0], 0, atol=1e-8)
+
+    def test_lasso_rank_features_importance_order(self, rng):
+        X = rng.normal(size=(120, 6))
+        y = 10 * X[:, 3] + 2 * X[:, 1] + rng.normal(0, 0.1, 120)
+        order = lasso_rank_features(X, y)
+        assert order[0] == 3
+        assert order[1] == 1
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            Lasso(alpha=-1)
+        with pytest.raises(ValueError):
+            RidgeRegression(alpha=-1)
+
+
+class TestKMeans:
+    def test_separated_clusters_recovered(self, rng):
+        a = rng.normal(0, 0.1, size=(20, 2))
+        b = rng.normal(5, 0.1, size=(20, 2))
+        model = KMeans(k=2).fit(np.vstack([a, b]), rng)
+        labels = model.labels_
+        assert len(set(labels[:20])) == 1
+        assert len(set(labels[20:])) == 1
+        assert labels[0] != labels[20]
+
+    def test_predict_matches_fit_labels(self, rng):
+        X = rng.normal(size=(30, 3))
+        model = KMeans(k=3).fit(X, rng)
+        assert np.array_equal(model.predict(X), model.labels_)
+
+    def test_representatives_are_members(self, rng):
+        X = rng.normal(size=(30, 2))
+        model = KMeans(k=4).fit(X, rng)
+        reps = model.representatives(X)
+        assert len(reps) == 4
+        assert all(0 <= r < 30 for r in reps)
+
+    def test_too_few_points(self, rng):
+        with pytest.raises(ValueError):
+            KMeans(k=5).fit(np.ones((3, 2)), rng)
+
+    def test_select_k_finds_two(self, rng):
+        a = rng.normal(0, 0.2, size=(15, 2))
+        b = rng.normal(6, 0.2, size=(15, 2))
+        k, model = select_k_by_silhouette(np.vstack([a, b]), k_max=6, rng=rng)
+        assert k == 2
+
+
+class TestFactor:
+    def test_pca_variance_ordering(self, rng):
+        X = np.column_stack([
+            rng.normal(0, 10, 100),
+            rng.normal(0, 1, 100),
+            rng.normal(0, 0.1, 100),
+        ])
+        pca = PCA(n_components=3).fit(X)
+        evr = pca.explained_variance_ratio_
+        assert (np.diff(evr) <= 1e-9).all()
+        assert evr[0] > 0.3
+
+    def test_pca_transform_shape(self, rng):
+        X = rng.normal(size=(30, 5))
+        Z = PCA(n_components=2).fit_transform(X)
+        assert Z.shape == (30, 2)
+
+    def test_factor_analysis_groups_correlated_features(self, rng):
+        latent = rng.normal(size=(200, 1))
+        X = np.column_stack([
+            latent[:, 0] + rng.normal(0, 0.05, 200),
+            latent[:, 0] * 2 + rng.normal(0, 0.05, 200),
+            rng.normal(size=200),
+        ])
+        fa = FactorAnalysis(n_factors=2).fit(X)
+        load = fa.loadings_
+        # Features 0 and 1 load on the same factor direction.
+        cos = np.dot(load[0], load[1]) / (
+            np.linalg.norm(load[0]) * np.linalg.norm(load[1]) + 1e-12
+        )
+        assert abs(cos) > 0.9
+
+    def test_factor_transform_shape(self, rng):
+        X = rng.normal(size=(50, 6))
+        fa = FactorAnalysis(n_factors=2).fit(X)
+        assert fa.transform(X).shape == (50, 2)
+
+    def test_not_fitted(self):
+        with pytest.raises(ModelNotFitted):
+            FactorAnalysis(2).transform(np.ones((2, 3)))
+
+
+class TestNeural:
+    def test_fits_nonlinear_function(self, rng):
+        X = rng.random((120, 2))
+        y = np.sin(3 * X[:, 0]) + X[:, 1] ** 2
+        model = MLPRegressor(hidden=(32, 32), epochs=400, seed=0).fit(X, y)
+        pred = model.predict(X)
+        assert np.abs(pred - y).mean() < 0.1
+
+    def test_loss_decreases(self, rng):
+        X = rng.random((60, 2))
+        y = X[:, 0] * 2
+        model = MLPRegressor(epochs=200).fit(X, y)
+        assert model.loss_curve_[-1] < model.loss_curve_[0]
+
+    def test_deterministic_given_seed(self, rng):
+        X = rng.random((40, 2))
+        y = X[:, 0]
+        a = MLPRegressor(epochs=50, seed=3).fit(X, y).predict(X[:5])
+        b = MLPRegressor(epochs=50, seed=3).fit(X, y).predict(X[:5])
+        assert np.allclose(a, b)
+
+    def test_not_fitted(self):
+        with pytest.raises(ModelNotFitted):
+            MLPRegressor().predict(np.ones((1, 2)))
+
+
+class TestTrees:
+    def test_tree_fits_step_function(self, rng):
+        X = rng.random((200, 1))
+        y = (X[:, 0] > 0.5).astype(float) * 10
+        tree = RegressionTree(max_depth=3).fit(X, y)
+        pred = tree.predict(X)
+        assert np.abs(pred - y).mean() < 0.5
+
+    def test_tree_importance_targets_signal(self, rng):
+        X = rng.random((200, 4))
+        y = 5 * X[:, 2] + rng.normal(0, 0.05, 200)
+        tree = RegressionTree(max_depth=5).fit(X, y)
+        assert np.argmax(tree.feature_importances_) == 2
+
+    def test_forest_beats_constant_predictor(self, rng):
+        X = rng.random((150, 3))
+        y = np.sin(4 * X[:, 0]) + X[:, 1]
+        forest = RandomForest(n_trees=20, seed=0).fit(X, y)
+        resid = np.abs(forest.predict(X) - y).mean()
+        baseline = np.abs(y - y.mean()).mean()
+        assert resid < baseline * 0.5
+
+    def test_forest_uncertainty_positive(self, rng):
+        X = rng.random((80, 2))
+        y = X[:, 0]
+        forest = RandomForest(n_trees=10, seed=0).fit(X, y)
+        _, std = forest.predict_std(rng.random((10, 2)))
+        assert (std >= 0).all() and std.max() > 0
+
+    def test_forest_importance_normalized(self, rng):
+        X = rng.random((100, 5))
+        y = X[:, 0] + 2 * X[:, 4]
+        forest = RandomForest(n_trees=15, seed=1).fit(X, y)
+        assert forest.feature_importances_.sum() == pytest.approx(1.0)
+
+    def test_not_fitted(self):
+        with pytest.raises(ModelNotFitted):
+            RegressionTree().predict(np.ones((1, 2)))
+        with pytest.raises(ModelNotFitted):
+            RandomForest().predict(np.ones((1, 2)))

@@ -1,0 +1,138 @@
+"""Tests for sampling designs and DoE matrices."""
+
+import numpy as np
+import pytest
+
+from repro.mlkit.doe import (
+    foldover,
+    full_factorial_two_level,
+    main_effects,
+    plackett_burman,
+)
+from repro.mlkit.sampling import (
+    halton,
+    latin_hypercube,
+    maximin_latin_hypercube,
+    uniform,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(3)
+
+
+class TestSampling:
+    def test_uniform_shape_and_range(self, rng):
+        X = uniform(50, 4, rng)
+        assert X.shape == (50, 4)
+        assert (X >= 0).all() and (X < 1).all()
+
+    def test_lhs_stratification(self, rng):
+        n = 20
+        X = latin_hypercube(n, 3, rng)
+        for j in range(3):
+            strata = np.floor(X[:, j] * n).astype(int)
+            assert sorted(strata) == list(range(n))
+
+    def test_lhs_empty(self, rng):
+        assert latin_hypercube(0, 3, rng).shape == (0, 3)
+
+    def test_maximin_beats_random_lhs_on_average(self, rng):
+        def min_dist(X):
+            d = np.linalg.norm(X[:, None] - X[None, :], axis=-1)
+            np.fill_diagonal(d, np.inf)
+            return d.min()
+
+        mm = maximin_latin_hypercube(12, 3, rng, candidates=30)
+        plain = latin_hypercube(12, 3, np.random.default_rng(99))
+        assert min_dist(mm) >= min_dist(plain) * 0.8
+
+    def test_halton_deterministic_and_low_discrepancy(self):
+        a = halton(64, 2)
+        b = halton(64, 2)
+        assert np.allclose(a, b)
+        # Each quadrant of the unit square gets roughly a quarter.
+        counts = [
+            ((a[:, 0] < 0.5) & (a[:, 1] < 0.5)).sum(),
+            ((a[:, 0] >= 0.5) & (a[:, 1] < 0.5)).sum(),
+            ((a[:, 0] < 0.5) & (a[:, 1] >= 0.5)).sum(),
+            ((a[:, 0] >= 0.5) & (a[:, 1] >= 0.5)).sum(),
+        ]
+        assert max(counts) - min(counts) <= 6
+
+    def test_halton_too_many_dims(self):
+        with pytest.raises(ValueError):
+            halton(10, 100)
+
+
+class TestPlackettBurman:
+    @pytest.mark.parametrize("k", [3, 7, 11, 15, 19, 23])
+    def test_cyclic_sizes(self, k):
+        design = plackett_burman(k)
+        assert design.shape[1] == k
+        assert design.shape[0] % 4 == 0
+        assert set(np.unique(design)) <= {-1.0, 1.0}
+
+    @pytest.mark.parametrize("k", [7, 11, 19])
+    def test_orthogonality(self, k):
+        design = plackett_burman(k)
+        gram = design.T @ design
+        n = design.shape[0]
+        assert np.allclose(np.diag(gram), n)
+        off = gram - np.diag(np.diag(gram))
+        assert np.abs(off).max() <= 1e-9
+
+    def test_balance(self):
+        design = plackett_burman(11)
+        assert np.allclose(design.sum(axis=0), 0)
+
+    def test_large_factor_count_uses_hadamard(self):
+        design = plackett_burman(29)
+        assert design.shape == (32, 29)
+        gram = design.T @ design
+        assert np.allclose(np.diag(gram), 32)
+        off = gram - np.diag(np.diag(gram))
+        assert np.abs(off).max() <= 1e-9
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            plackett_burman(0)
+
+
+class TestFactorialAndEffects:
+    def test_full_factorial(self):
+        design = full_factorial_two_level(3)
+        assert design.shape == (8, 3)
+        assert len({tuple(row) for row in design}) == 8
+
+    def test_full_factorial_limits(self):
+        with pytest.raises(ValueError):
+            full_factorial_two_level(0)
+        with pytest.raises(ValueError):
+            full_factorial_two_level(25)
+
+    def test_foldover_doubles_runs(self):
+        design = plackett_burman(7)
+        folded = foldover(design)
+        assert folded.shape[0] == 2 * design.shape[0]
+        assert np.allclose(folded[: len(design)], -folded[len(design):])
+
+    def test_main_effects_recover_linear_model(self):
+        design = foldover(plackett_burman(7))
+        coef = np.array([5.0, 0.0, -3.0, 0.0, 1.0, 0.0, 0.0])
+        y = design @ coef
+        effects = main_effects(design, y)
+        assert np.allclose(effects, 2 * coef, atol=1e-9)
+
+    def test_main_effects_rank_order(self):
+        design = full_factorial_two_level(4)
+        rng = np.random.default_rng(0)
+        y = 10 * design[:, 0] + 3 * design[:, 2] + rng.normal(0, 0.1, len(design))
+        effects = np.abs(main_effects(design, y))
+        assert np.argmax(effects) == 0
+        assert effects[2] > effects[1] and effects[2] > effects[3]
+
+    def test_main_effects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            main_effects(np.ones((4, 2)), np.ones(3))

@@ -1,0 +1,87 @@
+"""Tests for the multi-objective (Pareto) analysis utilities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.pareto import (
+    hypervolume_2d,
+    is_dominated,
+    knee_point,
+    pareto_front,
+)
+
+
+class TestDomination:
+    def test_strictly_better_dominates(self):
+        assert is_dominated([2.0, 2.0], np.array([[1.0, 1.0]]))
+
+    def test_tradeoff_does_not_dominate(self):
+        assert not is_dominated([2.0, 1.0], np.array([[1.0, 2.0]]))
+
+    def test_equal_does_not_dominate(self):
+        assert not is_dominated([1.0, 1.0], np.array([[1.0, 1.0]]))
+
+    def test_partial_tie_dominates(self):
+        assert is_dominated([1.0, 2.0], np.array([[1.0, 1.0]]))
+
+
+class TestParetoFront:
+    def test_simple_front(self):
+        points = [(1, 5), (2, 3), (3, 4), (4, 1), (5, 2)]
+        front = pareto_front(points)
+        assert [points[i] for i in front] == [(1, 5), (2, 3), (4, 1)]
+
+    def test_single_point(self):
+        assert pareto_front([(1, 1)]) == [0]
+
+    def test_all_nondominated_diagonal(self):
+        points = [(i, 10 - i) for i in range(5)]
+        assert len(pareto_front(points)) == 5
+
+    def test_duplicates_kept(self):
+        points = [(1, 1), (1, 1), (2, 2)]
+        front = pareto_front(points)
+        assert set(front) == {0, 1}
+
+    def test_front_sorted_by_first_objective(self):
+        points = [(5, 1), (1, 5), (3, 3)]
+        front = pareto_front(points)
+        xs = [points[i][0] for i in front]
+        assert xs == sorted(xs)
+
+
+class TestHypervolume:
+    def test_single_point_rectangle(self):
+        assert hypervolume_2d([(1.0, 1.0)], reference=(3.0, 3.0)) == pytest.approx(4.0)
+
+    def test_dominated_points_do_not_add(self):
+        a = hypervolume_2d([(1.0, 1.0)], reference=(3.0, 3.0))
+        b = hypervolume_2d([(1.0, 1.0), (2.0, 2.0)], reference=(3.0, 3.0))
+        assert a == pytest.approx(b)
+
+    def test_better_front_higher_volume(self):
+        worse = hypervolume_2d([(2.0, 2.0)], reference=(4.0, 4.0))
+        better = hypervolume_2d([(1.0, 1.0)], reference=(4.0, 4.0))
+        assert better > worse
+
+    def test_points_beyond_reference_ignored(self):
+        assert hypervolume_2d([(5.0, 5.0)], reference=(3.0, 3.0)) == 0.0
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            hypervolume_2d([(1.0, 1.0, 1.0)], reference=(2.0, 2.0))
+
+
+class TestKnee:
+    def test_knee_of_l_shaped_front(self):
+        # The corner of an L dominates the tradeoff.
+        points = [(1.0, 10.0), (1.5, 1.5), (10.0, 1.0)]
+        assert knee_point(points) == 1
+
+    def test_single_point(self):
+        assert knee_point([(2.0, 2.0)]) == 0
+
+    def test_knee_is_on_front(self):
+        rng = np.random.default_rng(0)
+        points = rng.random((20, 2)).tolist()
+        assert knee_point(points) in pareto_front(points)

@@ -1,0 +1,120 @@
+"""Tests for the profiler APIs (Hadoop per-job, Spark per-stage) and
+the workload-provenance bookkeeping they rely on."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import Budget
+from repro.core.session import TuningSession
+from repro.systems.cluster import Cluster
+from repro.systems.hadoop import HadoopSimulator, pagerank, terasort
+from repro.systems.spark import SparkSimulator, spark_pagerank, spark_sort
+from repro.tuners import ErnestTuner
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return Cluster.uniform(8)
+
+
+class TestHadoopProfile:
+    def test_one_entry_per_job(self, cluster):
+        sim = HadoopSimulator(cluster)
+        wl = pagerank(2.0, iterations=3)
+        profiles = sim.profile(wl, sim.default_configuration())
+        assert [p["job"] for p in profiles] == [j.name for j in wl.jobs]
+        assert all(p["failed"] == 0.0 for p in profiles)
+
+    def test_breakdown_sums_to_run(self, cluster):
+        sim = HadoopSimulator(cluster)
+        wl = terasort(4.0)
+        config = sim.default_configuration()
+        profiles = sim.profile(wl, config)
+        total = sum(p["elapsed_s"] for p in profiles) + 2.0 * len(profiles)
+        assert total == pytest.approx(sim.run(wl, config).runtime_s, rel=0.02)
+
+    def test_failure_truncates_pipeline(self, cluster):
+        sim = HadoopSimulator(cluster)
+        wl = pagerank(2.0, iterations=3)
+        bad = sim.config_space.partial({"mapreduce_map_memory_mb": 256})
+        profiles = sim.profile(wl, bad)
+        assert profiles[0]["failed"] == 1.0
+        assert len(profiles) == 1
+
+    def test_phase_attribution_shifts_with_reducers(self, cluster):
+        sim = HadoopSimulator(cluster)
+        wl = terasort(4.0)
+        few = sim.profile(wl, sim.config_space.partial({"mapreduce_job_reduces": 1}))
+        many = sim.profile(wl, sim.config_space.partial({"mapreduce_job_reduces": 64}))
+        assert many[0]["reduce_phase_s"] < few[0]["reduce_phase_s"]
+
+
+class TestSparkProfile:
+    def test_one_entry_per_stage(self, cluster):
+        sim = SparkSimulator(cluster)
+        wl = spark_sort(4.0)
+        profiles = sim.profile(wl, sim.default_configuration())
+        assert [(p["job"], p["stage"]) for p in profiles] == [
+            ("sort", "read"), ("sort", "sort"),
+        ]
+
+    def test_shuffle_attribution(self, cluster):
+        sim = SparkSimulator(cluster)
+        wl = spark_sort(4.0)
+        profiles = sim.profile(wl, sim.default_configuration())
+        by_stage = {p["stage"]: p for p in profiles}
+        assert by_stage["sort"]["shuffle_read_mb"] > 0
+        assert by_stage["read"]["shuffle_read_mb"] == 0
+
+    def test_task_counts_follow_partitions(self, cluster):
+        sim = SparkSimulator(cluster)
+        wl = spark_pagerank(2.0)
+        config = sim.config_space.partial({"shuffle_partitions": 555})
+        profiles = sim.profile(wl, config)
+        shuffled = [p for p in profiles if p["stage"] in ("contribs", "ranks")]
+        assert all(p["n_tasks"] == 555 for p in shuffled)
+
+    def test_unschedulable_reported(self, cluster):
+        sim = SparkSimulator(cluster)
+        wl = spark_sort(4.0)
+        config = sim.config_space.partial({
+            "executor_memory_mb": 14000, "executor_cores": 8, "num_executors": 1,
+        })
+        # 14 GB + overhead exceeds what a 16 GB node can host alongside
+        # the per-core constraint? If schedulable, profile must succeed.
+        profiles = sim.profile(wl, config)
+        assert profiles  # always returns entries, failed or not
+
+
+class TestWorkloadProvenance:
+    def test_probe_runs_do_not_leak_into_results(self, cluster):
+        """Ernest's sampled-scale runs must never be reported as the
+        session's best runtime (they are 10-20x smaller jobs)."""
+        spark = SparkSimulator(cluster)
+        wl = spark_sort(8.0)
+        result = ErnestTuner().tune(
+            spark, wl, Budget(max_runs=20), np.random.default_rng(1)
+        )
+        # The reported best runtime must match a full-scale observation.
+        own = [
+            o for o in result.history.successful() if o.workload == wl.name
+        ]
+        assert own, "no full-scale runs recorded"
+        assert result.best_runtime_s >= min(o.runtime_s for o in own) * 0.999
+        sampled = [
+            o for o in result.history.successful() if o.workload != wl.name
+        ]
+        assert sampled, "Ernest should have probe runs"
+        assert result.best_runtime_s > min(o.runtime_s for o in sampled)
+
+    def test_session_records_workload_names(self, cluster):
+        sim = SparkSimulator(cluster)
+        wl = spark_sort(4.0)
+        session = TuningSession(sim, wl, Budget(max_runs=3), np.random.default_rng(0))
+        session.evaluate(sim.default_configuration())
+        session.evaluate_workload(wl.scaled(0.1), sim.default_configuration())
+        names = [o.workload for o in session.history.real_observations()]
+        assert names[0] == wl.name
+        assert names[1] != wl.name

@@ -1,0 +1,169 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import Budget
+from repro.core.parameters import (
+    BooleanParameter,
+    CategoricalParameter,
+    ConfigurationSpace,
+    NumericParameter,
+)
+from repro.core.session import TuningSession
+from repro.mlkit.doe import main_effects, plackett_burman
+from repro.mlkit.sampling import latin_hypercube
+from repro.systems.dbms import DbmsSimulator, olap_analytics
+from repro.tuners.rule_based import SpexValidator
+
+_SETTINGS = dict(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def numeric_params(draw):
+    low = draw(st.floats(min_value=0.5, max_value=1e3, allow_nan=False))
+    high = low + draw(st.floats(min_value=1.5, max_value=1e6))
+    log_scale = draw(st.booleans())
+    integer = draw(st.booleans())
+    default = low if not integer else int(math.ceil(low))
+    return NumericParameter(
+        "p", default=default, low=low, high=high,
+        integer=integer, log_scale=log_scale,
+    )
+
+
+class TestParameterProperties:
+    @given(param=numeric_params(), u=st.floats(min_value=0.0, max_value=1.0))
+    @settings(**_SETTINGS)
+    def test_from_unit_always_in_domain(self, param, u):
+        v = param.from_unit(u)
+        assert param.low <= float(v) <= param.high
+
+    @given(param=numeric_params(), u=st.floats(min_value=0.0, max_value=1.0))
+    @settings(**_SETTINGS)
+    def test_unit_roundtrip_close(self, param, u):
+        v = param.from_unit(u)
+        u2 = param.to_unit(v)
+        v2 = param.from_unit(u2)
+        assert v == v2  # decode(encode(decode(u))) is a fixpoint
+
+    @given(param=numeric_params(), raw=st.floats(allow_nan=False, allow_infinity=False, width=32))
+    @settings(**_SETTINGS)
+    def test_clip_always_valid(self, param, raw):
+        v = param.clip(raw)
+        assert param.low <= float(v) <= param.high
+
+    @given(
+        u=st.floats(min_value=0.0, max_value=1.0),
+        n_choices=st.integers(min_value=2, max_value=8),
+    )
+    @settings(**_SETTINGS)
+    def test_categorical_from_unit_total(self, u, n_choices):
+        p = CategoricalParameter("c", 0, list(range(n_choices)))
+        assert p.from_unit(u) in p.choices
+
+
+class TestSamplingProperties:
+    @given(
+        n=st.integers(min_value=1, max_value=40),
+        d=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=2 ** 16),
+    )
+    @settings(**_SETTINGS)
+    def test_lhs_is_a_latin_square(self, n, d, seed):
+        X = latin_hypercube(n, d, np.random.default_rng(seed))
+        assert X.shape == (n, d)
+        assert (X >= 0).all() and (X <= 1).all()
+        for j in range(d):
+            strata = np.floor(X[:, j] * n).clip(0, n - 1).astype(int)
+            assert sorted(strata) == list(range(n))
+
+    @given(k=st.integers(min_value=1, max_value=40))
+    @settings(**_SETTINGS)
+    def test_pb_design_is_balanced_orthogonal(self, k):
+        design = plackett_burman(k)
+        assert design.shape[1] == k
+        assert set(np.unique(design)) <= {-1.0, 1.0}
+        gram = design.T @ design
+        off = gram - np.diag(np.diag(gram))
+        assert np.abs(off).max() <= 1e-9
+
+    @given(
+        k=st.integers(min_value=2, max_value=10),
+        seed=st.integers(min_value=0, max_value=2 ** 16),
+    )
+    @settings(**_SETTINGS)
+    def test_main_effects_zero_for_constant_response(self, k, seed):
+        design = plackett_burman(k)
+        effects = main_effects(design, np.full(design.shape[0], 5.0))
+        assert np.allclose(effects, 0.0)
+
+
+@pytest.fixture(scope="module")
+def dbms():
+    return DbmsSimulator()
+
+
+@pytest.fixture(scope="module")
+def olap():
+    return olap_analytics(0.3)
+
+
+class TestSimulatorProperties:
+    @given(seed=st.integers(min_value=0, max_value=2 ** 16))
+    @settings(**_SETTINGS)
+    def test_any_feasible_config_yields_valid_measurement(self, dbms, olap, seed):
+        config = dbms.config_space.sample_configuration(np.random.default_rng(seed))
+        m = dbms.run(olap, config)
+        if m.ok:
+            assert m.runtime_s > 0 and math.isfinite(m.runtime_s)
+            assert 0 <= m.metric("buffer_hit_ratio") <= 1
+        else:
+            assert math.isinf(m.runtime_s)
+            assert m.metric("elapsed_before_failure_s") >= 0
+
+    @given(seed=st.integers(min_value=0, max_value=2 ** 16))
+    @settings(max_examples=10, deadline=None)
+    def test_simulator_is_deterministic(self, dbms, olap, seed):
+        config = dbms.config_space.sample_configuration(np.random.default_rng(seed))
+        assert dbms.run(olap, config).runtime_s == dbms.run(olap, config).runtime_s
+
+
+class TestRepairProperties:
+    @given(seed=st.integers(min_value=0, max_value=2 ** 16))
+    @settings(**_SETTINGS)
+    def test_repair_always_reaches_feasibility(self, dbms, seed):
+        rng = np.random.default_rng(seed)
+        space = dbms.config_space
+        validator = SpexValidator(space)
+        # Corrupt random knobs with extreme values.
+        values = {p.name: p.sample(rng) for p in space.parameters()}
+        for name in ("buffer_pool_mb", "wal_buffers_mb", "temp_buffers_mb"):
+            if rng.random() < 0.5:
+                values[name] = space[name].high
+        repaired = validator.repair_values(values)
+        assert space.is_feasible(repaired)
+        space.configuration(repaired)
+
+
+class TestBudgetProperties:
+    @given(
+        max_runs=st.integers(min_value=0, max_value=12),
+        seed=st.integers(min_value=0, max_value=2 ** 10),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_no_tuner_session_exceeds_budget(self, dbms, olap, max_runs, seed):
+        from repro.tuners import RandomSearchTuner
+
+        result = RandomSearchTuner().tune(
+            dbms, olap, Budget(max_runs=max_runs), np.random.default_rng(seed)
+        )
+        assert result.n_real_runs <= max_runs

@@ -1,0 +1,136 @@
+"""Property-based tests for the Hadoop and Spark simulators."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.systems.cluster import Cluster, NodeSpec
+from repro.systems.hadoop import HadoopSimulator, MRJobSpec, HadoopWorkload, terasort
+from repro.systems.spark import SparkSimulator, spark_sort
+
+_SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@pytest.fixture(scope="module")
+def hadoop():
+    return HadoopSimulator(Cluster.uniform(4))
+
+
+@pytest.fixture(scope="module")
+def spark():
+    return SparkSimulator(Cluster.uniform(4))
+
+
+@pytest.fixture(scope="module")
+def mr_workload():
+    return terasort(2.0)
+
+
+@pytest.fixture(scope="module")
+def spark_workload():
+    return spark_sort(2.0)
+
+
+class TestHadoopProperties:
+    @given(seed=st.integers(min_value=0, max_value=2 ** 16))
+    @settings(**_SETTINGS)
+    def test_any_config_yields_valid_measurement(self, hadoop, mr_workload, seed):
+        config = hadoop.config_space.sample_configuration(np.random.default_rng(seed))
+        m = hadoop.run(mr_workload, config)
+        if m.ok:
+            assert 0 < m.runtime_s < math.inf
+            assert m.metric("n_map_tasks") >= 1
+            assert m.metric("n_reduce_tasks") >= 1
+        else:
+            assert math.isinf(m.runtime_s)
+
+    @given(
+        input_mb=st.floats(min_value=64, max_value=65536),
+        selectivity=st.floats(min_value=0.001, max_value=3.0),
+        skew=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(**_SETTINGS)
+    def test_any_job_spec_runs_with_defaults(self, hadoop, input_mb, selectivity, skew):
+        job = MRJobSpec("j", input_mb=input_mb, map_selectivity=selectivity, skew=skew)
+        wl = HadoopWorkload("w", [job])
+        m = hadoop.run(wl, hadoop.default_configuration())
+        assert m.ok and m.runtime_s > 0
+
+    @given(seed=st.integers(min_value=0, max_value=2 ** 12))
+    @settings(max_examples=10, deadline=None)
+    def test_more_data_never_faster(self, hadoop, seed):
+        config = hadoop.config_space.sample_configuration(np.random.default_rng(seed))
+        small = hadoop.run(terasort(1.0), config)
+        big = hadoop.run(terasort(4.0), config)
+        if small.ok and big.ok:
+            assert big.runtime_s >= small.runtime_s * 0.99
+
+    @given(seed=st.integers(min_value=0, max_value=2 ** 12))
+    @settings(max_examples=10, deadline=None)
+    def test_profile_consistent_with_run(self, hadoop, mr_workload, seed):
+        config = hadoop.config_space.sample_configuration(np.random.default_rng(seed))
+        m = hadoop.run(mr_workload, config)
+        profiles = hadoop.profile(mr_workload, config)
+        assert (m.failed) == any(p["failed"] for p in profiles)
+
+
+class TestSparkProperties:
+    @given(seed=st.integers(min_value=0, max_value=2 ** 16))
+    @settings(**_SETTINGS)
+    def test_any_config_yields_valid_measurement(self, spark, spark_workload, seed):
+        config = spark.config_space.sample_configuration(np.random.default_rng(seed))
+        m = spark.run(spark_workload, config)
+        if m.ok:
+            assert 0 < m.runtime_s < math.inf
+            assert 1 <= m.metric("executors") <= 64
+            assert 0 <= m.metric("cache_hit_fraction") <= 1
+        else:
+            assert math.isinf(m.runtime_s)
+
+    @given(seed=st.integers(min_value=0, max_value=2 ** 12))
+    @settings(max_examples=10, deadline=None)
+    def test_deterministic(self, spark, spark_workload, seed):
+        config = spark.config_space.sample_configuration(np.random.default_rng(seed))
+        assert (
+            spark.run(spark_workload, config).runtime_s
+            == spark.run(spark_workload, config).runtime_s
+        )
+
+    @given(
+        factor=st.floats(min_value=1.1, max_value=4.0),
+        seed=st.integers(min_value=0, max_value=2 ** 12),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_scaling_monotone_on_defaults(self, spark, factor, seed):
+        wl = spark_sort(2.0)
+        bigger = wl.scaled(factor)
+        config = spark.default_configuration()
+        a = spark.run(wl, config)
+        b = spark.run(bigger, config)
+        assert b.runtime_s >= a.runtime_s * 0.99
+
+    @given(seed=st.integers(min_value=0, max_value=2 ** 12))
+    @settings(max_examples=10, deadline=None)
+    def test_heterogeneous_never_faster_than_homogeneous(self, spark_workload, seed):
+        config_overrides = {"speculation": False}
+        homo = SparkSimulator(Cluster.uniform(4))
+        het = SparkSimulator(Cluster.heterogeneous(
+            [(3, NodeSpec()), (1, NodeSpec().scaled(cpu=0.5))]
+        ))
+        rng = np.random.default_rng(seed)
+        config_h = homo.config_space.sample_configuration(rng)
+        try:
+            config_h = config_h.replace(**config_overrides)
+        except Exception:
+            return
+        a = homo.run(spark_workload, config_h)
+        b = het.run(spark_workload, config_h)
+        if a.ok and b.ok:
+            assert b.runtime_s >= a.runtime_s * 0.99

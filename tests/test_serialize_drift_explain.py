@@ -1,0 +1,150 @@
+"""Tests for serialization, drift detection, and the explain API."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import Budget
+from repro.core.measurement import Measurement, Observation, TuningHistory
+from repro.core.serialize import (
+    configuration_from_dict,
+    dumps,
+    history_from_jsonable,
+    to_jsonable,
+)
+from repro.core.workload import WorkloadStream
+from repro.systems.dbms import DbmsSimulator, htap_mixed, olap_analytics, oltp_orders
+from repro.tuners import ColtOnlineTuner, DriftDetector, MetricDriftDetector, RandomSearchTuner
+
+
+@pytest.fixture(scope="module")
+def system():
+    return DbmsSimulator()
+
+
+@pytest.fixture(scope="module")
+def result(system):
+    return RandomSearchTuner().tune(
+        system, olap_analytics(0.3), Budget(max_runs=6), np.random.default_rng(0)
+    )
+
+
+class TestSerialize:
+    def test_result_roundtrip_through_json(self, system, result):
+        payload = json.loads(dumps(result))
+        assert payload["version"] == 1
+        assert payload["tuner_name"] == "random-search"
+        config = configuration_from_dict(system.config_space, payload["best_config"])
+        assert config == result.best_config
+        history = history_from_jsonable(system.config_space, payload["history"])
+        assert len(history) == len(result.history)
+        assert history.best_runtime() == pytest.approx(result.history.best_runtime())
+
+    def test_failed_measurement_roundtrip(self, system):
+        h = TuningHistory()
+        h.record(Observation(system.default_configuration(), Measurement.failure()))
+        payload = to_jsonable(h)
+        rebuilt = history_from_jsonable(system.config_space, payload)
+        assert math.isinf(rebuilt[0].runtime_s)
+        assert rebuilt[0].measurement.failed
+
+    def test_stream_result_serializes(self, system):
+        stream = WorkloadStream.constant(htap_mixed(0.3), 3)
+        sres = ColtOnlineTuner().tune_stream(system, stream, np.random.default_rng(0))
+        payload = to_jsonable(sres)
+        assert payload["kind"] == "stream_result"
+        assert len(payload["steps"]) == 3
+        json.dumps(payload)  # fully JSON-safe
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            to_jsonable(object())
+
+    def test_history_kind_checked(self, system):
+        with pytest.raises(ValueError):
+            history_from_jsonable(system.config_space, {"kind": "not-history"})
+
+    def test_extras_fall_back_to_repr(self, system, result):
+        result.extras["weird"] = object()
+        payload = to_jsonable(result)
+        assert isinstance(payload["extras"]["weird"], str)
+
+
+class TestDriftDetector:
+    def test_stable_stream_never_fires(self):
+        d = DriftDetector()
+        assert not any(d.update(10.0 + 0.01 * i % 3) for i in range(50))
+
+    def test_level_shift_detected(self):
+        d = DriftDetector()
+        for _ in range(8):
+            assert not d.update(10.0)
+        fired = [d.update(25.0) for _ in range(6)]
+        assert any(fired)
+
+    def test_downward_shift_detected(self):
+        d = DriftDetector()
+        for _ in range(8):
+            d.update(100.0)
+        fired = [d.update(40.0) for _ in range(6)]
+        assert any(fired)
+
+    def test_crash_counts_as_drift(self):
+        d = DriftDetector()
+        d.update(10.0)
+        assert d.update(float("inf"))
+
+    def test_resets_after_detection(self):
+        d = DriftDetector()
+        for _ in range(8):
+            d.update(10.0)
+        for _ in range(6):
+            d.update(30.0)
+        assert d.n_samples < 8  # reset happened
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DriftDetector(threshold=0)
+        with pytest.raises(ValueError):
+            DriftDetector(min_samples=1)
+
+    def test_metric_detector_names_drifting_metric(self):
+        d = MetricDriftDetector(min_samples=3)
+        for _ in range(8):
+            assert d.update({"a": 1.0, "b": 50.0}) == []
+        drifted = set()
+        for _ in range(6):
+            drifted.update(d.update({"a": 1.0, "b": 200.0}))
+        assert drifted == {"b"}
+
+
+class TestExplain:
+    def test_one_row_per_query(self, system):
+        wl = olap_analytics()
+        plans = system.explain(wl, system.default_configuration())
+        assert [p["query"] for p in plans] == [q.name for q in wl.queries]
+
+    def test_breakdown_consistent_with_run(self, system):
+        wl = olap_analytics()
+        config = system.default_configuration()
+        plans = system.explain(wl, config)
+        total = sum(p["elapsed_s"] * q.weight for p, q in zip(plans, wl.queries))
+        measured = system.run(wl, config).runtime_s
+        assert total == pytest.approx(measured, rel=0.02)
+
+    def test_transaction_mix_entry(self, system):
+        wl = oltp_orders(0.5, n_transactions=50_000)
+        plans = system.explain(wl, system.default_configuration())
+        assert plans[-1]["query"] == "(transaction mix)"
+        assert plans[-1]["tps"] > 0
+
+    def test_explain_reflects_plan_changes(self, system):
+        wl = olap_analytics()
+        space = system.config_space
+        cheap = system.explain(wl, space.partial({"random_page_cost": 1.0}))
+        dear = system.explain(wl, space.partial({"random_page_cost": 10.0}))
+        assert sum(p["index_scans"] for p in cheap) >= sum(
+            p["index_scans"] for p in dear
+        )

@@ -1,0 +1,183 @@
+"""Behavioural tests for the Spark simulator."""
+
+import math
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.systems.cluster import Cluster, NodeSpec
+from repro.systems.spark import (
+    GROUND_TRUTH_IMPACT,
+    SPARK_TUNING_KNOBS,
+    SparkJob,
+    SparkSimulator,
+    SparkStage,
+    SparkWorkload,
+    adhoc_app,
+    spark_kmeans,
+    spark_pagerank,
+    spark_sort,
+    spark_sql_join,
+    spark_streaming_batches,
+)
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return SparkSimulator()
+
+
+@pytest.fixture(scope="module")
+def space(sim):
+    return sim.config_space
+
+
+@pytest.fixture(scope="module")
+def sort_wl():
+    return spark_sort(8.0)
+
+
+def runtime(sim, wl, **overrides):
+    return sim.run(wl, sim.config_space.partial(overrides)).runtime_s
+
+
+class TestDagModel:
+    def test_stage_validation(self):
+        with pytest.raises(ValueError):
+            SparkStage("s", source_mb=0)  # source stage needs input
+        with pytest.raises(ValueError):
+            SparkStage("s", source_mb=10, output_ratio=-1)
+
+    def test_job_rejects_forward_references(self):
+        with pytest.raises(WorkloadError):
+            SparkJob("j", [SparkStage("a", parents=("b",))])
+
+    def test_job_rejects_duplicate_stages(self):
+        with pytest.raises(WorkloadError):
+            SparkJob("j", [
+                SparkStage("a", source_mb=10),
+                SparkStage("a", source_mb=10),
+            ])
+
+    def test_stage_inputs_propagate(self):
+        job = SparkJob("j", [
+            SparkStage("read", source_mb=100, output_ratio=0.5),
+            SparkStage("agg", parents=("read",), output_ratio=0.1, shuffled=True),
+        ])
+        inputs = job.stage_inputs_mb()
+        assert inputs["read"] == 100
+        assert inputs["agg"] == 50
+
+    def test_cached_mb(self):
+        job = SparkJob("j", [
+            SparkStage("read", source_mb=100, output_ratio=0.5, cached=True),
+        ])
+        assert job.cached_mb() == pytest.approx(50.0)
+
+    def test_adhoc_seeded(self):
+        assert adhoc_app(4).signature() == adhoc_app(4).signature()
+
+
+class TestEngineBehaviour:
+    def test_deterministic(self, sim, sort_wl, space):
+        config = space.default_configuration()
+        assert sim.run(sort_wl, config).runtime_s == sim.run(sort_wl, config).runtime_s
+
+    def test_shuffle_partitions_u_shape(self, sim, sort_wl):
+        mid = runtime(sim, sort_wl, shuffle_partitions=200)
+        many = runtime(sim, sort_wl, shuffle_partitions=2000)
+        few = runtime(sim, sort_wl, shuffle_partitions=20)
+        assert mid < many
+        assert mid < few or math.isinf(few)
+
+    def test_too_few_partitions_can_oom(self, sim, sort_wl, space):
+        m = sim.run(sort_wl, space.partial({"shuffle_partitions": 8}))
+        assert m.failed
+
+    def test_more_executors_scale_out(self, sim, sort_wl):
+        r2 = runtime(sim, sort_wl, num_executors=2)
+        r16 = runtime(sim, sort_wl, num_executors=16)
+        assert r16 < r2
+
+    def test_executor_capacity_capped_by_cluster(self, sim, sort_wl, space):
+        m = sim.run(sort_wl, space.partial({
+            "num_executors": 64, "executor_cores": 8, "executor_memory_mb": 8192,
+        }))
+        # 8 nodes x 16GB: at most 1 such executor per node.
+        assert m.metrics["executors"] <= 8
+
+    def test_kryo_beats_java_on_shuffle_heavy(self, sim, sort_wl):
+        java = runtime(sim, sort_wl, serializer="java")
+        kryo = runtime(sim, sort_wl, serializer="kryo")
+        assert kryo < java
+
+    def test_caching_speeds_up_iterative(self, sim, space):
+        wl = spark_pagerank(3.0, iterations=8)
+        tiny_cache = sim.run(wl, space.partial({
+            "num_executors": 8, "executor_memory_mb": 1024,
+        }))
+        big_cache = sim.run(wl, space.partial({
+            "num_executors": 8, "executor_memory_mb": 8192,
+        }))
+        assert big_cache.metric("cache_hit_fraction") > tiny_cache.metric("cache_hit_fraction")
+        assert big_cache.runtime_s < tiny_cache.runtime_s
+
+    def test_broadcast_threshold_cliff(self, sim, space):
+        wl = spark_sql_join(4.0, dim_mb=64)
+        below = sim.run(wl, space.partial({"broadcast_threshold_mb": 32}))
+        above = sim.run(wl, space.partial({"broadcast_threshold_mb": 128}))
+        assert above.runtime_s < below.runtime_s
+        assert above.metric("broadcast_mb") > 0
+        assert below.metric("broadcast_mb") == 0
+
+    def test_gc_pressure_metric(self, sim, space):
+        wl = spark_kmeans(4.0, iterations=4)
+        squeezed = sim.run(wl, space.partial({
+            "executor_memory_mb": 640, "executor_cores": 4,
+            "shuffle_partitions": 64, "num_executors": 8,
+        }))
+        roomy = sim.run(wl, space.partial({
+            "executor_memory_mb": 8192, "executor_cores": 4,
+            "shuffle_partitions": 64, "num_executors": 8,
+        }))
+        if squeezed.ok:
+            assert squeezed.metric("heap_pressure") > roomy.metric("heap_pressure")
+
+    def test_streaming_is_overhead_bound(self, sim, space):
+        wl = spark_streaming_batches(batch_mb=64, n_batches=20)
+        few_parts = sim.run(wl, space.partial({"shuffle_partitions": 16})).runtime_s
+        many_parts = sim.run(wl, space.partial({"shuffle_partitions": 2000})).runtime_s
+        assert few_parts < many_parts
+
+    def test_locality_wait_costs_on_small_allocations(self, sim, sort_wl, space):
+        impatient = sim.run(sort_wl, space.partial({
+            "num_executors": 2, "locality_wait_s": 0.0})).runtime_s
+        patient = sim.run(sort_wl, space.partial({
+            "num_executors": 2, "locality_wait_s": 10.0})).runtime_s
+        assert patient > impatient
+
+    def test_inert_knobs_are_inert(self, sim, sort_wl, space):
+        base = sim.run(sort_wl, space.default_configuration()).runtime_s
+        for knob in ("network_timeout_s", "ui_retained_stages", "rpc_io_threads"):
+            for value in space[knob].grid(3):
+                r = sim.run(sort_wl, space.partial({knob: value})).runtime_s
+                assert r == pytest.approx(base, rel=0.01), knob
+
+    def test_metrics_complete(self, sim, sort_wl, space):
+        m = sim.run(sort_wl, space.default_configuration())
+        for name in sim.metric_names:
+            assert name in m.metrics
+
+    def test_ground_truth_covers_catalog(self, space):
+        assert set(GROUND_TRUTH_IMPACT) == set(space.names())
+        assert set(SPARK_TUNING_KNOBS) <= set(space.names())
+
+    def test_straggler_hurts_on_het_cluster(self, sort_wl):
+        homo = SparkSimulator(Cluster.uniform(8))
+        het = SparkSimulator(Cluster.heterogeneous(
+            [(6, NodeSpec()), (2, NodeSpec().scaled(cpu=0.4))]
+        ))
+        config = {"speculation": False, "num_executors": 8}
+        r_homo = homo.run(sort_wl, homo.config_space.partial(config)).runtime_s
+        r_het = het.run(sort_wl, het.config_space.partial(config)).runtime_s
+        assert r_het > r_homo

@@ -1,0 +1,85 @@
+"""Tests for the streaming substrate (§2.5 real-time challenge)."""
+
+import math
+
+import pytest
+
+from repro.systems.cluster import Cluster
+from repro.systems.spark import SparkSimulator
+from repro.systems.spark.streaming import (
+    StreamingApp,
+    analyze_streaming,
+    make_streaming_app,
+)
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return SparkSimulator(Cluster.uniform(8))
+
+
+@pytest.fixture(scope="module")
+def good_config(sim):
+    return sim.config_space.partial({
+        "num_executors": 32, "executor_cores": 4, "serializer": "kryo",
+        "shuffle_partitions": 64,
+    })
+
+
+class TestStreamingApp:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamingApp("s", arrival_mb_s=0, batch_interval_s=5)
+        with pytest.raises(ValueError):
+            StreamingApp("s", arrival_mb_s=10, batch_interval_s=0)
+
+    def test_batch_size(self):
+        app = make_streaming_app(20.0, batch_interval_s=5.0)
+        assert app.batch_mb == pytest.approx(100.0)
+
+    def test_one_batch_workload_runs(self, sim):
+        app = make_streaming_app(20.0)
+        m = sim.run(app.one_batch_workload(), sim.default_configuration())
+        assert m.ok
+
+
+class TestAnalyzeStreaming:
+    def test_stable_under_good_config(self, sim, good_config):
+        app = make_streaming_app(50.0)
+        verdict = analyze_streaming(sim, app, good_config)
+        assert verdict.stable
+        assert 0 < verdict.utilization < 1
+        assert verdict.latency_s > 0.5 * app.batch_interval_s
+        assert verdict.headroom == pytest.approx(1 - verdict.utilization)
+
+    def test_unstable_when_overloaded(self, sim):
+        app = make_streaming_app(500.0)
+        verdict = analyze_streaming(sim, app, sim.default_configuration())
+        assert not verdict.stable
+        assert math.isinf(verdict.latency_s)
+
+    def test_latency_grows_with_utilization(self, sim, good_config):
+        low = analyze_streaming(sim, make_streaming_app(20.0), good_config)
+        high = analyze_streaming(sim, make_streaming_app(200.0), good_config)
+        if low.stable and high.stable:
+            assert high.latency_s > low.latency_s
+            assert high.utilization > low.utilization
+
+    def test_crashed_batch_is_unstable(self, sim):
+        app = make_streaming_app(50.0)
+        config = sim.config_space.partial({"shuffle_partitions": 8})
+        verdict = analyze_streaming(sim, app, config)
+        # Either OOM (unstable) or it survives; never a bogus verdict.
+        if not verdict.stable:
+            assert math.isinf(verdict.latency_s)
+
+    def test_longer_interval_trades_latency_for_stability(self, sim, good_config):
+        fast = analyze_streaming(
+            sim, make_streaming_app(100.0, batch_interval_s=2.0), good_config
+        )
+        slow = analyze_streaming(
+            sim, make_streaming_app(100.0, batch_interval_s=20.0), good_config
+        )
+        assert slow.utilization < fast.utilization
+        if fast.stable and slow.stable:
+            assert slow.latency_s > fast.latency_s

@@ -1,0 +1,77 @@
+"""Tests for the cluster/node resource model."""
+
+import pytest
+
+from repro.systems.cluster import Cluster, NodeSpec
+
+
+class TestNodeSpec:
+    def test_defaults_valid(self):
+        node = NodeSpec()
+        assert node.cores >= 1 and node.memory_mb >= 128
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"cores": 0},
+            {"cpu_speed": 0},
+            {"memory_mb": 64},
+            {"disk_read_mbps": -1},
+            {"network_mbps": 0},
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            NodeSpec(**kwargs)
+
+    def test_scaled(self):
+        node = NodeSpec()
+        old = node.scaled(cpu=0.5, mem=0.5, disk=0.5)
+        assert old.cpu_speed == pytest.approx(node.cpu_speed * 0.5)
+        assert old.memory_mb == node.memory_mb // 2
+        assert old.disk_read_mbps == pytest.approx(node.disk_read_mbps * 0.5)
+        assert old.network_mbps == node.network_mbps  # unscaled axis
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            NodeSpec().cores = 4
+
+
+class TestCluster:
+    def test_uniform(self):
+        cluster = Cluster.uniform(4)
+        assert len(cluster) == 4
+        assert not cluster.is_heterogeneous
+        assert cluster.straggler_factor() == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Cluster([])
+        with pytest.raises(ValueError):
+            Cluster.uniform(0)
+
+    def test_heterogeneous(self):
+        new = NodeSpec()
+        old = new.scaled(cpu=0.5)
+        cluster = Cluster.heterogeneous([(2, new), (2, old)])
+        assert cluster.is_heterogeneous
+        assert cluster.straggler_factor() > 1.0
+        assert cluster.min_node == old
+
+    def test_aggregates(self):
+        cluster = Cluster.uniform(3, NodeSpec(cores=4, memory_mb=8192))
+        assert cluster.total_cores == 12
+        assert cluster.total_memory_mb == 3 * 8192
+
+    def test_mean_speeds(self):
+        fast = NodeSpec(cpu_speed=1.0)
+        slow = fast.scaled(cpu=0.5)
+        cluster = Cluster.heterogeneous([(1, fast), (1, slow)])
+        assert cluster.mean_cpu_speed() == pytest.approx(0.75)
+
+    def test_straggler_bounded_by_slowest(self):
+        fast = NodeSpec()
+        slow = fast.scaled(cpu=0.25)
+        cluster = Cluster.heterogeneous([(7, fast), (1, slow)])
+        # mean speed dominated by the fast nodes; slow node sets the pace
+        assert cluster.straggler_factor() > 2.0

@@ -1,0 +1,78 @@
+"""Integration matrix: every registered tuner runs on every system.
+
+The framework's central promise is that any tuner composes with any
+system through the core contracts; this test enforces it for the full
+registry with a small budget, including result invariants:
+
+* the budget is respected;
+* the recommendation is a valid configuration of the system's space;
+* the reported best runtime is finite whenever any run succeeded.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import Budget, make_tuner, tuner_names
+from repro.systems.cluster import Cluster
+from repro.systems.dbms import DbmsSimulator, adhoc_query, htap_mixed, olap_analytics
+from repro.systems.hadoop import HadoopSimulator, terasort
+from repro.systems.spark import SparkSimulator, spark_sort
+from repro.tuners import build_repository
+
+_CLUSTER = Cluster.uniform(4)
+_SYSTEMS = {
+    "dbms": (DbmsSimulator(_CLUSTER), htap_mixed(0.3)),
+    "hadoop": (HadoopSimulator(_CLUSTER), terasort(2.0)),
+    "spark": (SparkSimulator(_CLUSTER), spark_sort(2.0)),
+}
+_BUDGET = Budget(max_runs=8)
+
+
+def _instantiate(name: str, system):
+    if name == "ottertune":
+        repo = build_repository(
+            system,
+            [olap_analytics(0.3)] if system.kind == "dbms" else [],
+            n_samples=12,
+            rng=np.random.default_rng(7),
+        ) if system.kind == "dbms" else None
+        if repo is None:
+            pytest.skip("ottertune needs a same-system repository")
+        return make_tuner(name, repository=repo)
+    if name == "nn-tuner":
+        return make_tuner(name, epochs=60)
+    if name == "ensemble":
+        return make_tuner(name, mlp_epochs=60)
+    if name in ("cost-model", "trace-sim"):
+        return make_tuner(name, n_model_samples=150)
+    if name == "genetic":
+        return make_tuner(name, population=4, elite=1)
+    return make_tuner(name)
+
+
+@pytest.mark.parametrize("system_kind", sorted(_SYSTEMS))
+@pytest.mark.parametrize("tuner_name", tuner_names())
+def test_every_tuner_on_every_system(tuner_name, system_kind):
+    system, workload = _SYSTEMS[system_kind]
+    tuner = _instantiate(tuner_name, system)
+    result = tuner.tune(system, workload, _BUDGET, rng=np.random.default_rng(3))
+
+    assert result.n_real_runs <= _BUDGET.max_runs
+    # The recommendation is valid in this system's space.
+    system.config_space.configuration(result.best_config.to_dict())
+    # If anything succeeded, the reported runtime is finite and the
+    # recommendation never loses to the default by more than noise.
+    successes = [
+        o for o in result.history.successful()
+        if o.workload in ("", workload.name)
+    ]
+    if successes:
+        assert math.isfinite(result.best_runtime_s)
+        default_runs = [
+            o.runtime_s for o in successes
+            if o.config == system.default_configuration()
+        ]
+        if default_runs:
+            assert result.best_runtime_s <= min(default_runs) * 1.001

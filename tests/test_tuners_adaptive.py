@@ -1,0 +1,169 @@
+"""Tests for the adaptive (online) tuner family."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import Budget, InstrumentedSystem
+from repro.core.tuner import OnlineTuner
+from repro.core.workload import StreamPhase, WorkloadStream
+from repro.systems.cluster import Cluster
+from repro.systems.dbms import DbmsSimulator, htap_mixed, olap_analytics
+from repro.systems.spark import SparkSimulator, spark_sort, spark_sql_join
+from repro.tuners import (
+    ColtOnlineTuner,
+    DynamicPartitionTuner,
+    MrMoulderTuner,
+    OnlineMemoryTuner,
+)
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+@pytest.fixture(scope="module")
+def dbms():
+    return DbmsSimulator(Cluster.uniform(4))
+
+
+@pytest.fixture(scope="module")
+def spark():
+    return SparkSimulator(Cluster.uniform(4))
+
+
+class TestColt:
+    def test_adapts_on_stream(self, dbms):
+        stream = WorkloadStream.constant(htap_mixed(0.5), 12)
+        result = ColtOnlineTuner().tune_stream(dbms, stream, rng())
+        assert len(result.steps) == 12
+        first = result.steps[0].measurement.runtime_s
+        tail = result.mean_runtime_tail(3)
+        assert tail < first
+        assert result.n_reconfigurations >= 1
+
+    def test_switch_cost_gate(self, dbms):
+        # With an absurd reconfiguration cost, COLT must never switch.
+        stream = WorkloadStream.constant(htap_mixed(0.5), 8)
+        result = ColtOnlineTuner(reconfig_cost_s=1e9).tune_stream(dbms, stream, rng())
+        assert result.n_reconfigurations == 0
+
+    def test_recovers_from_failure(self, dbms):
+        # A stream long enough that exploration may hit the OOM region:
+        # after any failure the next step must run the safe default.
+        stream = WorkloadStream.constant(htap_mixed(0.5), 16)
+        result = ColtOnlineTuner(step_scale=0.5).tune_stream(dbms, stream, rng(3))
+        for i, step in enumerate(result.steps[:-1]):
+            if not step.measurement.ok:
+                assert result.steps[i + 1].measurement.ok
+
+    def test_offline_interface_via_template(self, dbms):
+        result = ColtOnlineTuner().tune(
+            dbms, htap_mixed(0.5), Budget(max_runs=10), rng()
+        )
+        assert result.n_real_runs == 10
+        assert math.isfinite(result.best_runtime_s)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ColtOnlineTuner(epoch=0)
+
+
+class TestMrMoulder:
+    def test_learns_within_phase(self, dbms):
+        stream = WorkloadStream.constant(htap_mixed(0.5), 14)
+        result = MrMoulderTuner().tune_stream(dbms, stream, rng())
+        runtimes = [r for r in result.runtimes() if math.isfinite(r)]
+        assert min(runtimes[:3]) >= min(runtimes)  # later exploration found better or equal
+
+    def test_case_base_transfers_across_phases(self, dbms):
+        wl = htap_mixed(0.5)
+        tuner = MrMoulderTuner()
+        stream1 = WorkloadStream.constant(wl, 10)
+        first = tuner.tune_stream(dbms, stream1, rng())
+        best_learned = min(
+            r for r in first.runtimes() if math.isfinite(r)
+        )
+        # A new stream of the same workload starts from the learned case.
+        stream2 = WorkloadStream.constant(wl, 2)
+        second = tuner.tune_stream(dbms, stream2, rng(1))
+        assert second.steps[0].measurement.runtime_s <= best_learned * 1.1
+
+    def test_recommend_cold_start_is_default(self, dbms):
+        tuner = MrMoulderTuner()
+        default = dbms.default_configuration()
+        assert tuner.recommend(htap_mixed(0.5), default) == default
+
+
+class TestDynamicPartition:
+    def test_adjusts_partitions_only(self, spark):
+        stream = WorkloadStream.constant(spark_sort(4.0), 10)
+        result = DynamicPartitionTuner().tune_stream(spark, stream, rng())
+        default = spark.default_configuration()
+        for step in result.steps:
+            for knob in default:
+                if knob != "shuffle_partitions":
+                    assert step.config[knob] == default[knob]
+
+    def test_grows_partitions_on_spill(self, spark):
+        # Big per-task data under default partitions spills -> grow.
+        stream = WorkloadStream.constant(spark_sort(32.0), 6)
+        result = DynamicPartitionTuner().tune_stream(spark, stream, rng())
+        default = spark.default_configuration()["shuffle_partitions"]
+        last = result.steps[-1].config["shuffle_partitions"]
+        assert last > default
+
+    def test_shrinks_partitions_on_overhead(self, spark):
+        from repro.systems.spark import spark_streaming_batches
+
+        stream = WorkloadStream.constant(
+            spark_streaming_batches(batch_mb=32, n_batches=5), 6
+        )
+        result = DynamicPartitionTuner().tune_stream(spark, stream, rng())
+        first = result.steps[0].config["shuffle_partitions"]
+        last = result.steps[-1].config["shuffle_partitions"]
+        assert last < first
+
+    def test_non_spark_system_passthrough(self, dbms):
+        stream = WorkloadStream.constant(htap_mixed(0.5), 3)
+        result = DynamicPartitionTuner().tune_stream(dbms, stream, rng())
+        assert result.n_reconfigurations == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DynamicPartitionTuner(grow=0.9)
+
+
+class TestOnlineMemory:
+    def test_reconfigures_memory_knobs(self, dbms):
+        stream = WorkloadStream.constant(olap_analytics(0.5), 10)
+        result = OnlineMemoryTuner().tune_stream(dbms, stream, rng())
+        assert result.n_reconfigurations >= 1
+        configs = {s.config["work_mem_mb"] for s in result.steps}
+        assert len(configs) > 1
+
+    def test_does_not_blow_up(self, dbms):
+        stream = WorkloadStream.constant(olap_analytics(0.5), 12)
+        result = OnlineMemoryTuner().tune_stream(dbms, stream, rng())
+        runtimes = [r for r in result.runtimes() if math.isfinite(r)]
+        assert result.mean_runtime_tail(3) <= runtimes[0] * 1.3
+
+    def test_non_dbms_passthrough(self, spark):
+        stream = WorkloadStream.constant(spark_sort(4.0), 3)
+        result = OnlineMemoryTuner().tune_stream(spark, stream, rng())
+        assert result.n_reconfigurations == 0
+
+
+class TestStreamResultApi:
+    def test_total_and_tail(self, dbms):
+        stream = WorkloadStream.constant(htap_mixed(0.5), 5)
+        result = ColtOnlineTuner().tune_stream(dbms, stream, rng())
+        assert result.total_runtime_s > 0
+        assert result.mean_runtime_tail(2) > 0
+        assert len(result.runtimes()) == 5
+
+    def test_all_online_tuners_are_online(self):
+        for cls in (ColtOnlineTuner, MrMoulderTuner, DynamicPartitionTuner, OnlineMemoryTuner):
+            assert issubclass(cls, OnlineTuner)
+            assert cls.category == "adaptive"

@@ -1,0 +1,167 @@
+"""Tests for baseline tuners and the rule-based family."""
+
+import numpy as np
+import pytest
+
+from repro.core import Budget
+from repro.systems.cluster import Cluster, NodeSpec
+from repro.systems.dbms import DbmsSimulator, htap_mixed, olap_analytics
+from repro.systems.hadoop import HadoopSimulator, terasort
+from repro.systems.spark import SparkSimulator, spark_sort
+from repro.tuners import (
+    ConfigNavigator,
+    DefaultConfigTuner,
+    GridSearchTuner,
+    RandomSearchTuner,
+    RuleBasedTuner,
+    SpexValidator,
+    TuningRule,
+)
+
+
+@pytest.fixture
+def dbms():
+    return DbmsSimulator(Cluster.uniform(4))
+
+
+@pytest.fixture
+def olap():
+    return olap_analytics(0.5)
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestBaselines:
+    def test_default_tuner_one_run(self, dbms, olap):
+        result = DefaultConfigTuner().tune(dbms, olap, Budget(max_runs=5), rng())
+        assert result.n_real_runs == 1
+        assert result.best_config == dbms.default_configuration()
+
+    def test_random_search_uses_full_budget(self, dbms, olap):
+        result = RandomSearchTuner().tune(dbms, olap, Budget(max_runs=12), rng())
+        assert result.n_real_runs == 12
+
+    def test_random_search_never_worse_than_default(self, dbms, olap):
+        default = dbms.run(olap, dbms.default_configuration()).runtime_s
+        result = RandomSearchTuner().tune(dbms, olap, Budget(max_runs=10), rng())
+        assert result.best_runtime_s <= default * 1.0001
+
+    def test_random_search_seeded(self, dbms, olap):
+        a = RandomSearchTuner().tune(dbms, olap, Budget(max_runs=8), rng(5))
+        b = RandomSearchTuner().tune(dbms, olap, Budget(max_runs=8), rng(5))
+        assert a.best_config == b.best_config
+
+    def test_grid_search_covers_named_knobs(self, dbms, olap):
+        tuner = GridSearchTuner(knobs=["buffer_pool_mb", "work_mem_mb"], levels=3)
+        result = tuner.tune(dbms, olap, Budget(max_runs=20), rng())
+        # default + 3x3 grid
+        assert result.n_real_runs == 10
+        tried = {o.config["buffer_pool_mb"] for o in result.history.real_observations()}
+        assert len(tried) >= 3
+
+    def test_grid_search_respects_budget(self, dbms, olap):
+        tuner = GridSearchTuner(knobs=["buffer_pool_mb", "work_mem_mb"], levels=5)
+        result = tuner.tune(dbms, olap, Budget(max_runs=7), rng())
+        assert result.n_real_runs == 7
+
+    def test_grid_levels_validation(self):
+        with pytest.raises(ValueError):
+            GridSearchTuner(levels=1)
+
+
+class TestRuleBasedTuner:
+    @pytest.mark.parametrize(
+        "system,workload",
+        [
+            (DbmsSimulator(Cluster.uniform(4)), htap_mixed(0.5)),
+            (HadoopSimulator(Cluster.uniform(4)), terasort(4.0)),
+            (SparkSimulator(Cluster.uniform(4)), spark_sort(4.0)),
+        ],
+        ids=["dbms", "hadoop", "spark"],
+    )
+    def test_rules_improve_over_default(self, system, workload):
+        default = system.run(workload, system.default_configuration()).runtime_s
+        result = RuleBasedTuner().tune(system, workload, Budget(max_runs=2), rng())
+        assert result.n_real_runs == 2
+        assert result.best_runtime_s <= default * 1.0001
+        assert result.extras["rules_applied"]
+
+    def test_rule_config_feasible(self, dbms, olap):
+        result = RuleBasedTuner().tune(dbms, olap, Budget(max_runs=2), rng())
+        # constructing the Configuration would have raised otherwise
+        assert result.best_config is not None
+
+    def test_extra_rules_applied(self, dbms, olap):
+        marker = TuningRule(
+            "extra", "test", lambda node, cl, sig: {"io_concurrency": 128}
+        )
+        tuner = RuleBasedTuner(extra_rules=[marker])
+        result = tuner.tune(dbms, olap, Budget(max_runs=2), rng())
+        assert "extra" in result.extras["rules_applied"]
+
+    def test_rules_scale_with_node_memory(self):
+        small = DbmsSimulator(Cluster.uniform(1, NodeSpec(memory_mb=4096)))
+        big = DbmsSimulator(Cluster.uniform(1, NodeSpec(memory_mb=65536)))
+        tuner = RuleBasedTuner()
+        wl = olap_analytics(0.2)
+        rs = tuner.tune(small, wl, Budget(max_runs=2), rng())
+        rb = tuner.tune(big, wl, Budget(max_runs=2), rng())
+        if rs.best_config != small.default_configuration() and rb.best_config != big.default_configuration():
+            assert rb.best_config["buffer_pool_mb"] > rs.best_config["buffer_pool_mb"]
+
+
+class TestSpexValidator:
+    def test_detects_domain_violation(self, dbms):
+        validator = SpexValidator(dbms.config_space)
+        values = dbms.default_configuration().to_dict()
+        values["work_mem_mb"] = -5
+        assert any(v.startswith("domain:") for v in validator.violations(values))
+
+    def test_detects_constraint_violation(self, dbms):
+        validator = SpexValidator(dbms.config_space)
+        values = dbms.default_configuration().to_dict()
+        values["buffer_pool_mb"] = dbms.config_space["buffer_pool_mb"].high
+        values["wal_buffers_mb"] = 1024
+        values["temp_buffers_mb"] = 1024
+        assert any(v.startswith("constraint:") for v in validator.violations(values))
+
+    def test_clean_config_passes(self, dbms):
+        validator = SpexValidator(dbms.config_space)
+        assert validator.violations(dbms.default_configuration().to_dict()) == []
+
+    def test_repair_reaches_feasibility(self, dbms):
+        validator = SpexValidator(dbms.config_space)
+        values = dbms.default_configuration().to_dict()
+        values["buffer_pool_mb"] = 10 ** 9
+        values["wal_buffers_mb"] = 10 ** 9
+        repaired = validator.repair_values(values)
+        assert dbms.config_space.is_feasible(repaired)
+        dbms.config_space.configuration(repaired)  # must not raise
+
+    def test_repair_preserves_valid_values(self, dbms):
+        validator = SpexValidator(dbms.config_space)
+        values = dbms.default_configuration().to_dict()
+        values["io_concurrency"] = 64
+        repaired = validator.repair_values(values)
+        assert repaired["io_concurrency"] == 64
+
+
+class TestConfigNavigator:
+    @pytest.mark.parametrize("kind", ["dbms", "hadoop", "spark"])
+    def test_ranking_puts_impactful_first(self, kind):
+        import importlib
+
+        nav = ConfigNavigator()
+        ranked = nav.ranked_knobs(kind)
+        module = importlib.import_module(f"repro.systems.{kind}.knobs")
+        impact = module.GROUND_TRUTH_IMPACT
+        # The first quarter of the ranking is all tier >= 1.
+        head = ranked[: len(ranked) // 4]
+        assert all(impact[k] >= 1 for k in head)
+
+    def test_navigated_space(self, dbms):
+        nav = ConfigNavigator()
+        reduced = nav.navigated_space(dbms.config_space, "dbms", top_k=6)
+        assert len(reduced) == 6

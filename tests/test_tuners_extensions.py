@@ -1,0 +1,195 @@
+"""Tests for the extension tuners: Ernest, Gunther GA, MRTuner,
+ensemble."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import Budget
+from repro.systems.cluster import Cluster
+from repro.systems.dbms import DbmsSimulator, htap_mixed
+from repro.systems.hadoop import HadoopSimulator, terasort, wordcount
+from repro.systems.spark import SparkSimulator, spark_sort
+from repro.tuners import (
+    EnsembleTuner,
+    ErnestTuner,
+    GeneticTuner,
+    MrTunerTuner,
+    ptc_breakdown,
+)
+from repro.tuners.ml.ernest import ernest_features, fit_ernest_model, predict_ernest
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return Cluster.uniform(8)
+
+
+class TestErnestModel:
+    def test_features_shape(self):
+        f = ernest_features(0.5, 4)
+        assert f.shape == (4,)
+        assert f[0] == 1.0
+
+    def test_fit_recovers_scaling_law(self):
+        # Synthesize data from a known model and recover predictions.
+        true = np.array([2.0, 30.0, 0.5, 0.05])
+        points = []
+        for s in (0.1, 0.25, 0.5):
+            for m in (1, 2, 4, 8):
+                points.append((s, m, float(true @ ernest_features(s, m))))
+        coef = fit_ernest_model(points)
+        for s, m, t in points:
+            assert predict_ernest(coef, s, m) == pytest.approx(t, rel=0.05)
+
+    def test_fit_coefficients_nonnegative(self):
+        points = [(0.1, m, 10.0 / m + 1.0) for m in (1, 2, 4, 8)]
+        coef = fit_ernest_model(points)
+        assert (coef >= 0).all()
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            fit_ernest_model([(0.1, 1, 5.0)])
+
+    def test_invalid_plan(self):
+        with pytest.raises(ValueError):
+            ErnestTuner(sample_plan=((1.5, 2), (0.1, 2), (0.1, 4), (0.2, 8)))
+        with pytest.raises(ValueError):
+            ErnestTuner(sample_plan=((0.1, 2),))
+
+
+class TestErnestTuner:
+    def test_tunes_spark_parallelism_cheaply(self, cluster):
+        spark = SparkSimulator(cluster)
+        wl = spark_sort(8.0)
+        base = spark.run(wl, spark.default_configuration()).runtime_s
+        result = ErnestTuner().tune(spark, wl, Budget(max_runs=20), rng(1))
+        assert result.best_runtime_s < base
+        # Training happened on sampled data: the experiment time is a
+        # fraction of even ONE untuned full-scale run.
+        assert result.experiment_time_s < base * 20
+        assert "ernest_coefficients" in result.extras
+        assert result.best_config["num_executors"] > spark.default_configuration()["num_executors"]
+
+    def test_degrades_gracefully_on_dbms(self, cluster):
+        dbms = DbmsSimulator(cluster)
+        wl = htap_mixed(0.5)
+        result = ErnestTuner().tune(dbms, wl, Budget(max_runs=18), rng(1))
+        assert math.isfinite(result.best_runtime_s)
+
+
+class TestGeneticTuner:
+    def test_improves_on_hadoop(self, cluster):
+        hadoop = HadoopSimulator(cluster)
+        wl = terasort(4.0)
+        base = hadoop.run(wl, hadoop.default_configuration()).runtime_s
+        result = GeneticTuner().tune(hadoop, wl, Budget(max_runs=30), rng(1))
+        assert result.best_runtime_s < base / 2
+        assert result.extras["generations"] >= 2
+
+    def test_elitism_preserves_incumbent(self, cluster):
+        dbms = DbmsSimulator(cluster)
+        wl = htap_mixed(0.5)
+        result = GeneticTuner(population=6, elite=2).tune(
+            dbms, wl, Budget(max_runs=24), rng(2)
+        )
+        # Incumbent trajectory never regresses (guaranteed by elitism +
+        # incumbent bookkeeping).
+        traj = [b for _, b in result.history.incumbent_trajectory()]
+        assert all(x >= y for x, y in zip(traj, traj[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GeneticTuner(population=2)
+        with pytest.raises(ValueError):
+            GeneticTuner(population=6, elite=6)
+
+
+class TestMrTuner:
+    def test_ptc_breakdown_phases(self, cluster):
+        hadoop = HadoopSimulator(cluster)
+        wl = terasort(8.0)
+        phases = ptc_breakdown(wl, hadoop.default_configuration(), cluster)
+        assert set(phases) == {"producer", "transporter", "consumer"}
+        assert all(v >= 0 for v in phases.values())
+        # With one reducer, the consumer dominates.
+        assert phases["consumer"] > phases["producer"]
+
+    def test_more_reducers_shift_bottleneck(self, cluster):
+        hadoop = HadoopSimulator(cluster)
+        wl = terasort(8.0)
+        few = ptc_breakdown(
+            wl, hadoop.config_space.partial({"mapreduce_job_reduces": 1}), cluster
+        )
+        many = ptc_breakdown(
+            wl, hadoop.config_space.partial({"mapreduce_job_reduces": 128}), cluster
+        )
+        assert many["consumer"] < few["consumer"]
+
+    def test_tunes_hadoop_in_few_runs(self, cluster):
+        hadoop = HadoopSimulator(cluster)
+        wl = wordcount(8.0)
+        base = hadoop.run(wl, hadoop.default_configuration()).runtime_s
+        result = MrTunerTuner().tune(hadoop, wl, Budget(max_runs=5), rng(1))
+        assert result.n_real_runs <= 5
+        assert result.best_runtime_s < base / 3
+        assert result.extras["ptc_candidates"] > 50
+        assert result.extras["ptc_bottleneck"] in ("producer", "transporter", "consumer")
+
+    def test_degrades_on_non_hadoop(self, cluster):
+        dbms = DbmsSimulator(cluster)
+        result = MrTunerTuner().tune(dbms, htap_mixed(0.5), Budget(max_runs=3), rng(1))
+        assert result.best_config == dbms.default_configuration()
+
+
+class TestEnsembleTuner:
+    def test_improves_over_default(self, cluster):
+        dbms = DbmsSimulator(cluster)
+        wl = htap_mixed(0.5)
+        base = dbms.run(wl, dbms.default_configuration()).runtime_s
+        result = EnsembleTuner(mlp_epochs=100).tune(dbms, wl, Budget(max_runs=16), rng(1))
+        assert result.best_runtime_s < base
+
+    def test_records_committee_predictions(self, cluster):
+        dbms = DbmsSimulator(cluster)
+        wl = htap_mixed(0.5)
+        result = EnsembleTuner(mlp_epochs=50).tune(dbms, wl, Budget(max_runs=12), rng(1))
+        assert any(o.tag == "committee" for o in result.history)
+
+
+class TestCrossEntropyTuner:
+    def test_improves_over_default(self, cluster):
+        from repro.tuners import CrossEntropyTuner
+
+        dbms = DbmsSimulator(cluster)
+        wl = htap_mixed(0.5)
+        base = dbms.run(wl, dbms.default_configuration()).runtime_s
+        result = CrossEntropyTuner(batch=6).tune(
+            dbms, wl, Budget(max_runs=26), rng(1)
+        )
+        assert result.best_runtime_s < base
+        assert result.extras["cem_generations"] >= 3
+
+    def test_policy_contracts_over_generations(self, cluster):
+        from repro.tuners import CrossEntropyTuner
+
+        dbms = DbmsSimulator(cluster)
+        wl = htap_mixed(0.5)
+        tuner = CrossEntropyTuner(batch=6, init_std=0.35)
+        result = tuner.tune(dbms, wl, Budget(max_runs=30), rng(2))
+        assert result.extras["cem_final_std"] < 0.35
+
+    def test_validation(self):
+        from repro.tuners import CrossEntropyTuner
+
+        with pytest.raises(ValueError):
+            CrossEntropyTuner(batch=2)
+        with pytest.raises(ValueError):
+            CrossEntropyTuner(elite_frac=1.5)
+        with pytest.raises(ValueError):
+            CrossEntropyTuner(smoothing=2.0)

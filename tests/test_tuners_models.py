@@ -1,0 +1,211 @@
+"""Tests for cost-modeling and simulation-based tuners."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import Budget
+from repro.systems.cluster import Cluster
+from repro.systems.dbms import DbmsSimulator, htap_mixed, olap_analytics, oltp_orders
+from repro.systems.hadoop import HadoopSimulator, terasort
+from repro.systems.spark import SparkSimulator, spark_sort
+from repro.tuners import (
+    AddmDiagnoser,
+    CostModelTuner,
+    StmmMemoryTuner,
+    TraceSimulationTuner,
+    cost_model_for,
+)
+from repro.tuners.cost_model import dbms_memory_infeasible
+from repro.tuners.simulation import trace_replay_predict
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return Cluster.uniform(4)
+
+
+@pytest.fixture(scope="module")
+def dbms(cluster):
+    return DbmsSimulator(cluster)
+
+
+class TestCostModels:
+    @pytest.mark.parametrize("kind", ["dbms", "hadoop", "spark"])
+    def test_models_exist(self, kind):
+        assert cost_model_for(kind).kind == kind
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            cost_model_for("mainframe")
+
+    def test_dbms_model_positive_and_finite_for_default(self, dbms, cluster):
+        model = cost_model_for("dbms")
+        pred = model.predict(htap_mixed(), dbms.default_configuration(), cluster)
+        assert 0 < pred < math.inf
+
+    def test_dbms_model_flags_oom_configs(self, dbms, cluster):
+        model = cost_model_for("dbms")
+        config = dbms.config_space.partial({
+            "work_mem_mb": 4096, "hash_mem_multiplier": 8, "max_connections": 1000,
+        })
+        assert math.isinf(model.predict(htap_mixed(), config, cluster))
+
+    def test_dbms_model_rank_sensible_on_memory(self, dbms, cluster):
+        model = cost_model_for("dbms")
+        wl = olap_analytics()
+        small = model.predict(wl, dbms.config_space.partial({"buffer_pool_mb": 64}), cluster)
+        big = model.predict(wl, dbms.config_space.partial({"buffer_pool_mb": 8192}), cluster)
+        assert big < small
+
+    def test_hadoop_model_prefers_more_reducers(self, cluster):
+        hadoop = HadoopSimulator(cluster)
+        model = cost_model_for("hadoop")
+        wl = terasort(8.0)
+        r1 = model.predict(wl, hadoop.config_space.partial({"mapreduce_job_reduces": 1}), cluster)
+        r32 = model.predict(wl, hadoop.config_space.partial({"mapreduce_job_reduces": 32}), cluster)
+        assert r32 < r1
+
+    def test_spark_model_prefers_more_executors(self, cluster):
+        spark = SparkSimulator(cluster)
+        model = cost_model_for("spark")
+        wl = spark_sort(8.0)
+        r2 = model.predict(wl, spark.config_space.partial({"num_executors": 2}), cluster)
+        r16 = model.predict(wl, spark.config_space.partial({"num_executors": 16}), cluster)
+        assert r16 < r2
+
+    def test_memory_feasibility_helper(self, dbms):
+        default = dbms.default_configuration()
+        assert not dbms_memory_infeasible(default, 16384, sessions=8, workers=2)
+        greedy = dbms.config_space.partial({"work_mem_mb": 4096, "max_connections": 1000})
+        assert dbms_memory_infeasible(greedy, 16384, sessions=8, workers=2)
+
+
+class TestCostModelTuner:
+    @pytest.mark.parametrize(
+        "make_system,workload",
+        [
+            (lambda c: DbmsSimulator(c), htap_mixed(0.5)),
+            (lambda c: HadoopSimulator(c), terasort(4.0)),
+            (lambda c: SparkSimulator(c), spark_sort(4.0)),
+        ],
+        ids=["dbms", "hadoop", "spark"],
+    )
+    def test_few_runs_real_improvement(self, cluster, make_system, workload):
+        system = make_system(cluster)
+        default = system.run(workload, system.default_configuration()).runtime_s
+        result = CostModelTuner(n_model_samples=400).tune(
+            system, workload, Budget(max_runs=5), rng()
+        )
+        assert result.n_real_runs <= 5
+        assert result.best_runtime_s < default
+
+    def test_model_predictions_recorded(self, dbms):
+        result = CostModelTuner(n_model_samples=100).tune(
+            dbms, htap_mixed(0.5), Budget(max_runs=4), rng()
+        )
+        models = [o for o in result.history if o.source == "model"]
+        assert len(models) == 100
+
+
+class TestStmm:
+    def test_improves_memory_bound_workload(self, dbms):
+        wl = olap_analytics()
+        default = dbms.run(wl, dbms.default_configuration()).runtime_s
+        result = StmmMemoryTuner().tune(dbms, wl, Budget(max_runs=15), rng())
+        assert result.best_runtime_s < default
+
+    def test_only_touches_memory_knobs(self, dbms):
+        wl = olap_analytics()
+        result = StmmMemoryTuner().tune(dbms, wl, Budget(max_runs=10), rng())
+        default = dbms.default_configuration()
+        for knob in default:
+            if knob not in ("buffer_pool_mb", "work_mem_mb"):
+                assert result.best_config[knob] == default[knob], knob
+
+    def test_non_dbms_degrades_to_default(self, cluster):
+        hadoop = HadoopSimulator(cluster)
+        result = StmmMemoryTuner().tune(hadoop, terasort(4.0), Budget(max_runs=5), rng())
+        assert result.best_config == hadoop.default_configuration()
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            StmmMemoryTuner(step_fraction=0)
+
+
+class TestTraceReplay:
+    def test_self_prediction_exact(self, dbms):
+        wl = htap_mixed()
+        config = dbms.default_configuration()
+        base = dbms.run(wl, config)
+        pred = trace_replay_predict("dbms", config, base, config,
+                                    wl.signature()["hot_set_mb"])
+        assert pred == pytest.approx(base.runtime_s, rel=0.01)
+
+    def test_rank_fidelity_positive(self, dbms):
+        from repro.analysis.whatif import evaluate_predictor
+
+        wl = htap_mixed()
+        config = dbms.default_configuration()
+        base = dbms.run(wl, config)
+        acc = evaluate_predictor(
+            dbms, wl,
+            lambda c: trace_replay_predict(
+                "dbms", config, base, c, wl.signature()["hot_set_mb"]
+            ),
+            n_points=20, rng=rng(3),
+        )
+        assert acc.rank_fidelity > 0.3
+
+    def test_unknown_kind(self, dbms):
+        wl = htap_mixed()
+        config = dbms.default_configuration()
+        base = dbms.run(wl, config)
+        with pytest.raises(ValueError):
+            trace_replay_predict("mainframe", config, base, config)
+
+    def test_tuner_improves(self, dbms):
+        wl = htap_mixed(0.5)
+        default = dbms.run(wl, dbms.default_configuration()).runtime_s
+        result = TraceSimulationTuner(n_model_samples=300).tune(
+            dbms, wl, Budget(max_runs=5), rng()
+        )
+        assert result.best_runtime_s < default
+
+
+class TestAddm:
+    def test_improves_and_reports_findings(self, dbms):
+        wl = oltp_orders(0.5, n_transactions=50_000)
+        default = dbms.run(wl, dbms.default_configuration()).runtime_s
+        result = AddmDiagnoser().tune(dbms, wl, Budget(max_runs=10), rng())
+        assert result.best_runtime_s < default
+        assert result.extras["findings_applied"]
+
+    def test_findings_target_the_bottleneck(self, dbms):
+        # A commit-bound OLTP mix should trigger the log-commit remedy
+        # among the first findings.
+        wl = oltp_orders(0.5, n_transactions=50_000)
+        result = AddmDiagnoser().tune(dbms, wl, Budget(max_runs=10), rng())
+        assert any(
+            f in ("log-commit-waits", "lock-contention", "buffer-pool-misses",
+                  "cpu-saturation", "checkpoint-pressure", "operator-spills")
+            for f in result.extras["findings_applied"]
+        )
+
+    def test_works_on_spark(self, cluster):
+        spark = SparkSimulator(cluster)
+        wl = spark_sort(4.0)
+        default = spark.run(wl, spark.default_configuration()).runtime_s
+        result = AddmDiagnoser().tune(spark, wl, Budget(max_runs=10), rng())
+        assert result.best_runtime_s <= default * 1.0001
+
+    def test_never_recommends_worse_than_default(self, dbms):
+        wl = htap_mixed(0.5)
+        default = dbms.run(wl, dbms.default_configuration()).runtime_s
+        result = AddmDiagnoser().tune(dbms, wl, Budget(max_runs=8), rng(9))
+        assert result.best_runtime_s <= default * 1.0001

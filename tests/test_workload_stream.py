@@ -1,0 +1,74 @@
+"""Tests for workload streams and the registry."""
+
+import pytest
+
+from repro.core.registry import UnknownName, make_system, make_tuner, system_names, tuner_names, tuners_in_category
+from repro.core.workload import StreamPhase, WorkloadStream
+from repro.systems.dbms import htap_mixed, olap_analytics
+
+
+class TestWorkloadStream:
+    def test_constant(self):
+        stream = WorkloadStream.constant(olap_analytics(), 4)
+        assert len(stream) == 4
+        assert len(list(stream)) == 4
+
+    def test_shift(self):
+        stream = WorkloadStream.shift(olap_analytics(), htap_mixed(), 3)
+        names = [w.name for w in stream]
+        assert names[:3] == [olap_analytics().name] * 3
+        assert names[3:] == [htap_mixed().name] * 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadStream([])
+
+    def test_zero_repetitions_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadStream([StreamPhase(olap_analytics(), 0)])
+
+    def test_distinct_workloads(self):
+        stream = WorkloadStream.shift(olap_analytics(), htap_mixed(), 2)
+        assert len(stream.distinct_workloads()) == 2
+
+
+class TestScaling:
+    def test_dbms_scaled(self):
+        wl = olap_analytics()
+        bigger = wl.scaled(2.0)
+        assert bigger.total_scan_mb() > wl.total_scan_mb() * 1.8
+        assert bigger.signature()["sort_mb"] == pytest.approx(
+            wl.signature()["sort_mb"] * 2.0
+        )
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            olap_analytics().scaled(0)
+
+
+class TestRegistry:
+    def test_all_categories_covered(self):
+        from repro.core.tuner import CATEGORIES
+
+        names = tuner_names()
+        assert len(names) >= 15
+        for category in CATEGORIES:
+            assert tuners_in_category(category), f"no tuner in {category}"
+
+    def test_systems_registered(self):
+        assert set(system_names()) == {"dbms", "hadoop", "spark"}
+
+    def test_make_tuner_unknown(self):
+        with pytest.raises(UnknownName):
+            make_tuner("not-a-tuner")
+
+    def test_make_system_kwargs(self):
+        from repro.systems.cluster import Cluster
+
+        system = make_system("hadoop", cluster=Cluster.uniform(4))
+        assert len(system.cluster) == 4
+
+    def test_factories_produce_fresh_instances(self):
+        a = make_tuner("random-search")
+        b = make_tuner("random-search")
+        assert a is not b
