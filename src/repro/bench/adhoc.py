@@ -23,6 +23,7 @@ import numpy as np
 from repro.bench.harness import ExperimentResult, standard_cluster, tuned_result
 from repro.core import Budget, InstrumentedSystem
 from repro.core.workload import StreamPhase, WorkloadStream
+from repro.exec.cache import global_cache
 from repro.systems.dbms import DbmsSimulator, adhoc_query
 from repro.tuners import ITunedTuner, MrMoulderTuner, RuleBasedTuner
 
@@ -78,7 +79,8 @@ def run_adhoc(n_jobs: int = 8, tune_budget: int = 10, seed: int = 0, quick: bool
     stream = WorkloadStream(
         [StreamPhase(j, reps) for j in jobs], name="adhoc-stream"
     )
-    wrapped = InstrumentedSystem(system, noise=0.03, rng=np.random.default_rng(seed))
+    wrapped = InstrumentedSystem(system, noise=0.03, rng=np.random.default_rng(seed),
+                                 eval_cache=global_cache())
     sres = MrMoulderTuner().tune_stream(wrapped, stream, rng=np.random.default_rng(seed))
     production = sum(
         s.measurement.runtime_s for s in sres.steps if s.measurement.ok

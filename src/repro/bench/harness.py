@@ -9,6 +9,8 @@ absolute runtimes.
 
 from __future__ import annotations
 
+import csv
+import io
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -17,6 +19,7 @@ import numpy as np
 from repro.analysis.report import format_table
 from repro.core import Budget, InstrumentedSystem, SystemUnderTune, Tuner, TuningResult
 from repro.core.workload import Workload
+from repro.exec.cache import global_cache
 from repro.systems.cluster import Cluster, NodeSpec
 
 __all__ = [
@@ -62,9 +65,6 @@ class ExperimentResult:
 
     def to_csv(self) -> str:
         """The table as CSV (header row first) for external analysis."""
-        import csv
-        import io
-
         buffer = io.StringIO()
         writer = csv.writer(buffer)
         writer.writerow(self.headers)
@@ -88,7 +88,8 @@ def default_runtime(
 ) -> float:
     """Measured runtime of the vendor default (with harness noise)."""
     wrapped = InstrumentedSystem(
-        system, noise=HARNESS_NOISE, rng=np.random.default_rng(seed)
+        system, noise=HARNESS_NOISE, rng=np.random.default_rng(seed),
+        eval_cache=global_cache(),
     )
     return wrapped.run(workload, system.default_configuration()).runtime_s
 
@@ -101,9 +102,18 @@ def tuned_result(
     seed: int = 0,
     noise: float = HARNESS_NOISE,
 ) -> TuningResult:
-    """Run one tuning session under measurement noise."""
+    """Run one tuning session under measurement noise.
+
+    Deterministic inner simulations route through the process-wide
+    :func:`~repro.exec.cache.global_cache`, so repeated points across
+    experiments are measured once; noise is drawn per run regardless,
+    keeping results identical to uncached execution.
+    """
     rng = np.random.default_rng(seed)
-    wrapped = InstrumentedSystem(system, noise=noise, rng=np.random.default_rng(seed + 1))
+    wrapped = InstrumentedSystem(
+        system, noise=noise, rng=np.random.default_rng(seed + 1),
+        eval_cache=global_cache(),
+    )
     return tuner.tune(wrapped, workload, budget, rng=rng)
 
 

@@ -33,6 +33,7 @@ from repro.bench.harness import (
 )
 from repro.core import Budget, InstrumentedSystem, OnlineTuner
 from repro.core.workload import WorkloadStream
+from repro.exec.cache import global_cache
 from repro.systems.dbms import (
     DbmsSimulator,
     adhoc_query,
@@ -80,7 +81,8 @@ def _shift_speedup(
     shifted_default = default_runtime(system, shifted, seed=seed)
     if isinstance(tuner, OnlineTuner):
         wrapped = InstrumentedSystem(
-            system, noise=HARNESS_NOISE, rng=np.random.default_rng(seed + 2)
+            system, noise=HARNESS_NOISE, rng=np.random.default_rng(seed + 2),
+            eval_cache=global_cache(),
         )
         stream = WorkloadStream.constant(shifted, min(10, budget.max_runs))
         sres = tuner.tune_stream(system=wrapped, stream=stream, rng=np.random.default_rng(seed))

@@ -39,6 +39,7 @@ from repro.bench.harness import (
 from repro.core import Budget, InstrumentedSystem, SubspaceSystem
 from repro.core.session import TuningSession
 from repro.core.workload import WorkloadStream
+from repro.exec.cache import global_cache
 from repro.systems.dbms import (
     DBMS_TUNING_KNOBS,
     build_screening_space,
@@ -195,7 +196,8 @@ def run_table2(budget_runs: int = 25, seed: int = 0, quick: bool = False) -> Exp
     ])
 
     # -- COLT ----------------------------------------------------------------------
-    wrapped = InstrumentedSystem(system, noise=0.03, rng=np.random.default_rng(seed + 3))
+    wrapped = InstrumentedSystem(system, noise=0.03, rng=np.random.default_rng(seed + 3),
+                                 eval_cache=global_cache())
     stream = WorkloadStream.constant(workload, budget_runs)
     sres = ColtOnlineTuner().tune_stream(wrapped, stream, rng=np.random.default_rng(seed))
     tail = sres.mean_runtime_tail(5)

@@ -6,13 +6,17 @@ Commands:
     experiment             — run a benchmark experiment (E1..E13) and
                              print its regenerated table
     sweep                  — one-at-a-time knob sweep on a system
+    bench                  — benchmark the execution engine (serial vs
+                             parallel) and write a JSON report
 
 Examples::
 
     python -m repro list
     python -m repro tune --system dbms --workload htap --tuner ituned --runs 30
     python -m repro experiment E3
+    python -m repro experiment all --quick --jobs 4
     python -m repro sweep --system spark --workload sort --knob shuffle_partitions
+    python -m repro bench --json BENCH_exec.json
 """
 
 from __future__ import annotations
@@ -24,6 +28,13 @@ from typing import Dict, List
 import numpy as np
 
 __all__ = ["main"]
+
+
+def _jobs_arg(value: str) -> int:
+    jobs = int(value)
+    if jobs < 0:
+        raise argparse.ArgumentTypeError("jobs must be >= 0 (0 = all cores)")
+    return jobs
 
 
 def _workload_catalog() -> Dict[str, Dict[str, object]]:
@@ -133,7 +144,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if key == "ALL":
         from repro.bench import full_report
 
-        print(full_report(quick=args.quick))
+        print(full_report(quick=args.quick, jobs=args.jobs))
         return 0
     if key not in experiments:
         print(f"unknown experiment {args.id!r}; choose from {sorted(experiments)}",
@@ -144,6 +155,26 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         kwargs["quick"] = True
     result = experiments[key](**kwargs)
     print(result.to_text())
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.exec.bench import run_exec_benchmark
+
+    report = run_exec_benchmark(
+        quick=not args.full, jobs=args.jobs, json_path=args.json
+    )
+    print(f"exec benchmark: {report['n_experiments']} experiments, "
+          f"jobs={report['jobs']}")
+    print(f"  serial   {report['serial_wall_s']:8.2f}s")
+    print(f"  parallel {report['parallel_wall_s']:8.2f}s "
+          f"(speedup {report['speedup']:.2f}x)")
+    cache = report.get("serial_cache")
+    if cache:
+        print(f"  cache    {cache['hits']} hits / {cache['misses']} misses "
+              f"(hit rate {cache['hit_rate']:.1%})")
+    if args.json:
+        print(f"  report written to {args.json}")
     return 0
 
 
@@ -189,8 +220,22 @@ def main(argv: List[str] = None) -> int:
     tune.add_argument("--show-config", action="store_true")
 
     experiment = sub.add_parser("experiment", help="run a benchmark experiment")
-    experiment.add_argument("id", help="experiment id, e.g. E3")
+    experiment.add_argument("id", help="experiment id, e.g. E3, or 'all'")
     experiment.add_argument("--quick", action="store_true")
+    experiment.add_argument(
+        "--jobs", type=_jobs_arg, default=None,
+        help="parallel workers for 'all' (0 = all cores; default REPRO_JOBS or 1)",
+    )
+
+    bench = sub.add_parser(
+        "bench", help="benchmark the execution engine (serial vs parallel)"
+    )
+    bench.add_argument("--json", default=None, metavar="PATH",
+                       help="write the JSON report here, e.g. BENCH_exec.json")
+    bench.add_argument("--jobs", type=_jobs_arg, default=None,
+                       help="parallel workers (default 4; 0 = all cores)")
+    bench.add_argument("--full", action="store_true",
+                       help="benchmark full-size experiments instead of quick mode")
 
     sweep = sub.add_parser("sweep", help="one-at-a-time knob sweep")
     sweep.add_argument("--system", choices=["dbms", "hadoop", "spark"], required=True)
@@ -204,6 +249,7 @@ def main(argv: List[str] = None) -> int:
         "tune": _cmd_tune,
         "experiment": _cmd_experiment,
         "sweep": _cmd_sweep,
+        "bench": _cmd_bench,
     }
     try:
         return handlers[args.command](args)

@@ -11,7 +11,7 @@ loops without budget bookkeeping.
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, List, Optional, TYPE_CHECKING
+from typing import Any, Dict, List, Optional, Sequence, TYPE_CHECKING
 
 import numpy as np
 
@@ -88,6 +88,64 @@ class TuningSession:
             workload=self.workload.name,
         ))
         return measurement
+
+    def evaluate_batch(
+        self,
+        configs: Sequence[Configuration],
+        tag: str = "",
+        tags: Optional[Sequence[str]] = None,
+    ) -> List[Measurement]:
+        """Run a batch of independent configurations as one proposal.
+
+        This models iTuned's parallel-experiment feature: the tuner
+        commits to the whole batch *before* seeing any result, so the
+        batch is charged to the budget atomically — every executed
+        configuration counts, even when a wall-clock cap is crossed
+        mid-batch.  When fewer runs remain than the batch requests, the
+        batch is truncated to the remaining run budget (the partial
+        prefix executes and is charged); measurements come back in
+        ``configs`` order.
+
+        Execution goes through :meth:`SystemUnderTune.run_batch`, so an
+        :class:`~repro.core.system.InstrumentedSystem` with a runner
+        evaluates the batch concurrently with results identical to a
+        serial loop.
+
+        Args:
+            configs: proposed configurations (independent experiments).
+            tag: provenance label applied to every observation, unless
+                ``tags`` gives one per configuration.
+            tags: optional per-configuration labels (same length as
+                ``configs``).
+
+        Raises:
+            BudgetExhausted: before running anything, if no budget
+                remains at all.
+            ValueError: when ``tags`` is given with the wrong length.
+        """
+        configs = list(configs)
+        if tags is not None and len(tags) != len(configs):
+            raise ValueError(
+                f"tags has {len(tags)} entries for {len(configs)} configs"
+            )
+        if not configs:
+            return []
+        if not self.can_run():
+            raise BudgetExhausted(
+                f"budget spent: {self.real_runs}/{self.budget.max_runs} runs, "
+                f"{self.experiment_time_s:.1f}s measured"
+            )
+        batch = configs[: self.remaining_runs]
+        measurements = self.system.run_batch(self.workload, batch)
+        for i, (config, measurement) in enumerate(zip(batch, measurements)):
+            self._charge(measurement)
+            self.history.record(Observation(
+                config, measurement,
+                source=REAL,
+                tag=tags[i] if tags is not None else tag,
+                workload=self.workload.name,
+            ))
+        return measurements
 
     def evaluate_workload(
         self, workload: Workload, config: Configuration, tag: str = ""

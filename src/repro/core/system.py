@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -23,6 +23,10 @@ from repro.core.measurement import Measurement
 from repro.core.parameters import Configuration, ConfigurationSpace
 from repro.core.workload import Workload
 from repro.exceptions import WorkloadError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.exec.cache import EvaluationCache
+    from repro.exec.runner import ParallelRunner
 
 __all__ = ["SystemUnderTune", "InstrumentedSystem", "SubspaceSystem"]
 
@@ -57,6 +61,17 @@ class SystemUnderTune(ABC):
         """Stable, ordered names of the metrics run() reports."""
         return []
 
+    def run_batch(
+        self, workload: Workload, configs: Sequence[Configuration]
+    ) -> List[Measurement]:
+        """Execute several independent configurations of one workload.
+
+        The base implementation is a serial loop; wrappers that can
+        execute concurrently (:class:`InstrumentedSystem` with a
+        runner) override it.  Results are always in ``configs`` order.
+        """
+        return [self.run(workload, config) for config in configs]
+
     def default_configuration(self) -> Configuration:
         return self.config_space.default_configuration()
 
@@ -81,6 +96,14 @@ class InstrumentedSystem(SystemUnderTune):
             config) pairs without charging a run.  Off by default: real
             experiment-driven tuning repeats runs to average out noise.
         rng: noise source; required when ``noise > 0``.
+        eval_cache: cross-session memoization of the *inner*
+            (deterministic, noise-free) measurement.  Unlike ``cache``,
+            a hit still counts as a run and still draws noise, so
+            results are byte-identical to a cold execution — only
+            wall-clock changes.
+        runner: when set, :meth:`run_batch` computes inner measurements
+            for a batch concurrently (noise is applied sequentially in
+            batch order afterwards, preserving determinism).
     """
 
     def __init__(
@@ -89,6 +112,8 @@ class InstrumentedSystem(SystemUnderTune):
         noise: float = 0.0,
         cache: bool = False,
         rng: Optional[np.random.Generator] = None,
+        eval_cache: Optional["EvaluationCache"] = None,
+        runner: Optional["ParallelRunner"] = None,
     ):
         if noise < 0:
             raise ValueError("noise must be >= 0")
@@ -98,12 +123,15 @@ class InstrumentedSystem(SystemUnderTune):
         self.noise = noise
         self.cache_enabled = cache
         self.rng = rng
+        self.eval_cache = eval_cache
+        self.runner = runner
         self.name = inner.name
         self.kind = inner.kind
         self.run_count = 0
         self.failure_count = 0
         self.total_measured_s = 0.0
         self._cache: Dict[Tuple[str, Configuration], Measurement] = {}
+        self._prefetched: Dict[Tuple[str, Configuration], Measurement] = {}
 
     @property
     def config_space(self) -> ConfigurationSpace:
@@ -113,12 +141,21 @@ class InstrumentedSystem(SystemUnderTune):
     def metric_names(self) -> List[str]:
         return self.inner.metric_names
 
+    def _inner_run(self, workload: Workload, config: Configuration) -> Measurement:
+        """The deterministic inner measurement, via caches when possible."""
+        prefetched = self._prefetched.pop((workload.name, config), None)
+        if prefetched is not None:
+            return prefetched
+        if self.eval_cache is not None:
+            return self.eval_cache.run(self.inner, workload, config)
+        return self.inner.run(workload, config)
+
     def run(self, workload: Workload, config: Configuration) -> Measurement:
         self.check_workload(workload)
         key = (workload.name, config)
         if self.cache_enabled and key in self._cache:
             return self._cache[key]
-        measurement = self.inner.run(workload, config)
+        measurement = self._inner_run(workload, config)
         if self.noise > 0 and measurement.ok:
             factor = float(
                 np.exp(self.rng.normal(loc=0.0, scale=self.noise))
@@ -138,11 +175,73 @@ class InstrumentedSystem(SystemUnderTune):
             self._cache[key] = measurement
         return measurement
 
+    def run_batch(
+        self, workload: Workload, configs: Sequence[Configuration]
+    ) -> List[Measurement]:
+        """Batch execution: concurrent inner runs, deterministic results.
+
+        The deterministic inner measurements of configurations not yet
+        cached are computed concurrently through the runner (simulators
+        never see noise, so completion order cannot matter); the
+        noise/counting pipeline then replays sequentially in ``configs``
+        order, drawing from the RNG exactly as a serial loop would.
+        """
+        configs = list(configs)
+        if (
+            self.runner is not None
+            and self.runner.effective_jobs > 1
+            and len(configs) > 1
+        ):
+            pending: List[Configuration] = []
+            seen = set()
+            for config in configs:
+                key = (workload.name, config)
+                if key in seen or key in self._prefetched:
+                    continue
+                if self.cache_enabled and key in self._cache:
+                    continue
+                if self.eval_cache is not None:
+                    try:
+                        if self.eval_cache.key_for(
+                            self.inner, workload, config
+                        ) in self.eval_cache:
+                            continue
+                    except Exception:
+                        pending = []
+                        break
+                seen.add(key)
+                pending.append(config)
+            if pending:
+                measurements = self.runner.starmap(
+                    _inner_run_task,
+                    [(self.inner, workload, c) for c in pending],
+                )
+                for config, measurement in zip(pending, measurements):
+                    if self.eval_cache is not None:
+                        try:
+                            self.eval_cache.store(
+                                self.eval_cache.key_for(self.inner, workload, config),
+                                measurement,
+                            )
+                            continue
+                        except Exception:
+                            pass
+                    self._prefetched[(workload.name, config)] = measurement
+        return [self.run(workload, config) for config in configs]
+
     def reset_counters(self) -> None:
         self.run_count = 0
         self.failure_count = 0
         self.total_measured_s = 0.0
         self._cache.clear()
+        self._prefetched.clear()
+
+
+def _inner_run_task(
+    system: SystemUnderTune, workload: Workload, config: Configuration
+) -> Measurement:
+    """Top-level (hence picklable) worker task for batched inner runs."""
+    return system.run(workload, config)
 
 
 class SubspaceSystem(SystemUnderTune):

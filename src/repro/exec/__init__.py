@@ -1,0 +1,42 @@
+"""Execution engine: parallel experiment fan-out and evaluation caching.
+
+The paper's organizing axis is that *experiments are expensive*; this
+package is where the harness fights back.  Every benchmark and tuner
+routes real executions through:
+
+* :class:`ParallelRunner` — order-preserving concurrent map (process
+  pool with thread/serial fallback), worker count from ``--jobs`` or
+  ``REPRO_JOBS``;
+* :class:`EvaluationCache` — value-keyed memoization of deterministic
+  simulator runs, shared process-wide via :func:`global_cache`;
+* :func:`run_exec_benchmark` — the ``python -m repro bench`` entry
+  point recording per-experiment wall-clock and cache hit rates.
+"""
+
+from repro.exec.cache import (
+    EvaluationCache,
+    Unfingerprintable,
+    fingerprint,
+    global_cache,
+    reset_global_cache,
+)
+from repro.exec.runner import ParallelRunner, resolve_jobs
+
+__all__ = [
+    "EvaluationCache",
+    "ParallelRunner",
+    "Unfingerprintable",
+    "fingerprint",
+    "global_cache",
+    "reset_global_cache",
+    "resolve_jobs",
+    "run_exec_benchmark",
+]
+
+
+def run_exec_benchmark(*args, **kwargs):
+    """Lazy alias for :func:`repro.exec.bench.run_exec_benchmark` (the
+    bench module imports the full experiment registry)."""
+    from repro.exec.bench import run_exec_benchmark as _impl
+
+    return _impl(*args, **kwargs)

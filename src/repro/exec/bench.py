@@ -1,0 +1,118 @@
+"""Execution-engine benchmark: serial vs parallel, with cache stats.
+
+``python -m repro bench --json BENCH_exec.json`` runs the full
+experiment suite twice — once serial, once fanned out over a
+:class:`~repro.exec.runner.ParallelRunner` — verifies the regenerated
+tables are identical, and records per-experiment wall-clock and
+evaluation-cache hit rates.  The JSON artifact is the perf trajectory
+the ROADMAP's "make a hot path measurably faster" mandate is tracked
+against.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.exec.cache import global_cache, reset_global_cache
+from repro.exec.runner import resolve_jobs
+
+__all__ = ["run_exec_benchmark"]
+
+
+def _rows_digest(results) -> Dict[str, Any]:
+    """Per-experiment (headers, rows) in a comparable form."""
+    return {
+        key: (tuple(res.headers), tuple(tuple(map(repr, row)) for row in res.rows))
+        for key, res, _ in results
+    }
+
+
+def run_exec_benchmark(
+    quick: bool = True,
+    jobs: Optional[int] = None,
+    only: Optional[List[str]] = None,
+    json_path: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Benchmark the execution engine over the experiment suite.
+
+    Args:
+        quick: run experiments in quick mode (the tracked configuration).
+        jobs: parallel worker count (``None`` → ``REPRO_JOBS`` → 4).
+        only: restrict to these experiment ids, in this order.
+        json_path: when given, the report is also written there as JSON.
+
+    Returns:
+        The report dict: per-experiment serial/parallel seconds and
+        cache hits/misses, totals, and the parallel speedup.  Raises
+        ``AssertionError`` if parallel execution regenerates different
+        tables than serial execution — the engine's core invariant.
+    """
+    from repro.bench.run_all import run_all_experiments
+
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS")
+        jobs = resolve_jobs(None) if env else 4
+    cache_enabled = global_cache() is not None
+
+    reset_global_cache()
+    start = time.perf_counter()
+    serial = run_all_experiments(quick=quick, only=only, jobs=1)
+    serial_wall_s = time.perf_counter() - start
+    serial_cache = global_cache().stats() if cache_enabled else None
+
+    reset_global_cache()
+    start = time.perf_counter()
+    parallel = run_all_experiments(quick=quick, only=only, jobs=jobs)
+    parallel_wall_s = time.perf_counter() - start
+
+    serial_digest = _rows_digest(serial)
+    parallel_digest = _rows_digest(parallel)
+    identical = serial_digest == parallel_digest
+    assert identical, (
+        "parallel execution changed experiment tables: "
+        + ", ".join(
+            k for k in serial_digest
+            if serial_digest.get(k) != parallel_digest.get(k)
+        )
+    )
+
+    parallel_by_key = {key: (res, sec) for key, res, sec in parallel}
+    experiments = []
+    for key, res, serial_s in serial:
+        p_res, p_s = parallel_by_key[key]
+        cache_delta = res.raw.get("eval_cache", {})
+        hits = cache_delta.get("hits", 0)
+        misses = cache_delta.get("misses", 0)
+        experiments.append({
+            "id": key,
+            "title": res.title,
+            "rows": len(res.rows),
+            "serial_s": round(serial_s, 4),
+            "parallel_s": round(p_s, 4),
+            "cache_hits": hits,
+            "cache_misses": misses,
+            "cache_hit_rate": round(hits / (hits + misses), 4)
+            if hits + misses else 0.0,
+        })
+
+    report: Dict[str, Any] = {
+        "benchmark": "exec-engine",
+        "quick": quick,
+        "jobs": jobs,
+        "cache_enabled": cache_enabled,
+        "n_experiments": len(experiments),
+        "serial_wall_s": round(serial_wall_s, 3),
+        "parallel_wall_s": round(parallel_wall_s, 3),
+        "speedup": round(serial_wall_s / parallel_wall_s, 3)
+        if parallel_wall_s > 0 else 0.0,
+        "tables_identical": identical,
+        "serial_cache": serial_cache,
+        "experiments": experiments,
+    }
+    if json_path:
+        with open(json_path, "w") as fh:
+            json.dump(report, fh, indent=2)
+    return report

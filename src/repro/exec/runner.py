@@ -1,0 +1,143 @@
+"""Parallel fan-out for independent evaluations.
+
+Experiment-driven tuning's cost model is "real runs are expensive";
+iTuned's answer (PVLDB'09 §5) is to execute independent experiments in
+*parallel*.  :class:`ParallelRunner` is that layer for the whole
+harness: a thin, order-preserving map over a process pool, with thread
+and serial fallbacks so callers never have to care whether their task
+is picklable or the platform supports forking.
+
+Worker count resolution, in priority order:
+
+1. an explicit ``jobs=`` argument,
+2. the ``REPRO_JOBS`` environment variable,
+3. serial execution (``jobs=1``).
+
+``jobs=0`` (or ``REPRO_JOBS=auto``) means "all CPUs".  A runner with
+one worker never builds a pool, so the serial path is exactly a list
+comprehension — no executor overhead, byte-identical results.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Iterable, List, Optional, Sequence
+
+__all__ = ["ParallelRunner", "resolve_jobs"]
+
+_MODES = ("auto", "process", "thread", "serial")
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve a worker count from the argument or ``REPRO_JOBS``."""
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip().lower()
+        if not env:
+            return 1
+        jobs = 0 if env == "auto" else int(env)
+    if jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+class ParallelRunner:
+    """Ordered concurrent map with graceful degradation.
+
+    Args:
+        jobs: worker count (``None`` → ``REPRO_JOBS`` → 1; 0 → all CPUs).
+        mode: ``"process"``, ``"thread"``, ``"serial"``, or ``"auto"``
+            (process pool, falling back to threads when the task or its
+            arguments cannot be pickled, then to serial on any executor
+            failure).  With one worker every mode collapses to serial.
+
+    Results always come back in submission order regardless of
+    completion order, so parallel execution can never reorder a
+    benchmark table.
+    """
+
+    def __init__(self, jobs: Optional[int] = None, mode: str = "auto"):
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        self.jobs = resolve_jobs(jobs)
+        self.mode = mode
+        self._process_pool: Optional[ProcessPoolExecutor] = None
+        self._thread_pool: Optional[ThreadPoolExecutor] = None
+
+    @property
+    def effective_jobs(self) -> int:
+        return 1 if self.mode == "serial" else self.jobs
+
+    # -- pools -------------------------------------------------------------
+    def _processes(self) -> ProcessPoolExecutor:
+        if self._process_pool is None:
+            self._process_pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._process_pool
+
+    def _threads(self) -> ThreadPoolExecutor:
+        if self._thread_pool is None:
+            self._thread_pool = ThreadPoolExecutor(max_workers=self.jobs)
+        return self._thread_pool
+
+    def close(self) -> None:
+        if self._process_pool is not None:
+            self._process_pool.shutdown()
+            self._process_pool = None
+        if self._thread_pool is not None:
+            self._thread_pool.shutdown()
+            self._thread_pool = None
+
+    def __enter__(self) -> "ParallelRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- mapping -----------------------------------------------------------
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> List[Any]:
+        """Apply ``fn`` to every item; results in submission order."""
+        tasks = list(items)
+        if not tasks:
+            return []
+        mode = self.mode
+        if self.effective_jobs <= 1 or len(tasks) == 1 or mode == "serial":
+            return [fn(item) for item in tasks]
+        if mode in ("auto", "process"):
+            try:
+                # Fail fast on unpicklable work instead of poisoning the
+                # pool: a pool worker that dies mid-deserialization
+                # breaks every in-flight future.
+                pickle.dumps(fn)
+                pickle.dumps(tasks[0])
+                return list(self._processes().map(fn, tasks))
+            except Exception:
+                if mode == "process":
+                    raise
+        try:
+            return list(self._threads().map(fn, tasks))
+        except Exception:
+            if mode == "thread":
+                raise
+            return [fn(item) for item in tasks]
+
+    def starmap(
+        self, fn: Callable[..., Any], items: Iterable[Sequence[Any]]
+    ) -> List[Any]:
+        """``map`` for tasks that are argument tuples."""
+        return self.map(_Star(fn), items)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ParallelRunner(jobs={self.jobs}, mode={self.mode!r})"
+
+
+class _Star:
+    """Picklable adapter turning f(*args) into f(args) for pool.map."""
+
+    def __init__(self, fn: Callable[..., Any]):
+        self.fn = fn
+
+    def __call__(self, args: Sequence[Any]) -> Any:
+        return self.fn(*args)

@@ -20,7 +20,7 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from repro.exceptions import ModelNotFitted
-from repro.mlkit.kernels import Kernel, Matern52
+from repro.mlkit.kernels import Kernel, Matern52, pairwise_sq_dists
 
 __all__ = ["GaussianProcess"]
 
@@ -52,10 +52,15 @@ class GaussianProcess:
         self.noise = float(noise)
         self.optimize = optimize
         self._X: Optional[np.ndarray] = None
+        self._y_raw: Optional[np.ndarray] = None
         self._y_mean = 0.0
         self._y_std = 1.0
         self._alpha: Optional[np.ndarray] = None
         self._chol: Optional[np.ndarray] = None
+        #: Total diagonal regularization beyond ``noise`` that the
+        #: Cholesky factorization actually used; incremental updates
+        #: must regularize new rows identically.
+        self._jitter_total: float = _JITTER
         self.log_marginal_likelihood_: float = -math.inf
 
     # -- fitting -----------------------------------------------------------
@@ -70,6 +75,7 @@ class GaussianProcess:
         std = float(y.std())
         self._y_std = std if std > 1e-12 else 1.0
         z = (y - self._y_mean) / self._y_std
+        self._y_raw = y.copy()
 
         if self.optimize:
             self._select_hyperparameters(X, z)
@@ -83,11 +89,18 @@ class GaussianProcess:
         # around sqrt(d/6); scale the lengthscale grid accordingly so
         # high-dimensional fits do not collapse to the prior mean.
         dim_scale = max(1.0, math.sqrt(X.shape[1] / 6.0))
+        # The O(n^2 d) pairwise-distance matrix is shared by the whole
+        # grid; each lengthscale rescales it, and each kernel matrix is
+        # shared across the noise sweep.
+        d2_unit: Optional[np.ndarray] = None
+        if hasattr(kernel_cls, "from_sq_dists"):
+            d2_unit = pairwise_sq_dists(X)
         for base_ls in (0.08, 0.15, 0.3, 0.5, 1.0, 2.0):
             ls = base_ls * dim_scale
+            kernel = kernel_cls(lengthscale=ls, variance=1.0)
+            K0 = kernel.from_sq_dists(d2_unit) if d2_unit is not None else kernel(X)
             for noise in (1e-6, 1e-4, 1e-2, 1e-1):
-                kernel = kernel_cls(lengthscale=ls, variance=1.0)
-                ll = self._log_marginal(X, z, kernel, noise)
+                ll = self._log_marginal_from_K(K0, z, noise)
                 if ll > best_ll:
                     best_ll, best = ll, (kernel, noise)
         if best is not None:
@@ -98,8 +111,12 @@ class GaussianProcess:
     def _log_marginal(
         X: np.ndarray, z: np.ndarray, kernel: Kernel, noise: float
     ) -> float:
-        n = X.shape[0]
-        K = kernel(X) + (noise + _JITTER) * np.eye(n)
+        return GaussianProcess._log_marginal_from_K(kernel(X), z, noise)
+
+    @staticmethod
+    def _log_marginal_from_K(K0: np.ndarray, z: np.ndarray, noise: float) -> float:
+        n = K0.shape[0]
+        K = K0 + (noise + _JITTER) * np.eye(n)
         try:
             L = np.linalg.cholesky(K)
         except np.linalg.LinAlgError:
@@ -126,20 +143,77 @@ class GaussianProcess:
         self._X = X
         self._chol = L
         self._alpha = np.linalg.solve(L.T, np.linalg.solve(L, z))
+        self._jitter_total = _JITTER + jitter
         if not self.optimize:
             self.log_marginal_likelihood_ = self._log_marginal(
                 X, z, self.kernel, self.noise
             )
 
+    # -- incremental updates -------------------------------------------------
+    def add_observation(self, x: np.ndarray, y: float) -> "GaussianProcess":
+        """Absorb one new observation without an O(n³) refit.
+
+        The Cholesky factor depends only on X and the (frozen)
+        hyperparameters, so it extends by one block row in O(n²); the
+        targets are then re-standardized over the full data and the
+        dual weights recomputed with two triangular solves (also
+        O(n²)).  The result is numerically identical to
+        ``GaussianProcess(kernel, noise, optimize=False).fit`` on the
+        extended data — sequential BO loops re-run the hyperparameter
+        grid only when they choose to (e.g. every k-th point).
+
+        Falls back to a full refactorization when the extended matrix
+        loses positive definiteness (duplicate points at low noise).
+        """
+        if self._X is None:
+            raise ModelNotFitted("fit() before add_observation()")
+        x = np.asarray(x, dtype=float).ravel()
+        if x.shape[0] != self._X.shape[1]:
+            raise ValueError(
+                f"x has {x.shape[0]} dims, model has {self._X.shape[1]}"
+            )
+        X_new = np.vstack([self._X, x[None, :]])
+        y_new = np.append(self._y_raw, float(y))
+
+        k = self.kernel(self._X, x[None, :]).ravel()
+        c = float(self.kernel.diag(x[None, :])[0]) + self.noise + self._jitter_total
+        ell = np.linalg.solve(self._chol, k)
+        d2 = c - float(ell @ ell)
+
+        self._y_raw = y_new
+        self._y_mean = float(y_new.mean())
+        std = float(y_new.std())
+        self._y_std = std if std > 1e-12 else 1.0
+        z = (y_new - self._y_mean) / self._y_std
+
+        if d2 <= 1e-12:
+            self._finalize(X_new, z)
+            return self
+        n = self._chol.shape[0]
+        L = np.zeros((n + 1, n + 1))
+        L[:n, :n] = self._chol
+        L[n, :n] = ell
+        L[n, n] = math.sqrt(d2)
+        self._X = X_new
+        self._chol = L
+        self._alpha = np.linalg.solve(L.T, np.linalg.solve(L, z))
+        self.log_marginal_likelihood_ = float(
+            -0.5 * z @ self._alpha
+            - np.sum(np.log(np.diag(L)))
+            - 0.5 * (n + 1) * math.log(2.0 * math.pi)
+        )
+        return self
+
     # -- prediction ----------------------------------------------------------
     def predict(
         self, X: np.ndarray, return_std: bool = False
-    ) -> Tuple[np.ndarray, np.ndarray]:
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
         """Posterior mean (and optionally standard deviation) at X.
 
         Returns:
-            mean array, and if ``return_std`` a std array of equal shape
-            (on the original target scale).
+            mean array, and a std array of equal shape (on the original
+            target scale) when ``return_std`` — ``None`` otherwise, so
+            the mean-only hot path allocates nothing it throws away.
         """
         if self._X is None:
             raise ModelNotFitted("GaussianProcess not fitted")
@@ -147,7 +221,7 @@ class GaussianProcess:
         Ks = self.kernel(X, self._X)
         mean = Ks @ self._alpha * self._y_std + self._y_mean
         if not return_std:
-            return mean, np.zeros_like(mean)
+            return mean, None
         v = np.linalg.solve(self._chol, Ks.T)
         var = self.kernel.diag(X) - np.sum(v * v, axis=0)
         var = np.maximum(var, 0.0)

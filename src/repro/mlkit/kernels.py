@@ -7,7 +7,7 @@ from typing import Optional
 
 import numpy as np
 
-__all__ = ["Kernel", "RBF", "Matern52", "ConstantTimes", "Sum"]
+__all__ = ["Kernel", "RBF", "Matern52", "ConstantTimes", "Sum", "pairwise_sq_dists"]
 
 
 def _sq_dists(A: np.ndarray, B: np.ndarray, lengthscale: np.ndarray) -> np.ndarray:
@@ -18,6 +18,18 @@ def _sq_dists(A: np.ndarray, B: np.ndarray, lengthscale: np.ndarray) -> np.ndarr
     b2 = np.sum(B * B, axis=1)[None, :]
     d2 = a2 + b2 - 2.0 * (A @ B.T)
     return np.maximum(d2, 0.0)
+
+
+def pairwise_sq_dists(A: np.ndarray, B: Optional[np.ndarray] = None) -> np.ndarray:
+    """Unit-lengthscale pairwise squared distances.
+
+    Hyperparameter grid searches compute this once and rescale per
+    candidate lengthscale (``d2 / ls**2``) instead of rebuilding the
+    O(n²d) distance matrix for every grid point.
+    """
+    A = np.atleast_2d(np.asarray(A, dtype=float))
+    B = A if B is None else np.atleast_2d(np.asarray(B, dtype=float))
+    return _sq_dists(A, B, np.ones(A.shape[1]))
 
 
 class Kernel(ABC):
@@ -59,6 +71,14 @@ class RBF(Kernel):
         d2 = _sq_dists(A, B, self._ls(A.shape[1]))
         return self.variance * np.exp(-0.5 * d2)
 
+    def from_sq_dists(self, d2_unit: np.ndarray) -> np.ndarray:
+        """Covariance from precomputed unit-lengthscale squared
+        distances (isotropic lengthscale only)."""
+        if self.lengthscale.size != 1:
+            raise ValueError("precomputed distances require an isotropic lengthscale")
+        d2 = d2_unit / float(self.lengthscale[0]) ** 2
+        return self.variance * np.exp(-0.5 * d2)
+
     def diag(self, A: np.ndarray) -> np.ndarray:
         return np.full(np.atleast_2d(A).shape[0], self.variance)
 
@@ -88,6 +108,15 @@ class Matern52(Kernel):
         A = np.atleast_2d(A)
         B = A if B is None else np.atleast_2d(B)
         r = np.sqrt(_sq_dists(A, B, self._ls(A.shape[1])))
+        s = np.sqrt(5.0) * r
+        return self.variance * (1.0 + s + s * s / 3.0) * np.exp(-s)
+
+    def from_sq_dists(self, d2_unit: np.ndarray) -> np.ndarray:
+        """Covariance from precomputed unit-lengthscale squared
+        distances (isotropic lengthscale only)."""
+        if self.lengthscale.size != 1:
+            raise ValueError("precomputed distances require an isotropic lengthscale")
+        r = np.sqrt(d2_unit) / float(self.lengthscale[0])
         s = np.sqrt(5.0) * r
         return self.variance * (1.0 + s + s * s / 3.0) * np.exp(-s)
 

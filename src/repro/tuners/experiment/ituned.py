@@ -11,6 +11,13 @@ Duan, Thummala & Babu (PVLDB'09).  The planning loop:
 
 The ``shrink_after`` option reproduces iTuned's space-shrinking trick:
 once enough data exists, sampling concentrates around the incumbent.
+
+``batch_size > 1`` reproduces iTuned's *parallel experiments* feature
+(§5 of the paper): the LHS design and each EI proposal round commit to
+a batch of configurations up front, charged atomically through
+:meth:`~repro.core.session.TuningSession.evaluate_batch` — which an
+:class:`~repro.core.system.InstrumentedSystem` with a runner executes
+concurrently.  The default of 1 is the classic sequential loop.
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ from repro.core.parameters import Configuration
 from repro.core.registry import register_tuner
 from repro.core.session import TuningSession
 from repro.core.tuner import Tuner
+from repro.exceptions import BudgetExhausted
 from repro.mlkit.acquisition import expected_improvement
 from repro.mlkit.gp import GaussianProcess
 from repro.mlkit.kernels import Matern52
@@ -45,26 +53,44 @@ class ITunedTuner(Tuner):
         n_candidates: int = 400,
         xi: float = 0.0,
         shrink_after: int = 20,
+        batch_size: int = 1,
     ):
         if n_init < 2:
             raise ValueError("n_init must be >= 2")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
         self.n_init = n_init
         self.n_candidates = n_candidates
         self.xi = xi
         self.shrink_after = shrink_after
+        self.batch_size = batch_size
 
     def _tune(self, session: TuningSession) -> Optional[Configuration]:
         space = session.space
         rng = session.rng
         session.evaluate(session.default_config(), tag="default")
 
-        # Phase 1: space-filling initialization.
+        # Phase 1: space-filling initialization.  With batching, the
+        # design executes in atomic chunks of ``batch_size`` — the DoE
+        # rows are independent by construction, so this is where
+        # parallel experiment execution pays off first.
         n_init = min(self.n_init, max(session.remaining_runs - 2, 1))
         design = maximin_latin_hypercube(n_init, space.dimension, rng)
-        for i, row in enumerate(design):
-            config = space.from_array_feasible(row, rng)
-            if session.evaluate_if_budget(config, tag=f"lhs-{i}") is None:
-                return None
+        init_configs = [space.from_array_feasible(row, rng) for row in design]
+        if self.batch_size > 1:
+            for start in range(0, len(init_configs), self.batch_size):
+                chunk = init_configs[start:start + self.batch_size]
+                try:
+                    session.evaluate_batch(
+                        chunk,
+                        tags=[f"lhs-{start + j}" for j in range(len(chunk))],
+                    )
+                except BudgetExhausted:
+                    return None
+        else:
+            for i, config in enumerate(init_configs):
+                if session.evaluate_if_budget(config, tag=f"lhs-{i}") is None:
+                    return None
 
         # Phase 2: adaptive sampling with EI.
         step = 0
@@ -92,6 +118,34 @@ class ITunedTuner(Tuner):
             Xc = np.stack([c.to_array() for c in candidates])
             mean, std = gp.predict(Xc, return_std=True)
             ei = expected_improvement(mean, std, best, xi=self.xi)
+            if self.batch_size > 1:
+                # Parallel iTuned: commit to the top-EI *distinct*
+                # candidates as one atomic batch per model fit.
+                order = np.argsort(-ei)
+                chosen_batch: List[Configuration] = []
+                seen = set()
+                for j in order:
+                    config = candidates[int(j)]
+                    if config in seen:
+                        continue
+                    seen.add(config)
+                    session.predict(
+                        config, float(np.exp(mean[int(j)])), tag="gp-mean"
+                    )
+                    chosen_batch.append(config)
+                    if len(chosen_batch) >= self.batch_size:
+                        break
+                try:
+                    session.evaluate_batch(
+                        chosen_batch,
+                        tags=[
+                            f"ei-{step}.{j}" for j in range(len(chosen_batch))
+                        ],
+                    )
+                except BudgetExhausted:
+                    break
+                step += 1
+                continue
             chosen = candidates[int(np.argmax(ei))]
             session.predict(
                 chosen, float(np.exp(mean[int(np.argmax(ei))])), tag="gp-mean"

@@ -19,7 +19,7 @@ from repro.core.session import TuningSession
 from repro.core.tuner import Tuner
 from repro.exceptions import BudgetExhausted
 from repro.mlkit.doe import foldover, main_effects, plackett_burman
-from repro.tuners.common import penalized_runtime
+from repro.tuners.common import FAILURE_PENALTY_FACTOR, penalized_runtime
 
 __all__ = ["SardRanker", "SardTuner"]
 
@@ -52,11 +52,19 @@ class SardRanker:
         return design, configs
 
     def rank(
-        self, session: TuningSession, max_runs: Optional[int] = None
+        self,
+        session: TuningSession,
+        max_runs: Optional[int] = None,
+        batch_size: int = 1,
     ) -> List[Tuple[str, float]]:
         """Execute the design on budget and return (knob, |effect|)
         sorted descending.  Rows that do not fit the budget are dropped
-        symmetrically (design rows are exchangeable)."""
+        symmetrically (design rows are exchangeable).
+
+        A two-level screening design is the canonical parallel DoE: all
+        rows are decided before any response is seen, so with
+        ``batch_size > 1`` the rows execute as atomic batches through
+        :meth:`~repro.core.session.TuningSession.evaluate_batch`."""
         space = session.space
         design, configs = self.configs_for(space, session.rng)
         limit = len(configs)
@@ -64,12 +72,35 @@ class SardRanker:
             limit = min(limit, max_runs)
         responses: List[float] = []
         used_rows: List[int] = []
-        for i in range(limit):
-            measurement = session.evaluate_if_budget(configs[i], tag=f"pb-{i}")
-            if measurement is None:
-                break
-            responses.append(penalized_runtime(measurement, session.history))
-            used_rows.append(i)
+        if batch_size > 1:
+            # Failure penalties reference the worst *successful* runtime
+            # seen so far; replay that bookkeeping in serial row order so
+            # a batched screen ranks identically to a sequential one.
+            successes = [o.runtime_s for o in session.history.successful()]
+            for start in range(0, limit, batch_size):
+                chunk = configs[start:min(start + batch_size, limit)]
+                try:
+                    measurements = session.evaluate_batch(
+                        chunk,
+                        tags=[f"pb-{start + j}" for j in range(len(chunk))],
+                    )
+                except BudgetExhausted:
+                    break
+                for j, measurement in enumerate(measurements):
+                    if measurement.ok:
+                        responses.append(measurement.runtime_s)
+                        successes.append(measurement.runtime_s)
+                    else:
+                        worst = max(successes, default=100.0)
+                        responses.append(worst * FAILURE_PENALTY_FACTOR)
+                    used_rows.append(start + j)
+        else:
+            for i in range(limit):
+                measurement = session.evaluate_if_budget(configs[i], tag=f"pb-{i}")
+                if measurement is None:
+                    break
+                responses.append(penalized_runtime(measurement, session.history))
+                used_rows.append(i)
         if len(used_rows) < 4:
             return [(name, 0.0) for name in space.names()]
         effects = main_effects(design[used_rows], np.array(responses))
@@ -86,11 +117,20 @@ class SardTuner(Tuner):
     name = "sard"
     category = "experiment-driven"
 
-    def __init__(self, top_k: int = 3, levels: int = 3, use_foldover: bool = True):
+    def __init__(
+        self,
+        top_k: int = 3,
+        levels: int = 3,
+        use_foldover: bool = True,
+        batch_size: int = 1,
+    ):
         if top_k < 1:
             raise ValueError("top_k must be >= 1")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
         self.top_k = top_k
         self.levels = levels
+        self.batch_size = batch_size
         self.ranker = SardRanker(use_foldover=use_foldover)
 
     def _tune(self, session: TuningSession) -> Optional[Configuration]:
@@ -98,7 +138,9 @@ class SardTuner(Tuner):
         # Spend at most ~60% of the budget on screening, the rest on the
         # focused grid.
         screen_budget = max(4, int(session.budget.max_runs * 0.6))
-        ranked = self.ranker.rank(session, max_runs=screen_budget)
+        ranked = self.ranker.rank(
+            session, max_runs=screen_budget, batch_size=self.batch_size
+        )
         session.extras["sard_ranking"] = ranked
         top = [name for name, _ in ranked[: self.top_k]]
 

@@ -22,7 +22,10 @@ Van Aken et al. (SIGMOD'17).  The pipeline, faithfully staged:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.exec.runner import ParallelRunner
 
 import numpy as np
 
@@ -103,22 +106,40 @@ def build_repository(
     workloads: Sequence[Workload],
     n_samples: int = 30,
     rng: Optional[np.random.Generator] = None,
+    runner: Optional["ParallelRunner"] = None,
 ) -> OtterTuneRepository:
     """Sample the system offline over several workloads.
 
     This plays the role of OtterTune's multi-tenant history: data that
     existed *before* the target tuning session and is therefore not
     charged to its budget.
+
+    Repository samples are independent deterministic runs, so they fan
+    out across ``runner`` (default: a fresh
+    :class:`~repro.exec.runner.ParallelRunner`, serial unless
+    ``REPRO_JOBS`` asks for workers) and memoize through the process
+    evaluation cache; the seeded design — and therefore the repository
+    — is identical however many workers execute it.
     """
+    from repro.exec.cache import global_cache
+    from repro.exec.runner import ParallelRunner
+
     rng = rng or np.random.default_rng(7)
     repo = OtterTuneRepository(metric_names=list(system.metric_names))
     space = system.config_space
-    for workload in workloads:
+    own_runner = runner is None
+    runner = runner or ParallelRunner()
+    cache = global_cache()
+    try:
+        measured = _sample_workloads(
+            system, workloads, space, n_samples, rng, runner, cache
+        )
+    finally:
+        if own_runner:
+            runner.close()
+    for workload, configs, measurements in measured:
         X_rows, y_rows, m_rows = [], [], []
-        design = latin_hypercube(n_samples, space.dimension, rng)
-        for row in design:
-            config = space.from_array_feasible(row, rng)
-            measurement = system.run(workload, config)
+        for config, measurement in zip(configs, measurements):
             X_rows.append(config.to_array())
             if measurement.ok:
                 y_rows.append(measurement.runtime_s)
@@ -136,6 +157,60 @@ def build_repository(
     if not repo.workloads:
         raise TuningError("repository construction produced no usable data")
     return repo
+
+
+def _repository_run(
+    system: SystemUnderTune, workload: Workload, config: Configuration
+):
+    """Top-level (picklable) worker task for repository sampling."""
+    return system.run(workload, config)
+
+
+def _sample_workloads(system, workloads, space, n_samples, rng, runner, cache):
+    """Execute each workload's seeded LHS design, possibly in parallel.
+
+    Configurations decode serially (they consume ``rng``), then the
+    deterministic runs fan out; results return in design order so the
+    repository is bit-identical to serial construction.
+    """
+    measured = []
+    for workload in workloads:
+        design = latin_hypercube(n_samples, space.dimension, rng)
+        configs = [space.from_array_feasible(row, rng) for row in design]
+        if cache is not None:
+            measurements = [None] * len(configs)
+            pending = [
+                (i, c) for i, c in enumerate(configs)
+            ]
+            if runner.effective_jobs > 1:
+                # Warm the cache concurrently for missing points only.
+                cold = []
+                for i, c in pending:
+                    try:
+                        if cache.key_for(system, workload, c) not in cache:
+                            cold.append(c)
+                    except Exception:
+                        cold = []
+                        break
+                if cold:
+                    for c, m in zip(
+                        cold,
+                        runner.starmap(
+                            _repository_run,
+                            [(system, workload, c) for c in cold],
+                        ),
+                    ):
+                        cache.store(cache.key_for(system, workload, c), m)
+            for i, c in pending:
+                measurements[i] = cache.run(system, workload, c)
+        elif runner.effective_jobs > 1:
+            measurements = runner.starmap(
+                _repository_run, [(system, workload, c) for c in configs]
+            )
+        else:
+            measurements = [system.run(workload, c) for c in configs]
+        measured.append((workload, configs, measurements))
+    return measured
 
 
 @register_tuner("ottertune")
