@@ -30,6 +30,7 @@ from repro.core import (
     Tuner,
     TuningResult,
 )
+from repro.chaos import ChaosSystem, standard_policies
 from repro.core.registry import (
     make_system,
     make_tuner,
@@ -38,13 +39,16 @@ from repro.core.registry import (
     tuners_in_category,
 )
 from repro.exceptions import ReproError
+from repro.exec.resilience import ExecutionPolicy
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Budget",
+    "ChaosSystem",
     "Configuration",
     "ConfigurationSpace",
+    "ExecutionPolicy",
     "InstrumentedSystem",
     "Measurement",
     "ReproError",
@@ -54,6 +58,7 @@ __all__ = [
     "__version__",
     "make_system",
     "make_tuner",
+    "standard_policies",
     "system_names",
     "tuner_names",
     "tuners_in_category",

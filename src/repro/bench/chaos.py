@@ -1,0 +1,314 @@
+"""Chaos benchmark: tuner robustness under injected faults.
+
+``python -m repro bench-chaos --json BENCH_chaos.json`` runs one
+representative tuner per taxonomy category on the DBMS and Spark
+simulators wrapped in a :class:`~repro.chaos.ChaosSystem`, at fault
+intensities {0, 10%, 30%}, under a resilient
+:class:`~repro.exec.resilience.ExecutionPolicy` (deadline, one
+budget-charged retry, circuit breaker).  Per (system, tuner, intensity)
+cell it records:
+
+* **crash-free completion** — no exception escaped ``tune()``;
+* **regret inflation** — best runtime at this intensity divided by the
+  best runtime the same tuner found on the clean system;
+* **wasted-budget fraction** — share of runs / charged wall-clock spent
+  on failures, hangs, retries, and quarantine skips.
+
+Every cell is a self-contained seeded scenario, so the whole matrix is
+run twice — serially, then fanned out over a
+:class:`~repro.exec.runner.ParallelRunner` — and the two passes must
+produce identical injected-fault digests and identical result tables.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+import zlib
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.chaos import ChaosSystem, standard_policies
+from repro.core.registry import make_system
+from repro.core.tuner import Budget, Tuner
+from repro.core.workload import Workload
+from repro.exec.resilience import ExecutionPolicy
+from repro.exec.runner import ParallelRunner, resolve_jobs
+
+__all__ = ["run_chaos_benchmark", "CHAOS_CATEGORIES", "CHAOS_INTENSITIES"]
+
+#: The six taxonomy categories, each mapped to one representative tuner.
+CHAOS_CATEGORIES = (
+    "rule-based",
+    "cost-modeling",
+    "simulation-based",
+    "experiment-driven",
+    "machine-learning",
+    "adaptive",
+)
+
+CHAOS_INTENSITIES = (0.0, 0.1, 0.3)
+
+CHAOS_SYSTEMS = ("dbms", "spark")
+
+#: Deadline multiple of the clean default runtime; generous enough that
+#: only hangs (infinite runtime) and extreme stragglers are killed.
+_DEADLINE_FACTOR = 20.0
+
+
+def _cell_workload(system_name: str) -> Workload:
+    from repro.workloads import htap_mixed, spark_sort
+
+    return htap_mixed() if system_name == "dbms" else spark_sort()
+
+
+def _cell_tuner(category: str, system, quick: bool, seed: int) -> Tuner:
+    """Build the representative tuner for one category.
+
+    The OtterTune repository is sampled from the *clean* system —
+    historical tenant data predates the faults — and is seeded, so both
+    benchmark passes construct identical repositories.
+    """
+    from repro.tuners import (
+        ColtOnlineTuner,
+        CostModelTuner,
+        ITunedTuner,
+        OtterTuneTuner,
+        RuleBasedTuner,
+        TraceSimulationTuner,
+        build_repository,
+    )
+
+    if category == "rule-based":
+        return RuleBasedTuner()
+    if category == "cost-modeling":
+        return CostModelTuner(n_model_samples=150 if quick else 2000)
+    if category == "simulation-based":
+        return TraceSimulationTuner(n_model_samples=150 if quick else 1500)
+    if category == "experiment-driven":
+        return ITunedTuner(n_init=5 if quick else 10)
+    if category == "machine-learning":
+        from repro.workloads import olap_analytics, spark_wordcount
+
+        repo_workloads = (
+            [olap_analytics()] if system.kind == "dbms" else [spark_wordcount()]
+        )
+        repo = build_repository(
+            system, repo_workloads,
+            n_samples=10 if quick else 25,
+            rng=np.random.default_rng(seed),
+        )
+        return OtterTuneTuner(repo, n_init=4 if quick else 5)
+    if category == "adaptive":
+        return ColtOnlineTuner()
+    raise ValueError(f"unknown category: {category}")
+
+
+def _run_cell(
+    system_name: str, category: str, intensity: float, quick: bool
+) -> Dict[str, Any]:
+    """One fully self-contained (system, tuner, intensity) scenario.
+
+    Top-level and argument-picklable so the matrix can fan out over a
+    process pool; everything inside is derived from the arguments, so
+    serial and parallel passes compute identical cells.
+    """
+    # crc32, not hash(): builtin str hashing is salted per process, and
+    # pool workers must derive the exact seeds the serial pass used.
+    seed = zlib.crc32(f"{system_name}/{category}".encode()) % (2**31)
+    system = make_system(system_name)
+    workload = _cell_workload(system_name)
+    default = system.default_configuration()
+    baseline_s = system.run(workload, default).runtime_s
+
+    tuner = _cell_tuner(category, system, quick, seed)
+    chaos = ChaosSystem(
+        system,
+        standard_policies(intensity),
+        seed=seed + int(round(intensity * 100)),
+    )
+    policy = ExecutionPolicy(
+        deadline_s=_DEADLINE_FACTOR * baseline_s,
+        max_retries=1,
+        backoff_base_s=0.5,
+        breaker_threshold=3,
+        failure_policy="penalize",
+    )
+    budget = Budget(max_runs=12 if quick else 30)
+
+    cell: Dict[str, Any] = {
+        "system": system_name,
+        "category": category,
+        "tuner": tuner.name,
+        "intensity": intensity,
+        "baseline_s": round(baseline_s, 4),
+    }
+    start = time.perf_counter()
+    try:
+        result = tuner.tune(
+            chaos, workload, budget, rng=np.random.default_rng(seed),
+            execution=policy,
+        )
+    except Exception as exc:  # noqa: BLE001 — crash-free is the metric
+        cell.update({
+            "crash_free": False,
+            "error": f"{type(exc).__name__}: {exc}",
+            "best_runtime_s": math.inf,
+            "n_real_runs": None,
+            "resilience": None,
+        })
+    else:
+        resilience = result.extras.get("resilience", {})
+        cell.update({
+            "crash_free": True,
+            "error": None,
+            "best_runtime_s": result.best_runtime_s,
+            "n_real_runs": result.n_real_runs,
+            "budget_respected": result.n_real_runs <= budget.max_runs,
+            "wasted_run_fraction": resilience.get("wasted_run_fraction"),
+            "wasted_time_fraction": resilience.get("wasted_time_fraction"),
+            "resilience": resilience,
+        })
+    cell["wall_s"] = round(time.perf_counter() - start, 3)
+    cell["fault_counts"] = dict(chaos.fault_counts)
+    cell["injected_failures"] = chaos.injected_failures
+    cell["fault_digest"] = chaos.fault_digest()
+    return cell
+
+
+def _cell_args(
+    systems: Sequence[str], intensities: Sequence[float], quick: bool
+) -> List[Tuple[str, str, float, bool]]:
+    return [
+        (system, category, intensity, quick)
+        for system in systems
+        for category in CHAOS_CATEGORIES
+        for intensity in intensities
+    ]
+
+
+def _comparable(cells: List[Dict[str, Any]]) -> List[Tuple[Any, ...]]:
+    """The per-cell fields both passes must agree on (not wall-clock)."""
+    return [
+        (
+            c["system"], c["category"], c["intensity"], c["crash_free"],
+            repr(c["best_runtime_s"]), c["n_real_runs"], c["fault_digest"],
+            repr(sorted(c["fault_counts"].items())),
+        )
+        for c in cells
+    ]
+
+
+def _attach_regret(cells: List[Dict[str, Any]]) -> None:
+    """Regret inflation: best runtime vs the same tuner's clean best."""
+    clean: Dict[Tuple[str, str], float] = {
+        (c["system"], c["category"]): c["best_runtime_s"]
+        for c in cells if c["intensity"] == 0.0
+    }
+    for c in cells:
+        base = clean.get((c["system"], c["category"]), math.inf)
+        best = c["best_runtime_s"]
+        if math.isfinite(base) and base > 0 and math.isfinite(best):
+            c["regret_inflation"] = round(best / base, 4)
+        else:
+            c["regret_inflation"] = None
+
+
+def _json_safe(value: Any) -> Any:
+    """Replace non-finite floats (JSON has no inf/nan) recursively."""
+    if isinstance(value, dict):
+        return {k: _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
+def run_chaos_benchmark(
+    quick: bool = True,
+    jobs: Optional[int] = None,
+    intensities: Sequence[float] = CHAOS_INTENSITIES,
+    systems: Sequence[str] = CHAOS_SYSTEMS,
+    json_path: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Run the tuner-robustness matrix, serially and in parallel.
+
+    Args:
+        quick: reduced budgets / model sample counts (the CI setting).
+        jobs: parallel worker count for the verification pass
+            (``None`` → ``REPRO_JOBS`` → 2).  ``jobs <= 1`` skips it.
+        intensities: fault intensities to sweep; must include 0.0 for
+            regret inflation to be defined.
+        systems: registered system names to exercise.
+        json_path: when given, the report is also written there as JSON.
+
+    Returns:
+        The report dict with one entry per (system, tuner, intensity)
+        cell.  Raises ``AssertionError`` if any cell crashed, if any
+        tuner overran its run budget, or if the parallel pass produced
+        different fault sequences or results than the serial pass.
+    """
+    if jobs is None:
+        import os
+
+        jobs = resolve_jobs(None) if os.environ.get("REPRO_JOBS") else 2
+    tasks = _cell_args(systems, intensities, quick)
+
+    start = time.perf_counter()
+    cells = [_run_cell(*args) for args in tasks]
+    serial_wall_s = time.perf_counter() - start
+
+    parallel_wall_s = None
+    if jobs and jobs > 1:
+        runner = ParallelRunner(jobs=jobs)
+        try:
+            start = time.perf_counter()
+            parallel_cells = runner.starmap(_run_cell, tasks)
+            parallel_wall_s = time.perf_counter() - start
+        finally:
+            runner.close()
+        mismatches = [
+            f"{a[0]}/{a[1]}@{a[2]}"
+            for a, b in zip(_comparable(cells), _comparable(parallel_cells))
+            if a != b
+        ]
+        assert not mismatches, (
+            "parallel chaos pass diverged from serial: "
+            + ", ".join(mismatches)
+        )
+
+    _attach_regret(cells)
+    crashed = [
+        f"{c['system']}/{c['tuner']}@{c['intensity']}: {c['error']}"
+        for c in cells if not c["crash_free"]
+    ]
+    assert not crashed, "tuners crashed under chaos: " + "; ".join(crashed)
+    overran = [
+        f"{c['system']}/{c['tuner']}@{c['intensity']}"
+        for c in cells if not c.get("budget_respected", True)
+    ]
+    assert not overran, "tuners overran their budget: " + ", ".join(overran)
+
+    report: Dict[str, Any] = {
+        "benchmark": "chaos",
+        "quick": quick,
+        "jobs": jobs,
+        "systems": list(systems),
+        "intensities": list(intensities),
+        "n_cells": len(cells),
+        "serial_wall_s": round(serial_wall_s, 3),
+        "parallel_wall_s": (
+            round(parallel_wall_s, 3) if parallel_wall_s is not None else None
+        ),
+        "serial_parallel_identical": True,
+        "all_crash_free": True,
+        "cells": cells,
+    }
+    report = _json_safe(report)
+    if json_path:
+        with open(json_path, "w") as fh:
+            json.dump(report, fh, indent=2)
+    return report

@@ -1,0 +1,187 @@
+"""The chaos wrapper: apply fault policies to a system under tune.
+
+:class:`ChaosSystem` generalizes the old single-policy ``FlakySystem``:
+it threads every run through an ordered list of
+:class:`~repro.chaos.policies.FaultPolicy` objects.  Injection is
+keyed by a monotonically assigned *run index* and the system's seed, so
+the fault sequence is a pure function of the call sequence — batched
+execution (even through a parallel runner) injects exactly what a
+serial replay would.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.chaos.policies import (
+    CONFIG_FAULT_KEY,
+    INJECTED_FAULT_KEY,
+    FaultContext,
+    FaultPolicy,
+)
+from repro.core.measurement import Measurement
+from repro.core.parameters import Configuration, ConfigurationSpace
+from repro.core.system import SystemUnderTune
+from repro.core.workload import Workload
+from repro.exceptions import FaultInjected
+
+__all__ = ["ChaosSystem"]
+
+
+class ChaosSystem(SystemUnderTune):
+    """Inject environmental and config-correlated faults into runs.
+
+    Chaos systems are *unfingerprintable* (see
+    :func:`repro.exec.cache.fingerprint`): injection depends on the
+    advancing run index, so two calls with equal arguments legitimately
+    return different measurements and must never be served from an
+    evaluation cache.
+
+    Args:
+        inner: the wrapped system.
+        policies: fault policies, applied in order per run.  A policy
+            that fails the measurement short-circuits the rest (later
+            policies pass failed measurements through).
+        rng: seed source — one integer is drawn at construction and all
+            injection randomness derives from ``(that seed, run index,
+            policy slot)``.  Mutually exclusive with ``seed``.
+        seed: explicit injection seed (overrides ``rng``).
+        raise_faults: when True, :meth:`run` raises
+            :class:`~repro.exceptions.FaultInjected` for injected
+            failures instead of returning a failed measurement, so
+            callers can distinguish environmental faults from
+            config-caused simulator failures at the exception level.
+            :meth:`run_batch` always returns measurements (a batch is
+            atomic; one fault must not discard its siblings' results).
+
+    Attributes:
+        fault_log: ``(run index, event)`` pairs for every injection —
+            the ground truth benchmarks compare across execution modes.
+        fault_counts: event-name → count summary.
+        injected_failures: number of runs a policy turned into failures.
+    """
+
+    #: Evaluation caches must not memoize runs through this wrapper.
+    unfingerprintable = True
+
+    def __init__(
+        self,
+        inner: SystemUnderTune,
+        policies: Sequence[FaultPolicy],
+        rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
+        raise_faults: bool = False,
+    ):
+        self.inner = inner
+        self.policies = list(policies)
+        if seed is None:
+            source = rng if rng is not None else np.random.default_rng(0)
+            seed = int(source.integers(0, 2**32))
+        self.seed = int(seed)
+        self.raise_faults = raise_faults
+        self.name = f"{inner.name}+chaos({len(self.policies)} policies)"
+        self.kind = inner.kind
+        self.fault_log: List[Tuple[int, str]] = []
+        self.fault_counts: Dict[str, int] = {}
+        self.injected_failures = 0
+        self._next_index = 0
+        self._policy_state: List[Dict[str, object]] = [
+            {} for _ in self.policies
+        ]
+
+    # -- delegation --------------------------------------------------------
+    @property
+    def config_space(self) -> ConfigurationSpace:
+        return self.inner.config_space
+
+    @property
+    def metric_names(self) -> List[str]:
+        return self.inner.metric_names
+
+    # -- injection ---------------------------------------------------------
+    def _inject(
+        self, index: int, workload: Workload, config: Configuration,
+        measurement: Measurement, raise_faults: bool,
+    ) -> Measurement:
+        was_ok = measurement.ok
+        events: List[str] = []
+        for slot, policy in enumerate(self.policies):
+            ctx = FaultContext(
+                index=index, config=config, workload=workload,
+                seed=self.seed, slot=slot,
+                state=self._policy_state[slot], events=events,
+            )
+            measurement = policy.apply(ctx, measurement)
+        for event in events:
+            self.fault_log.append((index, event))
+            key = event.split(" ")[0]
+            self.fault_counts[key] = self.fault_counts.get(key, 0) + 1
+        if was_ok and measurement.failed:
+            self.injected_failures += 1
+            if raise_faults:
+                raise FaultInjected(
+                    "; ".join(events) or "injected failure",
+                    index=index, measurement=measurement,
+                )
+        return measurement
+
+    def run(self, workload: Workload, config: Configuration) -> Measurement:
+        self.check_workload(workload)
+        index = self._next_index
+        self._next_index += 1
+        measurement = self.inner.run(workload, config)
+        return self._inject(
+            index, workload, config, measurement, self.raise_faults
+        )
+
+    def run_batch(
+        self, workload: Workload, configs: Sequence[Configuration]
+    ) -> List[Measurement]:
+        """Batched execution with serial-identical injection.
+
+        Run indices are assigned in ``configs`` order *before* anything
+        executes; the inner system computes the batch (possibly
+        concurrently, via an :class:`~repro.core.system
+        .InstrumentedSystem` runner), and injection then replays
+        per-index in order — so the injected fault sequence is
+        byte-identical to calling :meth:`run` in a loop.
+        """
+        self.check_workload(workload)
+        configs = list(configs)
+        start = self._next_index
+        self._next_index += len(configs)
+        inner_measurements = self.inner.run_batch(workload, configs)
+        return [
+            self._inject(start + i, workload, config, measurement,
+                         raise_faults=False)
+            for i, (config, measurement) in enumerate(
+                zip(configs, inner_measurements)
+            )
+        ]
+
+    # -- introspection -----------------------------------------------------
+    def fault_digest(self) -> str:
+        """Stable digest of the injected fault sequence.
+
+        Two runs of the same (seeded) scenario — serial or batched,
+        whatever the worker count — must produce equal digests; the
+        chaos benchmark asserts exactly that.
+        """
+        payload = repr(self.fault_log).encode()
+        return hashlib.sha1(payload).hexdigest()[:16]
+
+    def reset_faults(self) -> None:
+        """Forget injection history and restart the index sequence."""
+        self.fault_log.clear()
+        self.fault_counts.clear()
+        self.injected_failures = 0
+        self._next_index = 0
+        self._policy_state = [{} for _ in self.policies]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        names = ", ".join(p.name for p in self.policies)
+        return f"ChaosSystem({self.inner.name}, [{names}], seed={self.seed})"

@@ -8,6 +8,9 @@ Commands:
     sweep                  — one-at-a-time knob sweep on a system
     bench                  — benchmark the execution engine (serial vs
                              parallel) and write a JSON report
+    bench-chaos            — tuner robustness under injected faults
+                             (crash-free rate, regret inflation,
+                             wasted budget) and a JSON report
 
 Examples::
 
@@ -17,6 +20,7 @@ Examples::
     python -m repro experiment all --quick --jobs 4
     python -m repro sweep --system spark --workload sort --knob shuffle_partitions
     python -m repro bench --json BENCH_exec.json
+    python -m repro bench-chaos --json BENCH_chaos.json
 """
 
 from __future__ import annotations
@@ -178,6 +182,36 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_chaos(args: argparse.Namespace) -> int:
+    from repro.bench.chaos import run_chaos_benchmark
+
+    report = run_chaos_benchmark(
+        quick=not args.full, jobs=args.jobs, json_path=args.json
+    )
+    print(f"chaos benchmark: {report['n_cells']} cells "
+          f"({' + '.join(report['systems'])} × 6 categories × "
+          f"{len(report['intensities'])} intensities), jobs={report['jobs']}")
+    print(f"  serial   {report['serial_wall_s']:8.2f}s")
+    if report["parallel_wall_s"] is not None:
+        print(f"  parallel {report['parallel_wall_s']:8.2f}s "
+              "(fault sequences identical)")
+    header = (f"  {'system':6s} {'tuner':11s} {'faults':>7s} "
+              f"{'best_s':>8s} {'regret_x':>8s} {'wasted':>7s}")
+    print(header)
+    for cell in report["cells"]:
+        best = cell["best_runtime_s"]
+        regret = cell["regret_inflation"]
+        wasted = cell["wasted_time_fraction"]
+        best_col = f"{best:8.2f}" if best is not None else f"{'-':>8s}"
+        regret_col = f"{regret:8.3f}" if regret is not None else f"{'-':>8s}"
+        wasted_col = f"{wasted:6.1%}" if wasted is not None else f"{'-':>7s}"
+        print(f"  {cell['system']:6s} {cell['tuner']:11s} "
+              f"{cell['intensity']:6.0%} {best_col} {regret_col} {wasted_col}")
+    if args.json:
+        print(f"  report written to {args.json}")
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro import make_system
 
@@ -237,6 +271,18 @@ def main(argv: List[str] = None) -> int:
     bench.add_argument("--full", action="store_true",
                        help="benchmark full-size experiments instead of quick mode")
 
+    chaos = sub.add_parser(
+        "bench-chaos",
+        help="benchmark tuner robustness under injected faults",
+    )
+    chaos.add_argument("--json", default=None, metavar="PATH",
+                       help="write the JSON report here, e.g. BENCH_chaos.json")
+    chaos.add_argument("--jobs", type=_jobs_arg, default=None,
+                       help="workers for the parallel verification pass "
+                            "(default 2; <=1 skips it)")
+    chaos.add_argument("--full", action="store_true",
+                       help="full budgets instead of quick mode")
+
     sweep = sub.add_parser("sweep", help="one-at-a-time knob sweep")
     sweep.add_argument("--system", choices=["dbms", "hadoop", "spark"], required=True)
     sweep.add_argument("--workload", required=True)
@@ -250,6 +296,7 @@ def main(argv: List[str] = None) -> int:
         "experiment": _cmd_experiment,
         "sweep": _cmd_sweep,
         "bench": _cmd_bench,
+        "bench-chaos": _cmd_bench_chaos,
     }
     try:
         return handlers[args.command](args)

@@ -1,35 +1,60 @@
-"""Fault injection for robustness testing.
+"""Fault injection for robustness testing (compatibility shim).
 
-Real clusters fail for reasons unrelated to configuration — preemptions,
-bad disks, network partitions.  :class:`FlakySystem` injects spurious
-run failures at a configured rate so tests can verify that tuners
-tolerate transient faults: budgets respected, no crash, recommendations
-still valid.  (Configuration-*caused* failures — OOM regions — are the
-simulators' job; this wrapper models environmental ones.)
+The general machinery lives in :mod:`repro.chaos`: composable
+:class:`~repro.chaos.FaultPolicy` objects applied by
+:class:`~repro.chaos.ChaosSystem`.  This module keeps the historical
+entry point — :class:`FlakySystem`, independent per-run environmental
+failures — as a thin specialization so existing callers and tests keep
+working, and re-exports the chaos names for discoverability.
+
+Unlike the original implementation, injection is now deterministic per
+*run index* (derived from the seed, not from a shared sequential RNG),
+so batched execution injects exactly the faults a serial replay would.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
-from repro.core.measurement import Measurement
-from repro.core.parameters import Configuration, ConfigurationSpace
+from repro.chaos import (
+    BurstyFaults,
+    ChaosSystem,
+    ConfigBlackout,
+    FaultPolicy,
+    Hangs,
+    MetricCorruption,
+    Stragglers,
+    TransientFaults,
+    standard_policies,
+)
 from repro.core.system import SystemUnderTune
-from repro.core.workload import Workload
 
-__all__ = ["FlakySystem"]
+__all__ = [
+    "FlakySystem",
+    "ChaosSystem",
+    "FaultPolicy",
+    "TransientFaults",
+    "BurstyFaults",
+    "Stragglers",
+    "Hangs",
+    "MetricCorruption",
+    "ConfigBlackout",
+    "standard_policies",
+]
 
 
-class FlakySystem(SystemUnderTune):
-    """Inject environmental failures into a fraction of runs.
+class FlakySystem(ChaosSystem):
+    """Inject independent environmental failures into a fraction of runs.
 
     Args:
         inner: the wrapped system.
         failure_rate: probability a run fails regardless of its
             configuration.
-        rng: randomness source (injections are reproducible).
+        rng: seed source (injections are reproducible; the fault
+            schedule is a pure function of the derived seed and the run
+            index).
         partial_elapsed_s: wall-clock a failed run wastes before dying
             (charged against time budgets via the standard metric).
     """
@@ -43,30 +68,11 @@ class FlakySystem(SystemUnderTune):
     ):
         if not (0.0 <= failure_rate < 1.0):
             raise ValueError("failure_rate must be in [0, 1)")
-        self.inner = inner
+        super().__init__(
+            inner,
+            [TransientFaults(failure_rate, partial_elapsed_s)],
+            rng=rng or np.random.default_rng(0),
+        )
         self.failure_rate = failure_rate
-        self.rng = rng or np.random.default_rng(0)
         self.partial_elapsed_s = partial_elapsed_s
         self.name = f"{inner.name}+flaky({failure_rate:.0%})"
-        self.kind = inner.kind
-        self.injected_failures = 0
-
-    @property
-    def config_space(self) -> ConfigurationSpace:
-        return self.inner.config_space
-
-    @property
-    def metric_names(self) -> List[str]:
-        return self.inner.metric_names
-
-    def run(self, workload: Workload, config: Configuration) -> Measurement:
-        self.check_workload(workload)
-        if self.rng.random() < self.failure_rate:
-            self.injected_failures += 1
-            return Measurement(
-                runtime_s=float("inf"),
-                metrics={"elapsed_before_failure_s": self.partial_elapsed_s},
-                failed=True,
-                cost_units=self.partial_elapsed_s / 3600.0,
-            )
-        return self.inner.run(workload, config)

@@ -122,9 +122,17 @@ class TuningHistory:
     def successful(self) -> List[Observation]:
         return [o for o in self._observations if o.source == REAL and o.ok]
 
+    def finite_successful(self) -> List[Observation]:
+        """Successful real observations with *finite* runtimes.
+
+        A hung run reports success with unbounded runtime; it must never
+        become the incumbent or enter model training data.
+        """
+        return [o for o in self.successful() if math.isfinite(o.runtime_s)]
+
     def best(self) -> Optional[Observation]:
-        """The best successful real observation (minimum runtime)."""
-        candidates = self.successful()
+        """The best successful real observation (minimum finite runtime)."""
+        candidates = self.finite_successful()
         if not candidates:
             return None
         return min(candidates, key=lambda o: o.runtime_s)
@@ -172,7 +180,7 @@ class TuningHistory:
             (X, y, M): unit-scaled configs, runtimes, metric matrix
             (one row per observation, columns following metric_names).
         """
-        obs = self.successful()
+        obs = self.finite_successful()
         if not obs:
             dim = 0
             return (np.zeros((0, dim)), np.zeros(0), np.zeros((0, len(metric_names))))

@@ -6,6 +6,13 @@ records observations, and raises
 :class:`~repro.exceptions.BudgetExhausted` the moment the budget is
 spent — so tuner implementations can be written as straight-line search
 loops without budget bookkeeping.
+
+The session is also the harness's *resilient execution layer*: an
+optional :class:`~repro.exec.resilience.ExecutionPolicy` adds per-run
+deadline enforcement, budget-charged retries with exponential backoff
+for environmental failures, and a circuit breaker that quarantines
+config-space regions after repeated config-correlated failures.  With
+no policy, behaviour is identical to the pre-resilience session.
 """
 
 from __future__ import annotations
@@ -19,7 +26,8 @@ from repro.core.measurement import MODEL, REAL, Measurement, Observation, Tuning
 from repro.core.parameters import Configuration
 from repro.core.system import SystemUnderTune
 from repro.core.workload import Workload
-from repro.exceptions import BudgetExhausted
+from repro.exceptions import BudgetExhausted, CircuitOpen, FaultInjected
+from repro.exec.resilience import CircuitBreaker, ExecutionPolicy
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.tuner import Budget
@@ -36,16 +44,32 @@ class TuningSession:
         workload: Workload,
         budget: "Budget",
         rng: np.random.Generator,
+        execution: Optional[ExecutionPolicy] = None,
     ):
         system.check_workload(workload)
         self.system = system
         self.workload = workload
         self.budget = budget
         self.rng = rng
+        self.execution = execution or ExecutionPolicy()
+        self.failure_policy = self.execution.failure_policy
+        self.breaker: Optional[CircuitBreaker] = None
+        if self.execution.breaker_threshold is not None:
+            self.breaker = CircuitBreaker(
+                threshold=self.execution.breaker_threshold,
+                resolution=self.execution.breaker_resolution,
+                knobs=self.execution.breaker_knobs,
+            )
         self.history = TuningHistory()
         self.extras: Dict[str, Any] = {}
         self.real_runs = 0
         self.experiment_time_s = 0.0
+        # -- resilience accounting ----------------------------------------
+        self.failed_runs = 0
+        self.retries = 0
+        self.deadline_kills = 0
+        self.quarantine_skips = 0
+        self.wasted_time_s = 0.0
 
     # -- budget ----------------------------------------------------------
     @property
@@ -60,14 +84,113 @@ class TuningSession:
             return False
         return True
 
-    def _charge(self, measurement: Measurement) -> None:
+    def _charge(self, measurement: Measurement, extra_time_s: float = 0.0) -> None:
+        """Account one real execution (plus optional retry backoff).
+
+        Infinite or NaN runtimes never reach the time budget: a run
+        that did not finish cleanly is charged its recorded
+        ``elapsed_before_failure_s`` (clamped finite and non-negative),
+        so one hang cannot exhaust ``max_experiment_time_s`` forever.
+        """
         self.real_runs += 1
-        if measurement.ok and not math.isinf(measurement.runtime_s):
+        if measurement.ok and math.isfinite(measurement.runtime_s):
             self.experiment_time_s += measurement.runtime_s
         else:
-            self.experiment_time_s += measurement.metric(
-                "elapsed_before_failure_s", 0.0
-            )
+            elapsed = measurement.metric("elapsed_before_failure_s", 0.0)
+            if not math.isfinite(elapsed) or elapsed < 0:
+                elapsed = 0.0
+            self.experiment_time_s += elapsed
+            self.wasted_time_s += elapsed
+            self.failed_runs += 1
+        if extra_time_s > 0:
+            self.experiment_time_s += extra_time_s
+            self.wasted_time_s += extra_time_s
+
+    # -- resilient execution helpers ---------------------------------------
+    @staticmethod
+    def _sanitize(measurement: Measurement) -> Measurement:
+        """Drop non-finite metric values (chaos-corrupted samples).
+
+        Models vectorize metric bags; one NaN there poisons factor
+        analysis and workload mapping.  A dropped key reads as the
+        consumer's default (0.0), which is the conventional "sample
+        missing" value.
+        """
+        bad = [
+            k for k, v in measurement.metrics.items()
+            if not math.isfinite(float(v))
+        ]
+        if not bad:
+            return measurement
+        metrics = {
+            k: v for k, v in measurement.metrics.items() if k not in bad
+        }
+        metrics["metrics_dropped"] = float(
+            measurement.metric("metrics_dropped", 0.0) + len(bad)
+        )
+        return Measurement(
+            runtime_s=measurement.runtime_s,
+            metrics=metrics,
+            failed=measurement.failed,
+            cost_units=measurement.cost_units,
+        )
+
+    def _enforce_deadline(self, measurement: Measurement) -> Measurement:
+        deadline = self.execution.deadline_s
+        if (
+            deadline is None
+            or not measurement.ok
+            or measurement.runtime_s <= deadline
+        ):
+            return measurement
+        self.deadline_kills += 1
+        metrics = dict(measurement.metrics)
+        metrics["elapsed_before_failure_s"] = deadline
+        metrics["deadline_exceeded"] = 1.0
+        cost = measurement.cost_units
+        if not math.isfinite(cost) or cost < 0:
+            cost = deadline / 3600.0
+        return Measurement(
+            runtime_s=math.inf, metrics=metrics, failed=True, cost_units=cost,
+        )
+
+    def _run_once(self, workload: Workload, config: Configuration) -> Measurement:
+        """One real execution, normalized through the resilience layer."""
+        try:
+            measurement = self.system.run(workload, config)
+        except FaultInjected as exc:
+            measurement = exc.measurement or Measurement.failure()
+        return self._enforce_deadline(self._sanitize(measurement))
+
+    def _quarantined(self, config: Configuration, tag: str) -> Measurement:
+        """Handle a proposal into a circuit-open region.
+
+        ``skip`` mode charges one run (no wall-clock) and records a
+        synthetic failure, so search loops always terminate and models
+        still learn to avoid the region; ``raise`` mode surfaces
+        :class:`~repro.exceptions.CircuitOpen` to the caller.
+        """
+        if self.execution.on_quarantine == "raise":
+            raise CircuitOpen(region=self.breaker.region(config))
+        self.quarantine_skips += 1
+        measurement = Measurement(
+            runtime_s=math.inf,
+            metrics={"quarantined": 1.0, "elapsed_before_failure_s": 0.0},
+            failed=True,
+        )
+        self._charge(measurement)
+        self.history.record(Observation(
+            config, measurement, source=REAL,
+            tag=tag or "quarantined", workload=self.workload.name,
+        ))
+        return measurement
+
+    def _retryable(self, measurement: Measurement) -> bool:
+        """Only *environmental* failures are worth retrying."""
+        return (
+            measurement.failed
+            and measurement.metric("injected_fault", 0.0) > 0
+        )
 
     # -- experiment execution ---------------------------------------------
     def evaluate(self, config: Configuration, tag: str = "") -> Measurement:
@@ -75,14 +198,43 @@ class TuningSession:
 
         Raises:
             BudgetExhausted: before running, if no budget remains.
+            CircuitOpen: when the config's region is quarantined and the
+                execution policy says ``on_quarantine="raise"``.
         """
         if not self.can_run():
             raise BudgetExhausted(
                 f"budget spent: {self.real_runs}/{self.budget.max_runs} runs, "
                 f"{self.experiment_time_s:.1f}s measured"
             )
-        measurement = self.system.run(self.workload, config)
+        if self.breaker is not None and self.breaker.is_open(config):
+            return self._quarantined(config, tag)
+        attempt = 0
+        while True:
+            measurement = self._run_once(self.workload, config)
+            if (
+                not self._retryable(measurement)
+                or attempt >= self.execution.max_retries
+            ):
+                break
+            # Budget-charged retry: the failed attempt and its backoff
+            # both cost real budget — clusters bill for crashes too.
+            self.retries += 1
+            self._charge(
+                measurement, extra_time_s=self.execution.backoff_s(attempt)
+            )
+            self.history.record(Observation(
+                config, measurement, source=REAL,
+                tag=f"{tag}+retry{attempt}" if tag else f"retry{attempt}",
+                workload=self.workload.name,
+            ))
+            attempt += 1
+            if not self.can_run():
+                if self.breaker is not None:
+                    self.breaker.record(config, measurement)
+                return measurement
         self._charge(measurement)
+        if self.breaker is not None:
+            self.breaker.record(config, measurement)
         self.history.record(Observation(
             config, measurement, source=REAL, tag=tag,
             workload=self.workload.name,
@@ -109,7 +261,11 @@ class TuningSession:
         Execution goes through :meth:`SystemUnderTune.run_batch`, so an
         :class:`~repro.core.system.InstrumentedSystem` with a runner
         evaluates the batch concurrently with results identical to a
-        serial loop.
+        serial loop.  Deadline enforcement and circuit-breaker
+        bookkeeping apply per measurement; quarantined configurations
+        are skipped without executing (a batch is committed up front, so
+        there is no retry path here — retries are a sequential-proposal
+        feature).
 
         Args:
             configs: proposed configurations (independent experiments).
@@ -136,15 +292,29 @@ class TuningSession:
                 f"{self.experiment_time_s:.1f}s measured"
             )
         batch = configs[: self.remaining_runs]
-        measurements = self.system.run_batch(self.workload, batch)
-        for i, (config, measurement) in enumerate(zip(batch, measurements)):
+        quarantined = [
+            self.breaker is not None and self.breaker.is_open(c)
+            for c in batch
+        ]
+        to_run = [c for c, q in zip(batch, quarantined) if not q]
+        executed = iter(self.system.run_batch(self.workload, to_run))
+        measurements: List[Measurement] = []
+        for i, (config, skip) in enumerate(zip(batch, quarantined)):
+            label = tags[i] if tags is not None else tag
+            if skip:
+                measurements.append(self._quarantined(config, label))
+                continue
+            measurement = self._enforce_deadline(self._sanitize(next(executed)))
             self._charge(measurement)
+            if self.breaker is not None:
+                self.breaker.record(config, measurement)
             self.history.record(Observation(
                 config, measurement,
                 source=REAL,
-                tag=tags[i] if tags is not None else tag,
+                tag=label,
                 workload=self.workload.name,
             ))
+            measurements.append(measurement)
         return measurements
 
     def evaluate_workload(
@@ -153,7 +323,7 @@ class TuningSession:
         """Run an *alternate* workload (e.g., a probe query) on budget."""
         if not self.can_run():
             raise BudgetExhausted("budget spent")
-        measurement = self.system.run(workload, config)
+        measurement = self._run_once(workload, config)
         self._charge(measurement)
         self.history.record(Observation(
             config, measurement, source=REAL, tag=tag, workload=workload.name,
@@ -169,6 +339,7 @@ class TuningSession:
         stream processing; charges budget without enforcing it (the
         stream length was already budget-derived).
         """
+        measurement = self._sanitize(measurement)
         self._charge(measurement)
         self.history.record(Observation(
             config, measurement, source=REAL, tag=tag,
@@ -208,3 +379,27 @@ class TuningSession:
         if not self.can_run():
             return None
         return self.evaluate(config, tag=tag)
+
+    def resilience_summary(self) -> Dict[str, Any]:
+        """Robustness accounting for this session.
+
+        ``wasted_run_fraction`` counts runs that produced no usable
+        measurement (failures, hangs, quarantine skips);
+        ``wasted_time_fraction`` is the share of the charged wall-clock
+        spent on them (partial elapsed time plus retry backoff).
+        """
+        real = self.real_runs
+        time_total = self.experiment_time_s
+        return {
+            "failure_policy": self.failure_policy,
+            "real_runs": real,
+            "failed_runs": self.failed_runs,
+            "retries": self.retries,
+            "deadline_kills": self.deadline_kills,
+            "quarantine_skips": self.quarantine_skips,
+            "wasted_time_s": round(self.wasted_time_s, 3),
+            "wasted_run_fraction": round(self.failed_runs / real, 4) if real else 0.0,
+            "wasted_time_fraction": round(self.wasted_time_s / time_total, 4)
+            if time_total > 0 else 0.0,
+            "circuit": self.breaker.summary() if self.breaker else None,
+        }

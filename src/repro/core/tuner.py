@@ -26,6 +26,7 @@ from repro.core.session import TuningSession
 from repro.core.system import SystemUnderTune
 from repro.core.workload import Workload, WorkloadStream
 from repro.exceptions import BudgetExhausted, TuningError
+from repro.exec.resilience import ExecutionPolicy
 
 __all__ = [
     "Budget",
@@ -112,25 +113,38 @@ class Tuner(ABC):
     name: str = "tuner"
     category: str = "experiment-driven"
 
+    #: Optional per-tuner failure policy (one of
+    #: :data:`repro.exec.resilience.FAILURE_POLICIES`).  When set and no
+    #: explicit execution policy is passed to :meth:`tune`, the session
+    #: is created with this policy — the tuner's opt-in for how its
+    #: surrogate models digest failed runs.
+    failure_policy: Optional[str] = None
+
     def tune(
         self,
         system: SystemUnderTune,
         workload: Workload,
         budget: Budget,
         rng: Optional[np.random.Generator] = None,
+        execution: Optional[ExecutionPolicy] = None,
     ) -> TuningResult:
         rng = rng or np.random.default_rng(0)
-        session = TuningSession(system, workload, budget, rng)
+        if execution is None and self.failure_policy is not None:
+            execution = ExecutionPolicy(failure_policy=self.failure_policy)
+        session = TuningSession(system, workload, budget, rng,
+                                execution=execution)
         try:
             recommended = self._tune(session)
         except BudgetExhausted:
             recommended = None
         # Only runs of the *session* workload count toward the result;
         # probe runs on sampled/alternate workloads (Ernest) have
-        # incomparable runtimes.
+        # incomparable runtimes.  Hung runs come back "successful" with
+        # unbounded runtime — never a valid incumbent.
         own = [
             o for o in session.history.successful()
             if o.workload in ("", workload.name)
+            and math.isfinite(o.runtime_s)
         ]
         best = min(own, key=lambda o: o.runtime_s) if own else None
         if recommended is None:
@@ -148,6 +162,8 @@ class Tuner(ABC):
         if math.isinf(best_runtime) and best is not None:
             recommended = best.config
             best_runtime = best.runtime_s
+        extras = dict(session.extras)
+        extras.setdefault("resilience", session.resilience_summary())
         return TuningResult(
             tuner_name=self.name,
             category=self.category,
@@ -156,7 +172,7 @@ class Tuner(ABC):
             n_real_runs=session.real_runs,
             experiment_time_s=session.experiment_time_s,
             history=session.history,
-            extras=dict(session.extras),
+            extras=extras,
         )
 
     @abstractmethod
@@ -238,7 +254,7 @@ class OnlineTuner(Tuner):
             probe = session.evaluate(session.default_config(), tag="probe")
             per_run = (
                 probe.runtime_s
-                if probe.ok
+                if probe.ok and math.isfinite(probe.runtime_s)
                 else max(probe.metric("elapsed_before_failure_s", 1.0), 1.0)
             )
             remaining = max(cap - session.experiment_time_s, 0.0)

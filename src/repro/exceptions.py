@@ -43,6 +43,46 @@ class WorkloadError(ReproError):
     """A workload definition is inconsistent or unsupported by a system."""
 
 
+class FaultInjected(ReproError):
+    """An *environmental* fault (injected by a chaos policy) killed a run.
+
+    Distinct from :class:`SimulationError` / :class:`ValidationError`:
+    the configuration and simulator are fine — the environment failed.
+    Raised only by :class:`~repro.chaos.ChaosSystem` in
+    ``raise_faults=True`` mode; the default chaos mode returns failed
+    measurements instead.
+
+    Attributes:
+        measurement: the failed measurement the fault produced (carries
+            ``elapsed_before_failure_s`` for budget charging).
+        index: the injection slot (run index) the fault fired at.
+        event: short description of the triggering policy event.
+    """
+
+    def __init__(self, event: str, index: int = -1, measurement=None):
+        self.event = event
+        self.index = index
+        self.measurement = measurement
+        super().__init__(f"injected fault at run {index}: {event}")
+
+
+class CircuitOpen(ReproError):
+    """A configuration falls in a quarantined (circuit-open) subspace.
+
+    The resilient execution layer opens a circuit for a config region
+    after repeated config-correlated failures there; sessions configured
+    with ``on_quarantine="raise"`` surface proposals into that region as
+    this exception instead of silently skipping them.
+
+    Attributes:
+        region: the quantized region key that is quarantined.
+    """
+
+    def __init__(self, message: str = "", region=None):
+        self.region = region
+        super().__init__(message or f"config region quarantined: {region}")
+
+
 class SimulationError(ReproError):
     """A system simulator reached an invalid internal state."""
 

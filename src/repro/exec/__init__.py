@@ -10,7 +10,11 @@ routes real executions through:
 * :class:`EvaluationCache` — value-keyed memoization of deterministic
   simulator runs, shared process-wide via :func:`global_cache`;
 * :func:`run_exec_benchmark` — the ``python -m repro bench`` entry
-  point recording per-experiment wall-clock and cache hit rates.
+  point recording per-experiment wall-clock and cache hit rates;
+* :class:`ExecutionPolicy` / :class:`CircuitBreaker` — resilient
+  execution under faults: per-run deadlines, budget-charged retries
+  with exponential backoff, failure policies (penalize / discard /
+  impute), and quarantine of config subspaces that keep crashing.
 """
 
 from repro.exec.cache import (
@@ -20,10 +24,18 @@ from repro.exec.cache import (
     global_cache,
     reset_global_cache,
 )
+from repro.exec.resilience import (
+    FAILURE_POLICIES,
+    CircuitBreaker,
+    ExecutionPolicy,
+)
 from repro.exec.runner import ParallelRunner, resolve_jobs
 
 __all__ = [
+    "CircuitBreaker",
     "EvaluationCache",
+    "ExecutionPolicy",
+    "FAILURE_POLICIES",
     "ParallelRunner",
     "Unfingerprintable",
     "fingerprint",

@@ -98,6 +98,13 @@ def _walk(obj: Any, parts: list, seen: set, depth: int) -> None:
             obj, np.random.BitGenerator
         ):
             raise Unfingerprintable("live RNG state is not a stable value")
+        if getattr(type(obj), "unfingerprintable", False):
+            # Objects whose run behaviour depends on mutable cross-call
+            # state (e.g. ChaosSystem's advancing run index) opt out:
+            # equal-valued snapshots would NOT produce equal runs.
+            raise Unfingerprintable(
+                f"{type(obj).__name__} declares itself unfingerprintable"
+            )
         if callable(obj) and hasattr(obj, "__qualname__"):
             # Named code (functions, lambdas, methods): identified by
             # where it is defined, which is stable across processes.

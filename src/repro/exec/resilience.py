@@ -1,0 +1,211 @@
+"""Resilient execution policies: deadlines, retries, circuit breaking.
+
+Production tuning survives on failure handling, not model quality:
+OnlineTune-style systems devote most of their engineering to safe
+execution.  This module is the harness's version of that layer — a
+declarative :class:`ExecutionPolicy` the
+:class:`~repro.core.session.TuningSession` enforces on every real run:
+
+* **per-run deadline** — a run that exceeds ``deadline_s`` (stragglers
+  gone pathological, outright hangs) is killed: converted to a failure
+  charged exactly ``deadline_s`` of wall-clock;
+* **retry with exponential backoff** — failures marked as
+  *environmental* (``injected_fault`` metric, or a raised
+  :class:`~repro.exceptions.FaultInjected`) are retried up to
+  ``max_retries`` times; every attempt and its backoff is charged to
+  the budget, because real clusters bill you for crashed runs too;
+* **circuit breaker** — after ``breaker_threshold`` consecutive
+  *config-correlated* failures inside one quantized region of the knob
+  space, the region is quarantined: further proposals there are skipped
+  (or raise :class:`~repro.exceptions.CircuitOpen`) without burning
+  wall-clock — the OOM-cliff mitigation;
+* **failure policy** — how failed/NaN measurements enter surrogate
+  models: ``penalize`` (large finite penalty, the historical default),
+  ``discard`` (train on successes only), or ``impute`` (median of the
+  successes).
+
+Everything is off by default; a session without an explicit policy
+behaves exactly as before this layer existed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "FAILURE_POLICIES",
+    "PENALIZE",
+    "DISCARD",
+    "IMPUTE",
+    "ExecutionPolicy",
+    "CircuitBreaker",
+]
+
+PENALIZE = "penalize"
+DISCARD = "discard"
+IMPUTE = "impute"
+
+#: Valid strategies for feeding failed runs to surrogate models.
+FAILURE_POLICIES = (PENALIZE, DISCARD, IMPUTE)
+
+_QUARANTINE_MODES = ("skip", "raise")
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """Declarative resilience settings for a tuning session.
+
+    Attributes:
+        deadline_s: kill any run whose reported runtime exceeds this
+            (``None`` disables; hangs report infinite runtime, so any
+            finite deadline catches them).
+        max_retries: how many times an *environmental* failure of one
+            configuration is retried.  0 disables.
+        backoff_base_s: backoff charged before the first retry.
+        backoff_factor: multiplier per subsequent retry.
+        max_backoff_s: backoff cap.
+        failure_policy: one of :data:`FAILURE_POLICIES` — how failures
+            enter model training data (see
+            :func:`repro.tuners.common.history_to_training_data`).
+        breaker_threshold: consecutive config-correlated failures in one
+            region before it is quarantined (``None`` disables).
+        breaker_resolution: quantization grid per knob dimension for
+            region bookkeeping.
+        breaker_knobs: knob names spanning the breaker's subspace
+            (default: every knob).
+        on_quarantine: ``"skip"`` records a synthetic failure for
+            quarantined proposals (charging a run but no wall-clock);
+            ``"raise"`` surfaces :class:`~repro.exceptions.CircuitOpen`.
+    """
+
+    deadline_s: Optional[float] = None
+    max_retries: int = 0
+    backoff_base_s: float = 1.0
+    backoff_factor: float = 2.0
+    max_backoff_s: float = 60.0
+    failure_policy: str = PENALIZE
+    breaker_threshold: Optional[int] = None
+    breaker_resolution: int = 4
+    breaker_knobs: Optional[Tuple[str, ...]] = None
+    on_quarantine: str = "skip"
+
+    def __post_init__(self) -> None:
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base_s < 0 or self.backoff_factor < 1:
+            raise ValueError("backoff_base_s >= 0 and backoff_factor >= 1")
+        if self.failure_policy not in FAILURE_POLICIES:
+            raise ValueError(
+                f"failure_policy must be one of {FAILURE_POLICIES}, "
+                f"got {self.failure_policy!r}"
+            )
+        if self.breaker_threshold is not None and self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+        if self.breaker_resolution < 1:
+            raise ValueError("breaker_resolution must be >= 1")
+        if self.on_quarantine not in _QUARANTINE_MODES:
+            raise ValueError(
+                f"on_quarantine must be one of {_QUARANTINE_MODES}"
+            )
+
+    def backoff_s(self, attempt: int) -> float:
+        """Backoff charged before retry number ``attempt`` (0-based)."""
+        return min(
+            self.backoff_base_s * self.backoff_factor ** attempt,
+            self.max_backoff_s,
+        )
+
+
+class CircuitBreaker:
+    """Quarantine knob-space regions that keep failing.
+
+    Configurations are quantized to a coarse grid cell per tracked knob;
+    ``threshold`` consecutive config-correlated failures in one cell
+    open the circuit for that cell.  Environmental failures (marked
+    ``injected_fault``) never trip the breaker — a transient fault says
+    nothing about the region.
+
+    Args:
+        threshold: consecutive failures that open a cell's circuit.
+        resolution: grid cells per knob dimension.
+        knobs: knob names to track (default: all knobs of whatever
+            configurations are recorded).
+    """
+
+    def __init__(
+        self,
+        threshold: int,
+        resolution: int = 4,
+        knobs: Optional[Sequence[str]] = None,
+    ):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if resolution < 1:
+            raise ValueError("resolution must be >= 1")
+        self.threshold = threshold
+        self.resolution = resolution
+        self.knobs = tuple(knobs) if knobs else None
+        self._consecutive: Dict[Tuple[int, ...], int] = {}
+        self._open: set = set()
+        self.trips = 0
+
+    def region(self, config) -> Tuple[int, ...]:
+        """The quantized grid cell a configuration falls in."""
+        arr = config.to_array()
+        if self.knobs is None:
+            indices: List[int] = list(range(len(arr)))
+        else:
+            names = config.space.names()
+            indices = [names.index(k) for k in self.knobs if k in names]
+        res = self.resolution
+        return tuple(
+            min(int(float(arr[j]) * res), res - 1) for j in indices
+        )
+
+    def is_open(self, config) -> bool:
+        return self.region(config) in self._open
+
+    def record(self, config, measurement) -> None:
+        """Account one real execution's outcome for ``config``'s region.
+
+        Successes reset the region's failure streak (but never close an
+        already-open circuit — a quarantined cliff stays quarantined).
+        Failures marked as environmental are ignored.
+        """
+        region = self.region(config)
+        if measurement.ok:
+            self._consecutive[region] = 0
+            return
+        if measurement.metric("injected_fault", 0.0) > 0:
+            return
+        count = self._consecutive.get(region, 0) + 1
+        self._consecutive[region] = count
+        if count >= self.threshold and region not in self._open:
+            self._open.add(region)
+            self.trips += 1
+
+    @property
+    def open_regions(self) -> List[Tuple[int, ...]]:
+        return sorted(self._open)
+
+    def reset(self) -> None:
+        self._consecutive.clear()
+        self._open.clear()
+        self.trips = 0
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "threshold": self.threshold,
+            "resolution": self.resolution,
+            "open_regions": len(self._open),
+            "trips": self.trips,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"CircuitBreaker(threshold={self.threshold}, "
+            f"open={len(self._open)})"
+        )

@@ -11,6 +11,7 @@ deliberately works with few alternatives at a time.
 
 from __future__ import annotations
 
+import math
 from typing import List, Optional
 
 import numpy as np
@@ -21,6 +22,7 @@ from repro.core.registry import register_tuner
 from repro.core.system import SystemUnderTune
 from repro.core.tuner import OnlineTuner, StreamResult, StreamStep
 from repro.core.workload import WorkloadStream
+from repro.exec.resilience import FAILURE_POLICIES
 from repro.tuners.adaptive.drift import DriftDetector
 from repro.tuners.rule_based import SpexValidator
 from repro.tuners.simulation import trace_replay_predict
@@ -49,13 +51,21 @@ class ColtOnlineTuner(OnlineTuner):
         n_candidates: int = 12,
         reconfig_cost_s: float = 5.0,
         step_scale: float = 0.15,
+        failure_policy: Optional[str] = None,
     ):
         if epoch < 1:
             raise ValueError("epoch must be >= 1")
+        if failure_policy is not None and failure_policy not in FAILURE_POLICIES:
+            raise ValueError(
+                f"failure_policy must be one of {FAILURE_POLICIES}"
+            )
         self.epoch = epoch
         self.n_candidates = n_candidates
         self.reconfig_cost_s = reconfig_cost_s
         self.step_scale = step_scale
+        #: Opt-in for the offline entry point (``tune``); the online
+        #: stream loop reacts to failures directly by retreating.
+        self.failure_policy = failure_policy
 
     def tune_stream(
         self,
@@ -82,10 +92,13 @@ class ColtOnlineTuner(OnlineTuner):
             # A detected regime change forces an immediate decision
             # instead of waiting out the epoch.
             drifted = detector.update(measurement.runtime_s)
+            # A hung submission (ok but unbounded runtime) carries no
+            # usable baseline for the what-if model: skip the decision.
             decide = (
                 ((i + 1) % self.epoch == 0 or drifted)
                 and remaining > 0
                 and measurement.ok
+                and math.isfinite(measurement.runtime_s)
             )
             if decide:
                 base = config.to_array()

@@ -13,6 +13,7 @@ from repro.core.session import TuningSession
 
 __all__ = [
     "FAILURE_PENALTY_FACTOR",
+    "failure_response",
     "penalized_runtime",
     "history_to_training_data",
     "candidate_pool",
@@ -24,30 +25,67 @@ __all__ = [
 FAILURE_PENALTY_FACTOR = 3.0
 
 
-def penalized_runtime(measurement: Measurement, history: TuningHistory) -> float:
-    """Runtime for model fitting: failures map to a large finite penalty."""
-    if measurement.ok:
-        return measurement.runtime_s
-    worst = max(
-        (o.runtime_s for o in history.successful()), default=100.0
-    )
+def _finite_successes(history: TuningHistory) -> List[float]:
+    return [
+        o.runtime_s for o in history.successful()
+        if math.isfinite(o.runtime_s)
+    ]
+
+
+def failure_response(history: TuningHistory, policy: str = "penalize") -> Optional[float]:
+    """The training-data value standing in for one failed run.
+
+    ``penalize`` maps failures to a large finite penalty (the
+    historical behaviour), ``impute`` to the median successful runtime
+    (failures carry no slowness signal, only infeasibility), and
+    ``discard`` to ``None`` — the caller drops the row entirely.
+    """
+    if policy == "discard":
+        return None
+    successes = _finite_successes(history)
+    if policy == "impute":
+        return float(np.median(successes)) if successes else 100.0
+    worst = max(successes, default=100.0)
     return worst * FAILURE_PENALTY_FACTOR
+
+
+def penalized_runtime(measurement: Measurement, history: TuningHistory) -> float:
+    """Runtime for model fitting: failures map to a large finite penalty.
+
+    Hung runs (successful, infinite runtime) are treated as failures —
+    an unbounded observation would destroy any surrogate's scale.
+    """
+    if measurement.ok and math.isfinite(measurement.runtime_s):
+        return measurement.runtime_s
+    return failure_response(history, "penalize")
 
 
 def history_to_training_data(
     session: TuningSession,
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """All real observations as (X, y), failures penalized.
+    """All real observations as (X, y), failures handled per policy.
 
-    Returns empty arrays when nothing was observed yet.
+    The session's :attr:`~repro.core.session.TuningSession
+    .failure_policy` (``penalize`` / ``discard`` / ``impute``) decides
+    how failed or hung runs enter the training set — tuners opt in by
+    being constructed with a ``failure_policy`` or tuned under an
+    explicit :class:`~repro.exec.resilience.ExecutionPolicy`.
+
+    Returns empty arrays when nothing usable was observed yet.
     """
-    obs = session.history.real_observations()
-    if not obs:
+    policy = getattr(session, "failure_policy", "penalize")
+    rows: List[Tuple[Configuration, float]] = []
+    for o in session.history.real_observations():
+        if o.ok and math.isfinite(o.runtime_s):
+            rows.append((o.config, o.runtime_s))
+            continue
+        response = failure_response(session.history, policy)
+        if response is not None:
+            rows.append((o.config, response))
+    if not rows:
         return np.zeros((0, session.space.dimension)), np.zeros(0)
-    X = np.stack([o.config.to_array() for o in obs])
-    y = np.array(
-        [penalized_runtime(o.measurement, session.history) for o in obs]
-    )
+    X = np.stack([config.to_array() for config, _ in rows])
+    y = np.array([runtime for _, runtime in rows])
     return X, y
 
 

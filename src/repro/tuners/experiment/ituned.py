@@ -31,6 +31,7 @@ from repro.core.registry import register_tuner
 from repro.core.session import TuningSession
 from repro.core.tuner import Tuner
 from repro.exceptions import BudgetExhausted
+from repro.exec.resilience import FAILURE_POLICIES
 from repro.mlkit.acquisition import expected_improvement
 from repro.mlkit.gp import GaussianProcess
 from repro.mlkit.kernels import Matern52
@@ -54,16 +55,24 @@ class ITunedTuner(Tuner):
         xi: float = 0.0,
         shrink_after: int = 20,
         batch_size: int = 1,
+        failure_policy: Optional[str] = None,
     ):
         if n_init < 2:
             raise ValueError("n_init must be >= 2")
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if failure_policy is not None and failure_policy not in FAILURE_POLICIES:
+            raise ValueError(
+                f"failure_policy must be one of {FAILURE_POLICIES}"
+            )
         self.n_init = n_init
         self.n_candidates = n_candidates
         self.xi = xi
         self.shrink_after = shrink_after
         self.batch_size = batch_size
+        #: How failed runs enter the GP (penalize is iTuned's published
+        #: answer; discard/impute are the chaos-benchmark alternatives).
+        self.failure_policy = failure_policy
 
     def _tune(self, session: TuningSession) -> Optional[Configuration]:
         space = session.space

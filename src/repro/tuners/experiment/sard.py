@@ -18,8 +18,9 @@ from repro.core.registry import register_tuner
 from repro.core.session import TuningSession
 from repro.core.tuner import Tuner
 from repro.exceptions import BudgetExhausted
+from repro.exec.resilience import FAILURE_POLICIES
 from repro.mlkit.doe import foldover, main_effects, plackett_burman
-from repro.tuners.common import FAILURE_PENALTY_FACTOR, penalized_runtime
+from repro.tuners.common import FAILURE_PENALTY_FACTOR
 
 __all__ = ["SardRanker", "SardTuner"]
 
@@ -64,19 +65,46 @@ class SardRanker:
         A two-level screening design is the canonical parallel DoE: all
         rows are decided before any response is seen, so with
         ``batch_size > 1`` the rows execute as atomic batches through
-        :meth:`~repro.core.session.TuningSession.evaluate_batch`."""
+        :meth:`~repro.core.session.TuningSession.evaluate_batch`.
+
+        Failed rows follow the session's failure policy: ``penalize``
+        (large finite response), ``impute`` (median of successes so
+        far), or ``discard`` (row dropped from the effect estimate —
+        design rows are exchangeable, so the estimate stays unbiased).
+        Hung rows (successful, infinite runtime) count as failures."""
         space = session.space
+        policy = getattr(session, "failure_policy", "penalize")
         design, configs = self.configs_for(space, session.rng)
         limit = len(configs)
         if max_runs is not None:
             limit = min(limit, max_runs)
         responses: List[float] = []
         used_rows: List[int] = []
+        # Failure responses reference the successes seen *before* the
+        # failing row; replaying that bookkeeping incrementally makes a
+        # batched screen rank identically to a sequential one (a batch's
+        # later successes must not lower an earlier row's penalty).
+        successes = [
+            o.runtime_s for o in session.history.successful()
+            if np.isfinite(o.runtime_s)
+        ]
+
+        def account(row: int, measurement) -> None:
+            if measurement.ok and np.isfinite(measurement.runtime_s):
+                responses.append(measurement.runtime_s)
+                used_rows.append(row)
+                successes.append(measurement.runtime_s)
+                return
+            if policy == "discard":
+                return
+            if policy == "impute":
+                response = float(np.median(successes)) if successes else 100.0
+            else:
+                response = max(successes, default=100.0) * FAILURE_PENALTY_FACTOR
+            responses.append(response)
+            used_rows.append(row)
+
         if batch_size > 1:
-            # Failure penalties reference the worst *successful* runtime
-            # seen so far; replay that bookkeeping in serial row order so
-            # a batched screen ranks identically to a sequential one.
-            successes = [o.runtime_s for o in session.history.successful()]
             for start in range(0, limit, batch_size):
                 chunk = configs[start:min(start + batch_size, limit)]
                 try:
@@ -87,20 +115,13 @@ class SardRanker:
                 except BudgetExhausted:
                     break
                 for j, measurement in enumerate(measurements):
-                    if measurement.ok:
-                        responses.append(measurement.runtime_s)
-                        successes.append(measurement.runtime_s)
-                    else:
-                        worst = max(successes, default=100.0)
-                        responses.append(worst * FAILURE_PENALTY_FACTOR)
-                    used_rows.append(start + j)
+                    account(start + j, measurement)
         else:
             for i in range(limit):
                 measurement = session.evaluate_if_budget(configs[i], tag=f"pb-{i}")
                 if measurement is None:
                     break
-                responses.append(penalized_runtime(measurement, session.history))
-                used_rows.append(i)
+                account(i, measurement)
         if len(used_rows) < 4:
             return [(name, 0.0) for name in space.names()]
         effects = main_effects(design[used_rows], np.array(responses))
@@ -123,14 +144,22 @@ class SardTuner(Tuner):
         levels: int = 3,
         use_foldover: bool = True,
         batch_size: int = 1,
+        failure_policy: Optional[str] = None,
     ):
         if top_k < 1:
             raise ValueError("top_k must be >= 1")
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if failure_policy is not None and failure_policy not in FAILURE_POLICIES:
+            raise ValueError(
+                f"failure_policy must be one of {FAILURE_POLICIES}"
+            )
         self.top_k = top_k
         self.levels = levels
         self.batch_size = batch_size
+        #: How failed screening rows enter the effect estimate (opt-in;
+        #: flows into the tuning session — see ``Tuner.failure_policy``).
+        self.failure_policy = failure_policy
         self.ranker = SardRanker(use_foldover=use_foldover)
 
     def _tune(self, session: TuningSession) -> Optional[Configuration]:

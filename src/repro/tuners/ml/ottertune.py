@@ -36,6 +36,7 @@ from repro.core.system import SystemUnderTune
 from repro.core.tuner import Tuner
 from repro.core.workload import Workload
 from repro.exceptions import TuningError
+from repro.exec.resilience import FAILURE_POLICIES
 from repro.mlkit.acquisition import expected_improvement
 from repro.mlkit.cluster import KMeans
 from repro.mlkit.factor import FactorAnalysis
@@ -234,7 +235,12 @@ class OtterTuneTuner(Tuner):
         n_init: int = 5,
         n_candidates: int = 400,
         use_mapping: bool = True,
+        failure_policy: Optional[str] = None,
     ):
+        if failure_policy is not None and failure_policy not in FAILURE_POLICIES:
+            raise ValueError(
+                f"failure_policy must be one of {FAILURE_POLICIES}"
+            )
         self.repository = repository
         self.top_k_knobs = top_k_knobs
         self.n_init = n_init
@@ -242,6 +248,9 @@ class OtterTuneTuner(Tuner):
         #: Ablation switch: with mapping off, the GP trains on target
         #: observations only (history still drives pruning/ranking).
         self.use_mapping = use_mapping
+        #: How failed runs enter the GP when mapping is off (the mapped
+        #: branch trains on successful target observations only).
+        self.failure_policy = failure_policy
 
     # -- stage 4: workload mapping -------------------------------------------
     def _map_workload(
@@ -296,7 +305,9 @@ class OtterTuneTuner(Tuner):
         step = 0
         mapped_name = None
         while session.can_run():
-            obs = session.history.successful()
+            # Hung runs are "successful" with unbounded runtime; they
+            # would wreck target_y's median scale and the GP targets.
+            obs = session.history.finite_successful()
             target_X = np.stack([o.config.to_array() for o in obs]) if obs else np.zeros((0, space.dimension))
             target_y = np.array([o.runtime_s for o in obs])
             target_M = (

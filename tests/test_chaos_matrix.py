@@ -1,0 +1,85 @@
+"""Robustness matrix: every registered tuner survives 30% chaos.
+
+Each tuner runs against a :class:`~repro.chaos.ChaosSystem` at the
+benchmark's 30% fault intensity (transients, bursts, stragglers, hangs,
+metric corruption, and a config blackout) under a resilient execution
+policy.  The contract: no exception escapes ``tune()``, the run budget
+is respected, and the recommendation is a valid configuration.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import Budget, make_tuner, tuner_names
+from repro.chaos import ChaosSystem, standard_policies
+from repro.exec.resilience import ExecutionPolicy
+from repro.systems.cluster import Cluster
+from repro.systems.dbms import DbmsSimulator, htap_mixed, olap_analytics
+from repro.tuners import build_repository
+
+_BUDGET = Budget(max_runs=10)
+_INTENSITY = 0.3
+
+#: Generous deadline relative to the clean default runtime (~40s); only
+#: hangs and extreme stragglers are killed.
+_POLICY = ExecutionPolicy(
+    deadline_s=800.0,
+    max_retries=1,
+    backoff_base_s=0.5,
+    breaker_threshold=3,
+    failure_policy="penalize",
+)
+
+
+def _system():
+    return DbmsSimulator(Cluster.uniform(4))
+
+
+def _instantiate(name: str, system):
+    if name == "ottertune":
+        repo = build_repository(
+            system, [olap_analytics(0.3)], n_samples=12,
+            rng=np.random.default_rng(7),
+        )
+        return make_tuner(name, repository=repo)
+    if name == "nn-tuner":
+        return make_tuner(name, epochs=60)
+    if name == "ensemble":
+        return make_tuner(name, mlp_epochs=60)
+    if name in ("cost-model", "trace-sim"):
+        return make_tuner(name, n_model_samples=150)
+    if name == "genetic":
+        return make_tuner(name, population=4, elite=1)
+    return make_tuner(name)
+
+
+@pytest.mark.parametrize("tuner_name", tuner_names())
+def test_tuner_survives_chaos(tuner_name):
+    system = _system()
+    workload = htap_mixed(0.3)
+    tuner = _instantiate(tuner_name, system)
+    chaos = ChaosSystem(
+        system, standard_policies(_INTENSITY), seed=1234
+    )
+
+    result = tuner.tune(
+        chaos, workload, _BUDGET,
+        rng=np.random.default_rng(3), execution=_POLICY,
+    )
+
+    assert result.n_real_runs <= _BUDGET.max_runs
+    # The recommendation decodes as a valid configuration of the space.
+    system.config_space.configuration(result.best_config.to_dict())
+    # The reported incumbent is never an unbounded (hung) runtime.
+    finite = [
+        o for o in result.history.successful()
+        if o.workload in ("", workload.name) and math.isfinite(o.runtime_s)
+    ]
+    if finite:
+        assert math.isfinite(result.best_runtime_s)
+    # Resilience accounting made it into the result.
+    resilience = result.extras["resilience"]
+    assert resilience["real_runs"] == result.n_real_runs
+    assert math.isfinite(resilience["wasted_time_s"])
