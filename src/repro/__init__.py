@@ -40,6 +40,7 @@ from repro.core.registry import (
 )
 from repro.exceptions import ReproError
 from repro.exec.resilience import ExecutionPolicy
+from repro.kb import KnowledgeBase, TransferPrior, warm_start_prior
 
 __version__ = "1.0.0"
 
@@ -50,9 +51,11 @@ __all__ = [
     "ConfigurationSpace",
     "ExecutionPolicy",
     "InstrumentedSystem",
+    "KnowledgeBase",
     "Measurement",
     "ReproError",
     "SystemUnderTune",
+    "TransferPrior",
     "Tuner",
     "TuningResult",
     "__version__",
@@ -62,4 +65,5 @@ __all__ = [
     "system_names",
     "tuner_names",
     "tuners_in_category",
+    "warm_start_prior",
 ]

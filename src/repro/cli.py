@@ -11,16 +11,24 @@ Commands:
     bench-chaos            — tuner robustness under injected faults
                              (crash-free rate, regret inflation,
                              wasted budget) and a JSON report
+    bench-transfer         — cold-start vs knowledge-base warm-start
+                             evaluations-to-threshold and a JSON report
+    serve                  — HTTP recommendation service over a tuning
+                             knowledge base
 
 Examples::
 
     python -m repro list
     python -m repro tune --system dbms --workload htap --tuner ituned --runs 30
+    python -m repro tune --system dbms --workload olap --save tuning.kb
+    python -m repro tune --system dbms --workload htap --warm-start tuning.kb
     python -m repro experiment E3
     python -m repro experiment all --quick --jobs 4
     python -m repro sweep --system spark --workload sort --knob shuffle_partitions
     python -m repro bench --json BENCH_exec.json
     python -m repro bench-chaos --json BENCH_chaos.json
+    python -m repro bench-transfer --json BENCH_transfer.json
+    python -m repro serve --kb tuning.kb --port 8350
 """
 
 from __future__ import annotations
@@ -93,10 +101,11 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _make_tuner_for(name: str, system) -> object:
+def _make_tuner_for(name: str, system, warm_start: bool = False) -> object:
     """Instantiate a tuner, satisfying special constructor needs."""
     from repro import make_tuner
 
+    kwargs = {"warm_start": True} if warm_start else {}
     if name == "ottertune":
         from repro.systems.dbms import adhoc_query
         from repro.tuners import build_repository
@@ -106,8 +115,14 @@ def _make_tuner_for(name: str, system) -> object:
         history = [wl for key, wl in catalog.items() if key != "htap"][:3]
         repo = build_repository(system, history, n_samples=20,
                                 rng=np.random.default_rng(7))
-        return make_tuner(name, repository=repo)
-    return make_tuner(name)
+        return make_tuner(name, repository=repo, **kwargs)
+    try:
+        return make_tuner(name, **kwargs)
+    except TypeError:
+        if warm_start:
+            print(f"note: {name} does not support warm starts; "
+                  "the prior will be ignored", file=sys.stderr)
+        return make_tuner(name)
 
 
 def _cmd_tune(args: argparse.Namespace) -> int:
@@ -124,15 +139,38 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     baseline = system.run(workload, system.default_configuration())
     print(f"{args.system}/{workload.name}: default {baseline.runtime_s:.1f}s")
 
-    tuner = _make_tuner_for(args.tuner, system)
+    prior = None
+    if args.warm_start:
+        from repro.kb import KnowledgeBase, warm_start_prior
+
+        with KnowledgeBase(args.warm_start) as kb:
+            prior = warm_start_prior(kb, system, workload)
+        matched = ", ".join(
+            m["workload"] for m in prior.summary()["matched_workloads"]
+        ) or "nothing"
+        print(f"warm start: {len(prior)} prior observations from {matched} "
+              f"({args.warm_start})")
+
+    tuner = _make_tuner_for(args.tuner, system, warm_start=prior is not None)
     result = tuner.tune(
         system, workload, Budget(max_runs=args.runs),
         rng=np.random.default_rng(args.seed),
+        prior=prior,
     )
     speedup = baseline.runtime_s / result.best_runtime_s
     print(f"{args.tuner}: best {result.best_runtime_s:.1f}s "
           f"(speedup {speedup:.2f}x) in {result.n_real_runs} runs "
           f"({result.experiment_time_s:.0f}s of experiments)")
+    if args.save:
+        from repro.kb import KnowledgeBase
+
+        with KnowledgeBase(args.save) as kb:
+            session_id = kb.ingest_result(
+                system, workload, result, seed=args.seed
+            )
+            total = len(kb)
+        print(f"saved as session {session_id} in {args.save} "
+              f"({total} sessions stored)")
     if args.show_config:
         default = system.default_configuration()
         print("changed knobs:")
@@ -212,6 +250,51 @@ def _cmd_bench_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_transfer(args: argparse.Namespace) -> int:
+    from repro.bench.transfer import run_transfer_benchmark
+
+    report = run_transfer_benchmark(
+        quick=not args.full, jobs=args.jobs, json_path=args.json
+    )
+    print(f"transfer benchmark: {report['n_cells']} cells, "
+          f"jobs={report['jobs']}, "
+          f"threshold = cold best × {report['threshold_factor']}")
+    print(f"  serial   {report['serial_wall_s']:8.2f}s")
+    if report["parallel_wall_s"] is not None:
+        print(f"  parallel {report['parallel_wall_s']:8.2f}s "
+              "(results identical)")
+    header = (f"  {'system':6s} {'tuner':10s} {'cold_best':>9s} "
+              f"{'warm_best':>9s} {'cold_ev':>7s} {'warm_ev':>7s} "
+              f"{'savings':>8s}")
+    print(header)
+    for cell in report["cells"]:
+        cold = cell["cold_best_s"]
+        warm = cell["warm_best_s"]
+        savings = cell["eval_savings"]
+        cold_col = f"{cold:9.2f}" if cold is not None else f"{'-':>9s}"
+        warm_col = f"{warm:9.2f}" if warm is not None else f"{'-':>9s}"
+        ce = cell["cold_evals_to_threshold"]
+        we = cell["warm_evals_to_threshold"]
+        savings_col = f"{savings:7.1%}" if savings is not None else f"{'-':>8s}"
+        print(f"  {cell['system']:6s} {cell['tuner']:10s} {cold_col} "
+              f"{warm_col} {ce if ce is not None else '-':>7} "
+              f"{we if we is not None else '-':>7} {savings_col}")
+    print(f"  {report['n_cells_meeting_savings']} cell(s) met the "
+          f">={report['required_savings']:.0%}-fewer-evaluations bar")
+    if args.json:
+        print(f"  report written to {args.json}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.kb import KnowledgeBase
+    from repro.kb.service import serve_forever
+
+    with KnowledgeBase(args.kb) as kb:
+        serve_forever(kb, args.host, args.port)
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro import make_system
 
@@ -252,6 +335,12 @@ def main(argv: List[str] = None) -> int:
     tune.add_argument("--runs", type=int, default=25)
     tune.add_argument("--seed", type=int, default=0)
     tune.add_argument("--show-config", action="store_true")
+    tune.add_argument("--save", default=None, metavar="KB_PATH",
+                      help="persist the completed session into this "
+                           "knowledge base (SQLite file, created on demand)")
+    tune.add_argument("--warm-start", default=None, metavar="KB_PATH",
+                      help="seed the tuner with a transfer prior mapped "
+                           "from similar sessions in this knowledge base")
 
     experiment = sub.add_parser("experiment", help="run a benchmark experiment")
     experiment.add_argument("id", help="experiment id, e.g. E3, or 'all'")
@@ -283,6 +372,27 @@ def main(argv: List[str] = None) -> int:
     chaos.add_argument("--full", action="store_true",
                        help="full budgets instead of quick mode")
 
+    transfer = sub.add_parser(
+        "bench-transfer",
+        help="benchmark cold-start vs knowledge-base warm-start tuning",
+    )
+    transfer.add_argument("--json", default=None, metavar="PATH",
+                          help="write the JSON report here, e.g. "
+                               "BENCH_transfer.json")
+    transfer.add_argument("--jobs", type=_jobs_arg, default=None,
+                          help="workers for the parallel verification pass "
+                               "(default 2; <=1 skips it)")
+    transfer.add_argument("--full", action="store_true",
+                          help="full budgets instead of quick mode")
+
+    serve = sub.add_parser(
+        "serve", help="HTTP recommendation service over a knowledge base"
+    )
+    serve.add_argument("--kb", required=True, metavar="KB_PATH",
+                       help="knowledge base to serve (SQLite file)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8350)
+
     sweep = sub.add_parser("sweep", help="one-at-a-time knob sweep")
     sweep.add_argument("--system", choices=["dbms", "hadoop", "spark"], required=True)
     sweep.add_argument("--workload", required=True)
@@ -297,6 +407,8 @@ def main(argv: List[str] = None) -> int:
         "sweep": _cmd_sweep,
         "bench": _cmd_bench,
         "bench-chaos": _cmd_bench_chaos,
+        "bench-transfer": _cmd_bench_transfer,
+        "serve": _cmd_serve,
     }
     try:
         return handlers[args.command](args)

@@ -103,6 +103,10 @@ class TuningHistory:
     def record(self, observation: Observation) -> None:
         self._observations.append(observation)
 
+    def extend(self, observations: Sequence[Observation]) -> None:
+        """Record several observations in order (KB replay, merges)."""
+        self._observations.extend(observations)
+
     def __len__(self) -> int:
         return len(self._observations)
 

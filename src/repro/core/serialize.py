@@ -21,6 +21,8 @@ __all__ = [
     "to_jsonable",
     "dumps",
     "configuration_from_dict",
+    "measurement_from_jsonable",
+    "observation_from_jsonable",
     "history_from_jsonable",
 ]
 
@@ -127,6 +129,36 @@ def configuration_from_dict(
     return space.configuration(dict(values))
 
 
+def measurement_from_jsonable(payload: Mapping[str, Any]) -> Measurement:
+    """Rebuild a measurement from its ``to_jsonable`` payload.
+
+    Failed and hung runs encode their infinite runtime as the string
+    ``"inf"`` (strict JSON has no Infinity); metric bags round-trip
+    verbatim, including the hardening extras the resilience layer
+    attaches (``elapsed_before_failure_s``, ``deadline_exceeded``,
+    ``metrics_dropped``, ...).
+    """
+    return Measurement(
+        runtime_s=_decode_runtime(payload["runtime_s"]),
+        metrics=dict(payload.get("metrics", {})),
+        failed=payload["failed"],
+        cost_units=payload.get("cost_units", 0.0),
+    )
+
+
+def observation_from_jsonable(
+    space: ConfigurationSpace, payload: Mapping[str, Any]
+) -> Observation:
+    """Rebuild one observation against ``space`` (values re-validated)."""
+    return Observation(
+        config=space.configuration(payload["config"]),
+        measurement=measurement_from_jsonable(payload["measurement"]),
+        source=payload["source"],
+        tag=payload["tag"],
+        workload=payload.get("workload", ""),
+    )
+
+
 def history_from_jsonable(
     space: ConfigurationSpace, payload: Mapping[str, Any]
 ) -> TuningHistory:
@@ -135,20 +167,5 @@ def history_from_jsonable(
         raise ValueError("payload is not a serialized history")
     history = TuningHistory()
     for entry in payload["observations"]:
-        m = entry["measurement"]
-        measurement = Measurement(
-            runtime_s=_decode_runtime(m["runtime_s"]),
-            metrics=m["metrics"],
-            failed=m["failed"],
-            cost_units=m["cost_units"],
-        )
-        history.record(
-            Observation(
-                config=space.configuration(entry["config"]),
-                measurement=measurement,
-                source=entry["source"],
-                tag=entry["tag"],
-                workload=entry.get("workload", ""),
-            )
-        )
+        history.record(observation_from_jsonable(space, entry))
     return history

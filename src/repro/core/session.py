@@ -31,12 +31,21 @@ from repro.exec.resilience import CircuitBreaker, ExecutionPolicy
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.tuner import Budget
+    from repro.kb.warmstart import TransferPrior
 
 __all__ = ["TuningSession"]
 
 
 class TuningSession:
-    """Budgeted, recorded experiment access for one tuning task."""
+    """Budgeted, recorded experiment access for one tuning task.
+
+    A session may carry a *transfer prior*
+    (:class:`~repro.kb.warmstart.TransferPrior`): observations mapped
+    from similar workloads in a persistent knowledge base.  Prior data
+    is never charged to the budget and never enters the history — it is
+    advisory training data that warm-start-aware tuners opt into via
+    :meth:`prior_training_data` and :meth:`prior_best_configs`.
+    """
 
     def __init__(
         self,
@@ -45,12 +54,14 @@ class TuningSession:
         budget: "Budget",
         rng: np.random.Generator,
         execution: Optional[ExecutionPolicy] = None,
+        prior: Optional["TransferPrior"] = None,
     ):
         system.check_workload(workload)
         self.system = system
         self.workload = workload
         self.budget = budget
         self.rng = rng
+        self.prior = prior
         self.execution = execution or ExecutionPolicy()
         self.failure_policy = self.execution.failure_policy
         self.breaker: Optional[CircuitBreaker] = None
@@ -356,6 +367,21 @@ class TuningSession:
                 tag=tag,
             )
         )
+
+    # -- transfer prior ----------------------------------------------------
+    def prior_training_data(self) -> "tuple[np.ndarray, np.ndarray]":
+        """Mapped prior observations as (X, y) on the target's runtime
+        scale, or empty arrays when the session has no prior."""
+        if self.prior is None:
+            return np.zeros((0, self.space.dimension)), np.zeros(0)
+        return self.prior.training_data(self.space)
+
+    def prior_best_configs(self, k: int = 3) -> List[Configuration]:
+        """The prior's top-``k`` configurations, rebuilt against this
+        session's space (empty without a prior)."""
+        if self.prior is None:
+            return []
+        return self.prior.best_configs(self.space, k=k)
 
     # -- convenience -------------------------------------------------------
     @property

@@ -28,6 +28,9 @@ from repro.core.workload import Workload, WorkloadStream
 from repro.exceptions import BudgetExhausted, TuningError
 from repro.exec.resilience import ExecutionPolicy
 
+if False:  # TYPE_CHECKING without the import machinery at runtime
+    from repro.kb.warmstart import TransferPrior
+
 __all__ = [
     "Budget",
     "TuningResult",
@@ -120,6 +123,12 @@ class Tuner(ABC):
     #: surrogate models digest failed runs.
     failure_policy: Optional[str] = None
 
+    #: Whether this tuner instance consumes a transfer prior when one is
+    #: passed to :meth:`tune`.  Warm-start-capable tuners expose a
+    #: ``warm_start=`` constructor flag that sets this; the prior is
+    #: simply ignored otherwise, so callers can pass one untuned.
+    warm_start: bool = False
+
     def tune(
         self,
         system: SystemUnderTune,
@@ -127,12 +136,14 @@ class Tuner(ABC):
         budget: Budget,
         rng: Optional[np.random.Generator] = None,
         execution: Optional[ExecutionPolicy] = None,
+        prior: Optional["TransferPrior"] = None,
     ) -> TuningResult:
         rng = rng or np.random.default_rng(0)
         if execution is None and self.failure_policy is not None:
             execution = ExecutionPolicy(failure_policy=self.failure_policy)
         session = TuningSession(system, workload, budget, rng,
-                                execution=execution)
+                                execution=execution,
+                                prior=prior if self.warm_start else None)
         try:
             recommended = self._tune(session)
         except BudgetExhausted:
@@ -164,6 +175,8 @@ class Tuner(ABC):
             best_runtime = best.runtime_s
         extras = dict(session.extras)
         extras.setdefault("resilience", session.resilience_summary())
+        if session.prior is not None:
+            extras.setdefault("warm_start", session.prior.summary())
         return TuningResult(
             tuner_name=self.name,
             category=self.category,
@@ -230,6 +243,12 @@ class OnlineTuner(Tuner):
 
     category = "adaptive"
 
+    #: Online tuners whose ``tune_stream`` accepts an
+    #: ``initial_config=`` keyword set this; the offline entry point
+    #: then seeds the stream with the transfer prior's best
+    #: configuration instead of the system default.
+    supports_initial_config: bool = False
+
     @abstractmethod
     def tune_stream(
         self,
@@ -262,7 +281,16 @@ class OnlineTuner(Tuner):
             if reps == 0:
                 return None
         stream = WorkloadStream.constant(session.workload, reps)
-        result = self.tune_stream(session.system, stream, session.rng)
+        initial = None
+        if self.warm_start and self.supports_initial_config:
+            seeds = session.prior_best_configs(k=1)
+            initial = seeds[0] if seeds else None
+        if initial is not None:
+            result = self.tune_stream(
+                session.system, stream, session.rng, initial_config=initial
+            )
+        else:
+            result = self.tune_stream(session.system, stream, session.rng)
         # Mirror the stream's executions into the session history so
         # result accounting matches what actually ran.
         for step in result.steps:

@@ -1,0 +1,209 @@
+"""Configuration recommendation service over the knowledge base.
+
+A thin JSON-over-HTTP layer (stdlib ``http.server``) so tuning clients
+that are not Python — or not colocated — can query accumulated tuning
+knowledge:
+
+* ``GET  /workloads``  — what the knowledge base has seen.
+* ``POST /recommend``  — given a workload fingerprint (or a stored
+  workload's name), return the most similar stored sessions and the
+  best configuration they found.
+* ``POST /ingest``     — store a completed session document (the
+  ``kb_session`` payload :meth:`KnowledgeBase.session_payload` builds).
+
+The service is read-mostly: the fingerprint index is computed once per
+knowledge-base :meth:`~repro.kb.store.KnowledgeBase.version` and shared
+by all request threads, so concurrent ``/recommend`` calls after a
+warm-up touch SQLite only for the version probe.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.kb.fingerprint import WorkloadFingerprint, rank_similar
+from repro.kb.store import KnowledgeBase, SessionRecord
+
+__all__ = ["RecommendationService", "ServiceError", "make_server", "serve_forever"]
+
+
+class ServiceError(ValueError):
+    """Client error in a service request (maps to HTTP 400)."""
+
+
+class RecommendationService:
+    """Query engine behind the HTTP endpoints (usable in-process too)."""
+
+    def __init__(self, kb: KnowledgeBase) -> None:
+        self.kb = kb
+        self._index_lock = threading.Lock()
+        self._index_version: Optional[Tuple[int, int]] = None
+        self._index: List[Tuple[SessionRecord, WorkloadFingerprint]] = []
+
+    # -- index -------------------------------------------------------------
+    def _fingerprint_index(
+        self,
+    ) -> List[Tuple[SessionRecord, WorkloadFingerprint]]:
+        """(record, fingerprint) pairs, rebuilt only when the KB changed."""
+        version = self.kb.version()
+        with self._index_lock:
+            if version != self._index_version:
+                self._index = [
+                    (record, record.fingerprint)
+                    for record in self.kb.sessions()
+                    if record.fingerprint is not None
+                ]
+                self._index_version = version
+            return list(self._index)
+
+    # -- endpoints ---------------------------------------------------------
+    def workloads(self) -> Dict[str, Any]:
+        return self.kb.summary()
+
+    def recommend(self, request: Mapping[str, Any]) -> Dict[str, Any]:
+        """Rank stored sessions against the request's workload.
+
+        Request fields:
+            ``fingerprint``: a serialized
+                :class:`~repro.kb.fingerprint.WorkloadFingerprint`; or
+            ``workload``: name of a stored workload whose newest stored
+                fingerprint stands in for a probe run;
+            ``system_kind`` (optional): restrict candidates;
+            ``k`` (optional, default 3): number of matches returned.
+        """
+        k = int(request.get("k", 3))
+        if k <= 0:
+            raise ServiceError("k must be positive")
+        system_kind = request.get("system_kind")
+        candidates = [
+            (record, fp)
+            for record, fp in self._fingerprint_index()
+            if system_kind is None or record.system_kind == system_kind
+        ]
+        fingerprint = self._request_fingerprint(request, candidates)
+        ranked = rank_similar(fingerprint, candidates)[:k]
+        matches = [
+            {**record.describe(), "distance": round(distance, 6)}
+            for record, distance in ranked
+        ]
+        finite = [
+            (record, distance)
+            for record, distance in ranked
+            if math.isfinite(record.best_runtime_s)
+        ]
+        recommended = None
+        if finite:
+            # Nearest workload wins; its best config is the recommendation.
+            record = finite[0][0]
+            recommended = {
+                "config": dict(record.best_config),
+                "from_session": record.session_id,
+                "from_workload": record.workload_name,
+                "expected_runtime_s": record.best_runtime_s,
+            }
+        return {
+            "n_candidates": len(candidates),
+            "matches": matches,
+            "recommended": recommended,
+        }
+
+    def _request_fingerprint(
+        self,
+        request: Mapping[str, Any],
+        candidates: List[Tuple[SessionRecord, WorkloadFingerprint]],
+    ) -> WorkloadFingerprint:
+        if "fingerprint" in request:
+            payload = request["fingerprint"]
+            if not isinstance(payload, Mapping):
+                raise ServiceError("fingerprint must be an object")
+            return WorkloadFingerprint.from_jsonable(payload)
+        name = request.get("workload")
+        if not name:
+            raise ServiceError("request needs 'fingerprint' or 'workload'")
+        for record, fp in candidates:  # newest first (sessions() ordering)
+            if record.workload_name == name:
+                return fp
+        raise ServiceError(f"unknown workload {name!r}")
+
+    def ingest(self, payload: Mapping[str, Any]) -> Dict[str, Any]:
+        try:
+            session_id = self.kb.ingest_payload(payload)
+        except (KeyError, ValueError, TypeError) as exc:
+            raise ServiceError(f"bad kb_session payload: {exc}") from exc
+        return {"session_id": session_id, "n_sessions": len(self.kb)}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the shared RecommendationService."""
+
+    service: RecommendationService  # set on the subclass by make_server
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        if self.path.rstrip("/") == "/workloads":
+            self._reply(200, self.service.workloads())
+        else:
+            self._reply(404, {"error": f"unknown path {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            body = json.loads(self.rfile.read(length) or b"{}")
+        except (ValueError, json.JSONDecodeError):
+            self._reply(400, {"error": "request body is not valid JSON"})
+            return
+        path = self.path.rstrip("/")
+        try:
+            if path == "/recommend":
+                self._reply(200, self.service.recommend(body))
+            elif path == "/ingest":
+                self._reply(200, self.service.ingest(body))
+            else:
+                self._reply(404, {"error": f"unknown path {self.path}"})
+        except ServiceError as exc:
+            self._reply(400, {"error": str(exc)})
+
+    def _reply(self, status: int, payload: Dict[str, Any]) -> None:
+        data = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def log_message(self, fmt: str, *args: Any) -> None:  # pragma: no cover
+        pass  # keep test/CLI output clean; HTTP access logs are noise here
+
+
+def make_server(
+    kb: KnowledgeBase, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """Build a threading HTTP server bound to (host, port).
+
+    ``port=0`` picks a free port (tests); the bound address is available
+    as ``server.server_address``.  Call ``serve_forever()`` on it (or
+    use :func:`serve_forever` for the CLI loop).
+    """
+    service = RecommendationService(kb)
+    handler = type("KBHandler", (_Handler,), {"service": service})
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    return server
+
+
+def serve_forever(kb: KnowledgeBase, host: str, port: int) -> None:
+    """Blocking CLI entry point (Ctrl-C to stop)."""
+    server = make_server(kb, host, port)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"kb service on http://{bound_host}:{bound_port} "
+          f"({len(kb)} stored sessions; endpoints: "
+          f"GET /workloads, POST /recommend, POST /ingest)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover
+        pass
+    finally:
+        server.server_close()

@@ -40,10 +40,16 @@ class ColtOnlineTuner(OnlineTuner):
         reconfig_cost_s: charged (as projected cost, not wall time) per
             reconfiguration — warm-up, cache refill, connection churn.
         step_scale: relative size of local perturbations in unit space.
+        warm_start: when tuned offline with a transfer prior, start the
+            stream at the prior's best configuration instead of the
+            system default — COLT only ever moves by local
+            perturbations, so its starting point largely decides where
+            it converges.
     """
 
     name = "colt"
     category = "adaptive"
+    supports_initial_config = True
 
     def __init__(
         self,
@@ -52,6 +58,7 @@ class ColtOnlineTuner(OnlineTuner):
         reconfig_cost_s: float = 5.0,
         step_scale: float = 0.15,
         failure_policy: Optional[str] = None,
+        warm_start: bool = False,
     ):
         if epoch < 1:
             raise ValueError("epoch must be >= 1")
@@ -66,17 +73,19 @@ class ColtOnlineTuner(OnlineTuner):
         #: Opt-in for the offline entry point (``tune``); the online
         #: stream loop reacts to failures directly by retreating.
         self.failure_policy = failure_policy
+        self.warm_start = warm_start
 
     def tune_stream(
         self,
         system: SystemUnderTune,
         stream: WorkloadStream,
         rng: Optional[np.random.Generator] = None,
+        initial_config: Optional[Configuration] = None,
     ) -> StreamResult:
         rng = rng or np.random.default_rng(0)
         space = system.config_space
         validator = SpexValidator(space)
-        config = system.default_configuration()
+        config = initial_config or system.default_configuration()
         steps: List[StreamStep] = []
         last_measurement: Optional[Measurement] = None
         submissions = list(stream)

@@ -17,6 +17,7 @@ __all__ = [
     "penalized_runtime",
     "history_to_training_data",
     "candidate_pool",
+    "evaluate_prior_seeds",
 ]
 
 #: Failed runs enter surrogate models at this multiple of the worst
@@ -62,6 +63,7 @@ def penalized_runtime(measurement: Measurement, history: TuningHistory) -> float
 
 def history_to_training_data(
     session: TuningSession,
+    include_prior: bool = False,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """All real observations as (X, y), failures handled per policy.
 
@@ -70,6 +72,13 @@ def history_to_training_data(
     how failed or hung runs enter the training set — tuners opt in by
     being constructed with a ``failure_policy`` or tuned under an
     explicit :class:`~repro.exec.resilience.ExecutionPolicy`.
+
+    With ``include_prior`` (warm-started tuners), the session's
+    transfer-prior pseudo-observations are stacked *before* the real
+    rows — runtimes already scaled to this workload's probe anchor by
+    :func:`repro.kb.warmstart.warm_start_prior`.  Real observations of
+    the same configuration naturally dominate the surrogate as they
+    accumulate.
 
     Returns empty arrays when nothing usable was observed yet.
     """
@@ -82,11 +91,43 @@ def history_to_training_data(
         response = failure_response(session.history, policy)
         if response is not None:
             rows.append((o.config, response))
+    prior_X, prior_y = (
+        session.prior_training_data() if include_prior
+        else (np.zeros((0, session.space.dimension)), np.zeros(0))
+    )
     if not rows:
-        return np.zeros((0, session.space.dimension)), np.zeros(0)
+        return prior_X, prior_y
     X = np.stack([config.to_array() for config, _ in rows])
     y = np.array([runtime for _, runtime in rows])
+    if len(prior_y):
+        X = np.vstack([prior_X, X])
+        y = np.concatenate([prior_y, y])
     return X, y
+
+
+def evaluate_prior_seeds(
+    session: TuningSession, k: int = 3, reserve: int = 1
+) -> int:
+    """Evaluate the transfer prior's top configurations, if any.
+
+    The universal warm-start opening move: instead of burning the whole
+    init budget on random/space-filling samples, spend up to ``k`` runs
+    on configurations that won similar past sessions.  Keeps at least
+    ``reserve`` runs of budget untouched for the search proper.
+
+    Returns the number of seed runs actually executed (0 when the
+    session has no prior — cold-start behaviour is unchanged).
+    """
+    if session.prior is None:
+        return 0
+    evaluated = 0
+    for i, config in enumerate(session.prior_best_configs(k=k)):
+        if session.remaining_runs <= reserve:
+            break
+        if session.evaluate_if_budget(config, tag=f"prior-{i}") is None:
+            break
+        evaluated += 1
+    return evaluated
 
 
 def candidate_pool(

@@ -36,7 +36,11 @@ from repro.mlkit.acquisition import expected_improvement
 from repro.mlkit.gp import GaussianProcess
 from repro.mlkit.kernels import Matern52
 from repro.mlkit.sampling import maximin_latin_hypercube
-from repro.tuners.common import candidate_pool, history_to_training_data
+from repro.tuners.common import (
+    candidate_pool,
+    evaluate_prior_seeds,
+    history_to_training_data,
+)
 
 __all__ = ["ITunedTuner"]
 
@@ -56,6 +60,7 @@ class ITunedTuner(Tuner):
         shrink_after: int = 20,
         batch_size: int = 1,
         failure_policy: Optional[str] = None,
+        warm_start: bool = False,
     ):
         if n_init < 2:
             raise ValueError("n_init must be >= 2")
@@ -73,17 +78,26 @@ class ITunedTuner(Tuner):
         #: How failed runs enter the GP (penalize is iTuned's published
         #: answer; discard/impute are the chaos-benchmark alternatives).
         self.failure_policy = failure_policy
+        #: Consume a transfer prior: seed with its best configs, shrink
+        #: the LHS design, and stack its rows into the GP's data.
+        self.warm_start = warm_start
 
     def _tune(self, session: TuningSession) -> Optional[Configuration]:
         space = session.space
         rng = session.rng
         session.evaluate(session.default_config(), tag="default")
+        seeded = evaluate_prior_seeds(session, k=3)
 
         # Phase 1: space-filling initialization.  With batching, the
         # design executes in atomic chunks of ``batch_size`` — the DoE
         # rows are independent by construction, so this is where
-        # parallel experiment execution pays off first.
-        n_init = min(self.n_init, max(session.remaining_runs - 2, 1))
+        # parallel experiment execution pays off first.  A transfer
+        # prior already covers the space with mapped pseudo-samples, so
+        # warm starts shrink the design to a small residual.
+        n_init = self.n_init - 2 * seeded
+        if session.prior is not None and len(session.prior) >= 3:
+            n_init = min(n_init, 2)
+        n_init = min(max(n_init, 2), max(session.remaining_runs - 2, 1))
         design = maximin_latin_hypercube(n_init, space.dimension, rng)
         init_configs = [space.from_array_feasible(row, rng) for row in design]
         if self.batch_size > 1:
@@ -102,9 +116,10 @@ class ITunedTuner(Tuner):
                     return None
 
         # Phase 2: adaptive sampling with EI.
+        use_prior = session.prior is not None and len(session.prior) > 0
         step = 0
         while session.can_run():
-            X, y = history_to_training_data(session)
+            X, y = history_to_training_data(session, include_prior=use_prior)
             if len(y) < 3:
                 config = space.sample_configuration(rng)
                 session.evaluate(config, tag="fallback")

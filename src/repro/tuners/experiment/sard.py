@@ -20,7 +20,8 @@ from repro.core.tuner import Tuner
 from repro.exceptions import BudgetExhausted
 from repro.exec.resilience import FAILURE_POLICIES
 from repro.mlkit.doe import foldover, main_effects, plackett_burman
-from repro.tuners.common import FAILURE_PENALTY_FACTOR
+from repro.mlkit.linear import lasso_rank_features
+from repro.tuners.common import FAILURE_PENALTY_FACTOR, evaluate_prior_seeds
 
 __all__ = ["SardRanker", "SardTuner"]
 
@@ -145,6 +146,7 @@ class SardTuner(Tuner):
         use_foldover: bool = True,
         batch_size: int = 1,
         failure_policy: Optional[str] = None,
+        warm_start: bool = False,
     ):
         if top_k < 1:
             raise ValueError("top_k must be >= 1")
@@ -160,16 +162,40 @@ class SardTuner(Tuner):
         #: How failed screening rows enter the effect estimate (opt-in;
         #: flows into the tuning session — see ``Tuner.failure_policy``).
         self.failure_policy = failure_policy
+        #: Rank knobs from transfer-prior data instead of running the
+        #: PB screen — the screen is most of SARD's experiment cost, so
+        #: a usable prior converts almost the whole budget into grid
+        #: refinement over the knobs that mattered on similar workloads.
+        self.warm_start = warm_start
         self.ranker = SardRanker(use_foldover=use_foldover)
+
+    def _prior_ranking(
+        self, session: TuningSession
+    ) -> Optional[List[Tuple[str, float]]]:
+        """Knob importances from the prior's (X, y), via the lasso path
+        (OtterTune's criterion).  None when the prior is too small to
+        rank ``space.dimension`` features credibly."""
+        X, y = session.prior_training_data()
+        if len(y) < max(8, session.space.dimension // 3):
+            return None
+        order = lasso_rank_features(X, np.log(np.maximum(y, 1e-9)))
+        names = session.space.names()
+        d = len(order)
+        return [(names[j], float(d - pos)) for pos, j in enumerate(order)]
 
     def _tune(self, session: TuningSession) -> Optional[Configuration]:
         session.evaluate(session.default_config(), tag="default")
-        # Spend at most ~60% of the budget on screening, the rest on the
-        # focused grid.
-        screen_budget = max(4, int(session.budget.max_runs * 0.6))
-        ranked = self.ranker.rank(
-            session, max_runs=screen_budget, batch_size=self.batch_size
-        )
+        ranked = self._prior_ranking(session) if self.warm_start else None
+        if ranked is not None:
+            session.extras["sard_ranking_source"] = "transfer-prior"
+            evaluate_prior_seeds(session, k=2)
+        else:
+            # Spend at most ~60% of the budget on screening, the rest
+            # on the focused grid.
+            screen_budget = max(4, int(session.budget.max_runs * 0.6))
+            ranked = self.ranker.rank(
+                session, max_runs=screen_budget, batch_size=self.batch_size
+            )
         session.extras["sard_ranking"] = ranked
         top = [name for name, _ in ranked[: self.top_k]]
 

@@ -19,14 +19,24 @@ from repro.core.session import TuningSession
 from repro.core.tuner import Tuner
 from repro.mlkit.acquisition import maximize_acquisition
 from repro.mlkit.gp import GaussianProcess
-from repro.tuners.common import candidate_pool, history_to_training_data
+from repro.tuners.common import (
+    candidate_pool,
+    evaluate_prior_seeds,
+    history_to_training_data,
+)
 
 __all__ = ["BayesOptTuner"]
 
 
 @register_tuner("bayesopt")
 class BayesOptTuner(Tuner):
-    """GP-based Bayesian optimization over the full knob space."""
+    """GP-based Bayesian optimization over the full knob space.
+
+    With ``warm_start=True`` and a transfer prior on the session, the
+    tuner (a) evaluates the prior's best configurations before random
+    init, (b) shrinks random init accordingly, and (c) stacks the
+    prior's scaled pseudo-observations into the GP's training data.
+    """
 
     name = "bayesopt"
     category = "machine-learning"
@@ -38,6 +48,7 @@ class BayesOptTuner(Tuner):
         kappa: float = 2.0,
         xi: float = 0.0,
         n_candidates: int = 400,
+        warm_start: bool = False,
     ):
         if acquisition not in ("ei", "pi", "lcb"):
             raise ValueError(f"unknown acquisition {acquisition!r}")
@@ -46,19 +57,23 @@ class BayesOptTuner(Tuner):
         self.kappa = kappa
         self.xi = xi
         self.n_candidates = n_candidates
+        self.warm_start = warm_start
 
     def _tune(self, session: TuningSession) -> Optional[Configuration]:
         space = session.space
         rng = session.rng
         session.evaluate(session.default_config(), tag="default")
-        for i in range(min(self.n_init, max(session.remaining_runs - 1, 0))):
+        seeded = evaluate_prior_seeds(session, k=min(3, self.n_init))
+        n_init = max(self.n_init - seeded, 1 if seeded == 0 else 0)
+        for i in range(min(n_init, max(session.remaining_runs - 1, 0))):
             config = space.sample_configuration(rng)
             if session.evaluate_if_budget(config, tag=f"init-{i}") is None:
                 return None
 
+        use_prior = session.prior is not None and len(session.prior) > 0
         step = 0
         while session.can_run():
-            X, y = history_to_training_data(session)
+            X, y = history_to_training_data(session, include_prior=use_prior)
             if len(y) < 3:
                 session.evaluate(space.sample_configuration(rng), tag="fallback")
                 continue

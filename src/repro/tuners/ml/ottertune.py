@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.exec.runner import ParallelRunner
+    from repro.kb.store import KnowledgeBase
 
 import numpy as np
 
@@ -44,7 +45,12 @@ from repro.mlkit.gp import GaussianProcess
 from repro.mlkit.linear import lasso_rank_features
 from repro.mlkit.sampling import latin_hypercube
 from repro.mlkit.scaler import StandardScaler
-from repro.tuners.common import candidate_pool, history_to_training_data, penalized_runtime
+from repro.tuners.common import (
+    candidate_pool,
+    evaluate_prior_seeds,
+    history_to_training_data,
+    penalized_runtime,
+)
 
 __all__ = ["OtterTuneRepository", "OtterTuneTuner", "build_repository"]
 
@@ -61,13 +67,73 @@ class _WorkloadData:
 
 @dataclass
 class OtterTuneRepository:
-    """Historical tuning data across many workloads on one system."""
+    """Historical tuning data across many workloads on one system.
+
+    The canonical backing store is the persistent knowledge base
+    (:meth:`from_kb`): every tuning session or offline sampling pass
+    ingested there becomes repository data, shared across processes and
+    tuner kinds.  The plain dataclass constructor remains as the
+    in-memory shim for tests and self-contained pipelines
+    (:func:`build_repository` without a ``kb``).
+    """
 
     metric_names: List[str]
     workloads: List[_WorkloadData] = field(default_factory=list)
 
     def add(self, name: str, X: np.ndarray, y: np.ndarray, metrics: np.ndarray) -> None:
         self.workloads.append(_WorkloadData(name, X, y, metrics))
+
+    @classmethod
+    def from_kb(
+        cls,
+        kb: "KnowledgeBase",
+        system: SystemUnderTune,
+        min_samples: int = 5,
+        exclude_workloads: Sequence[str] = (),
+    ) -> "OtterTuneRepository":
+        """Materialize the repository from stored knowledge-base sessions.
+
+        Sessions are grouped by workload name (only those recorded on
+        this system kind with the *same knob catalog*); each workload
+        needs ``min_samples`` finite successful observations across its
+        sessions to enter the repository.  ``exclude_workloads`` keeps
+        the target workload's own history out — OtterTune's repository
+        is other tenants' data by definition.
+        """
+        repo = cls(metric_names=list(system.metric_names))
+        space = system.config_space
+        excluded = set(exclude_workloads)
+        grouped: Dict[str, List[int]] = {}
+        for record in kb.sessions(
+            system_kind=system.kind, space_names=space.names()
+        ):
+            if record.workload_name not in excluded:
+                grouped.setdefault(record.workload_name, []).append(
+                    record.session_id
+                )
+        for name in sorted(grouped):
+            X_rows, y_rows, m_rows = [], [], []
+            for session_id in grouped[name]:
+                try:
+                    history = kb.history(session_id, space)
+                except Exception:
+                    continue
+                for obs in history.finite_successful():
+                    X_rows.append(obs.config.to_array())
+                    y_rows.append(obs.runtime_s)
+                    m_rows.append(
+                        obs.measurement.metric_vector(repo.metric_names)
+                    )
+            if len(y_rows) >= min_samples:
+                repo.add(
+                    name, np.array(X_rows), np.array(y_rows), np.array(m_rows)
+                )
+        if not repo.workloads:
+            raise TuningError(
+                "knowledge base holds no usable repository data for "
+                f"system kind {system.kind!r}"
+            )
+        return repo
 
     def all_observations(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         X = np.vstack([w.X for w in self.workloads])
@@ -108,6 +174,7 @@ def build_repository(
     n_samples: int = 30,
     rng: Optional[np.random.Generator] = None,
     runner: Optional["ParallelRunner"] = None,
+    kb: Optional["KnowledgeBase"] = None,
 ) -> OtterTuneRepository:
     """Sample the system offline over several workloads.
 
@@ -121,7 +188,13 @@ def build_repository(
     ``REPRO_JOBS`` asks for workers) and memoize through the process
     evaluation cache; the seeded design — and therefore the repository
     — is identical however many workers execute it.
+
+    With ``kb`` given, each workload's samples are also persisted as a
+    knowledge-base session (tuner ``"repository-sampler"``), making the
+    sweep reusable by :meth:`OtterTuneRepository.from_kb` and by
+    warm-started tuners in later processes.
     """
+    from repro.core.measurement import Observation, TuningHistory
     from repro.exec.cache import global_cache
     from repro.exec.runner import ParallelRunner
 
@@ -155,6 +228,15 @@ def build_repository(
             worst = y[ok].max()
             y = np.where(ok, y, worst * 3.0)
             repo.add(workload.name, X, y, M)
+        if kb is not None:
+            history = TuningHistory()
+            history.extend(
+                Observation(config=c, measurement=m, tag="repository")
+                for c, m in zip(configs, measurements)
+            )
+            kb.ingest_history(
+                system, workload, history, tuner_name="repository-sampler"
+            )
     if not repo.workloads:
         raise TuningError("repository construction produced no usable data")
     return repo
@@ -236,6 +318,7 @@ class OtterTuneTuner(Tuner):
         n_candidates: int = 400,
         use_mapping: bool = True,
         failure_policy: Optional[str] = None,
+        warm_start: bool = False,
     ):
         if failure_policy is not None and failure_policy not in FAILURE_POLICIES:
             raise ValueError(
@@ -251,34 +334,24 @@ class OtterTuneTuner(Tuner):
         #: How failed runs enter the GP when mapping is off (the mapped
         #: branch trains on successful target observations only).
         self.failure_policy = failure_policy
+        #: Consume a knowledge-base transfer prior on top of the
+        #: repository: the prior's best configurations replace part of
+        #: the LHS init design (the repository already provides the
+        #: model-side history, so seeding is the marginal win here).
+        self.warm_start = warm_start
 
     # -- stage 4: workload mapping -------------------------------------------
     def _map_workload(
         self, target_X: np.ndarray, target_M: np.ndarray, pruned: List[int]
     ) -> Optional[_WorkloadData]:
-        if not self.repository.workloads or len(target_X) == 0:
-            return None
-        _, _, all_M = self.repository.all_observations()
-        scaler = StandardScaler().fit(all_M[:, pruned])
-        target_Z = scaler.transform(target_M[:, pruned])
-        best_dist, best = np.inf, None
-        for wdata in self.repository.workloads:
-            dists = []
-            repo_Z = scaler.transform(wdata.metrics[:, pruned])
-            for j in range(len(pruned)):
-                gp = GaussianProcess(optimize=False)
-                try:
-                    gp.fit(wdata.X, repo_Z[:, j])
-                except Exception:
-                    continue
-                pred, _ = gp.predict(target_X)
-                dists.append(np.mean((pred - target_Z[:, j]) ** 2))
-            if not dists:
-                continue
-            d = float(np.mean(dists))
-            if d < best_dist:
-                best_dist, best = d, wdata
-        return best
+        # The GP-per-metric mapping lives in the knowledge-base layer
+        # now (generalized to any repository-shaped dataset); this
+        # method remains as the tuner's seam for ablations/overrides.
+        from repro.kb.fingerprint import map_workload
+
+        return map_workload(
+            target_X, target_M, pruned, self.repository.workloads
+        )
 
     def _tune(self, session: TuningSession) -> Optional[Configuration]:
         space = session.space
@@ -295,7 +368,10 @@ class OtterTuneTuner(Tuner):
         knob_idx = [space.names().index(k) for k in top_knobs]
 
         session.evaluate(session.default_config(), tag="default")
-        n_init = min(self.n_init, max(session.remaining_runs - 2, 1))
+        seeded = evaluate_prior_seeds(session, k=2)
+        n_init = min(
+            max(self.n_init - seeded, 1), max(session.remaining_runs - 2, 1)
+        )
         for i, row in enumerate(latin_hypercube(n_init, space.dimension, rng)):
             if session.evaluate_if_budget(
                 space.from_array_feasible(row, rng), tag=f"init-{i}"

@@ -39,6 +39,38 @@ class TestTune:
         assert "best" in capsys.readouterr().out
 
 
+class TestTuneKnowledgeBase:
+    def test_save_then_warm_start(self, capsys, tmp_path):
+        kb_path = str(tmp_path / "tuning.kb")
+        rc = main([
+            "tune", "--system", "dbms", "--workload", "olap",
+            "--tuner", "ituned", "--runs", "8", "--seed", "1",
+            "--save", kb_path,
+        ])
+        assert rc == 0
+        assert "saved" in capsys.readouterr().out
+
+        rc = main([
+            "tune", "--system", "dbms", "--workload", "htap",
+            "--tuner", "ituned", "--runs", "8", "--seed", "1",
+            "--warm-start", kb_path,
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "warm start" in out
+        assert "prior observations" in out
+
+    def test_warm_start_with_empty_kb_still_tunes(self, capsys, tmp_path):
+        kb_path = str(tmp_path / "empty.kb")
+        rc = main([
+            "tune", "--system", "dbms", "--workload", "olap",
+            "--tuner", "rule-based", "--runs", "2",
+            "--warm-start", kb_path,
+        ])
+        assert rc == 0
+        assert "best" in capsys.readouterr().out
+
+
 class TestExperiment:
     def test_quick_experiment(self, capsys):
         assert main(["experiment", "E3", "--quick"]) == 0

@@ -12,6 +12,8 @@ from repro.core.serialize import (
     configuration_from_dict,
     dumps,
     history_from_jsonable,
+    measurement_from_jsonable,
+    observation_from_jsonable,
     to_jsonable,
 )
 from repro.core.workload import WorkloadStream
@@ -70,6 +72,77 @@ class TestSerialize:
         result.extras["weird"] = object()
         payload = to_jsonable(result)
         assert isinstance(payload["extras"]["weird"], str)
+
+    def test_measurement_decoder_roundtrips_extras(self):
+        m = Measurement(
+            runtime_s=12.5,
+            metrics={"spill_mb": 64.0, "deadline_exceeded": 1.0},
+            cost_units=3.0,
+        )
+        rebuilt = measurement_from_jsonable(json.loads(json.dumps(to_jsonable(m))))
+        assert rebuilt == m
+        assert rebuilt.metric("deadline_exceeded") == 1.0
+
+    def test_hung_run_roundtrips_infinite_runtime(self, system):
+        # A hung run is "successful" with unbounded runtime — the JSON
+        # layer must encode inf as a string and bring it back as inf,
+        # still distinguishable from a failed run.
+        h = TuningHistory()
+        h.record(Observation(
+            system.default_configuration(),
+            Measurement(runtime_s=math.inf, metrics={"hung": 1.0}),
+            tag="hang",
+        ))
+        payload = json.loads(json.dumps(to_jsonable(h)))
+        assert payload["observations"][0]["measurement"]["runtime_s"] == "inf"
+        rebuilt = history_from_jsonable(system.config_space, payload)
+        assert math.isinf(rebuilt[0].runtime_s)
+        assert rebuilt[0].ok  # hung, not failed
+        assert rebuilt.best() is None  # never an incumbent
+
+    def test_mixed_history_roundtrip_preserves_everything(self, system):
+        space = system.config_space
+        rng = np.random.default_rng(4)
+        h = TuningHistory()
+        h.record(Observation(
+            space.sample_configuration(rng),
+            Measurement(3.5, metrics={"buffer_hit": 0.9}),
+            tag="default", workload="w1",
+        ))
+        h.record(Observation(
+            space.sample_configuration(rng),
+            Measurement.failure(cost_units=2.0),
+            tag="crashed", workload="w1",
+        ))
+        h.record(Observation(
+            space.sample_configuration(rng),
+            Measurement(7.0), source="model", tag="predicted",
+        ))
+        rebuilt = history_from_jsonable(
+            space, json.loads(json.dumps(to_jsonable(h)))
+        )
+        assert len(rebuilt) == 3
+        for orig, back in zip(h, rebuilt):
+            assert back.config == orig.config
+            assert back.measurement == orig.measurement
+            assert (back.source, back.tag, back.workload) == (
+                orig.source, orig.tag, orig.workload
+            )
+        # failure bookkeeping survives the trip
+        assert not rebuilt[1].ok
+        assert rebuilt[1].measurement.cost_units == 2.0
+        assert len(rebuilt.real_observations()) == 2
+        assert rebuilt.best_runtime() == pytest.approx(3.5)
+
+    def test_observation_decoder_revalidates_config(self, system):
+        space = system.config_space
+        obs = Observation(system.default_configuration(), Measurement(1.0))
+        payload = to_jsonable(obs)
+        rebuilt = observation_from_jsonable(space, payload)
+        assert rebuilt.config == obs.config
+        payload["config"]["buffer_pool_mb"] = "not-a-number"
+        with pytest.raises(Exception):
+            observation_from_jsonable(space, payload)
 
 
 class TestDriftDetector:
