@@ -28,6 +28,8 @@ from repro.core.parameters import Configuration, ConfigurationSpace
 from repro.core.system import SystemUnderTune
 from repro.core.workload import Workload
 from repro.exceptions import FaultInjected
+from repro.obs.metrics import global_metrics
+from repro.obs.trace import event as obs_event
 
 __all__ = ["ChaosSystem"]
 
@@ -120,8 +122,12 @@ class ChaosSystem(SystemUnderTune):
             self.fault_log.append((index, event))
             key = event.split(" ")[0]
             self.fault_counts[key] = self.fault_counts.get(key, 0) + 1
+            global_metrics().inc("chaos.faults")
+            global_metrics().inc(f"chaos.fault.{key}")
+            obs_event("fault", kind=key, index=index)
         if was_ok and measurement.failed:
             self.injected_failures += 1
+            global_metrics().inc("chaos.injected_failures")
             if raise_faults:
                 raise FaultInjected(
                     "; ".join(events) or "injected failure",

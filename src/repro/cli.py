@@ -13,6 +13,9 @@ Commands:
                              wasted budget) and a JSON report
     bench-transfer         — cold-start vs knowledge-base warm-start
                              evaluations-to-threshold and a JSON report
+    bench-obs              — observability smoke: span parity across
+                             execution modes, <5% tracing overhead,
+                             strict-JSON /metrics under concurrency
     serve                  — HTTP recommendation service over a tuning
                              knowledge base
 
@@ -22,12 +25,14 @@ Examples::
     python -m repro tune --system dbms --workload htap --tuner ituned --runs 30
     python -m repro tune --system dbms --workload olap --save tuning.kb
     python -m repro tune --system dbms --workload htap --warm-start tuning.kb
+    python -m repro tune --system dbms --workload htap --trace trace.jsonl
     python -m repro experiment E3
     python -m repro experiment all --quick --jobs 4
     python -m repro sweep --system spark --workload sort --knob shuffle_partitions
     python -m repro bench --json BENCH_exec.json
     python -m repro bench-chaos --json BENCH_chaos.json
     python -m repro bench-transfer --json BENCH_transfer.json
+    python -m repro bench-obs --json BENCH_obs.json
     python -m repro serve --kb tuning.kb --port 8350
 """
 
@@ -152,11 +157,26 @@ def _cmd_tune(args: argparse.Namespace) -> int:
               f"({args.warm_start})")
 
     tuner = _make_tuner_for(args.tuner, system, warm_start=prior is not None)
-    result = tuner.tune(
-        system, workload, Budget(max_runs=args.runs),
-        rng=np.random.default_rng(args.seed),
-        prior=prior,
-    )
+    from repro.obs.trace import Tracer, set_tracer, span
+
+    tracer = None
+    if args.trace:
+        tracer = Tracer()
+        set_tracer(tracer)
+    try:
+        with span("session", system=args.system, workload=workload.name,
+                  tuner=args.tuner, runs=args.runs, seed=args.seed):
+            result = tuner.tune(
+                system, workload, Budget(max_runs=args.runs),
+                rng=np.random.default_rng(args.seed),
+                prior=prior,
+            )
+    finally:
+        if tracer is not None:
+            set_tracer(None)
+            n_spans = tracer.export_jsonl(args.trace)
+            print(f"trace: {n_spans} spans written to {args.trace}"
+                  + (f" ({tracer.dropped} dropped)" if tracer.dropped else ""))
     speedup = baseline.runtime_s / result.best_runtime_s
     print(f"{args.tuner}: best {result.best_runtime_s:.1f}s "
           f"(speedup {speedup:.2f}x) in {result.n_real_runs} runs "
@@ -286,6 +306,31 @@ def _cmd_bench_transfer(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_obs(args: argparse.Namespace) -> int:
+    from repro.obs.bench import run_obs_benchmark
+
+    report = run_obs_benchmark(
+        quick=not args.full, jobs=args.jobs, json_path=args.json
+    )
+    print(f"obs benchmark: jobs={report['jobs']}, "
+          f"reps={report['reps']}")
+    print(f"  baseline {report['baseline_wall_s']:8.2f}s (untraced)")
+    print(f"  traced   {report['traced_wall_s']:8.2f}s "
+          f"(overhead {report['overhead']:+.1%}, "
+          f"budget <{report['overhead_budget']:.0%})")
+    for label, parity in report["span_parity"].items():
+        counts = ", ".join(
+            f"{name}×{n}" for name, n in parity["span_counts"].items()
+        )
+        print(f"  {label:8s} serial==parallel span counts: {counts}")
+    service = report["service"]
+    print(f"  service  {service['n_clients']} concurrent clients, "
+          f"all responses strict RFC 8259 JSON")
+    if args.json:
+        print(f"  report written to {args.json}")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.kb import KnowledgeBase
     from repro.kb.service import serve_forever
@@ -341,6 +386,10 @@ def main(argv: List[str] = None) -> int:
     tune.add_argument("--warm-start", default=None, metavar="KB_PATH",
                       help="seed the tuner with a transfer prior mapped "
                            "from similar sessions in this knowledge base")
+    tune.add_argument("--trace", default=None, metavar="JSONL_PATH",
+                      help="record a hierarchical span trace of the session "
+                           "(batches, evaluations, retries, faults) and "
+                           "write it as JSON Lines to this path")
 
     experiment = sub.add_parser("experiment", help="run a benchmark experiment")
     experiment.add_argument("id", help="experiment id, e.g. E3, or 'all'")
@@ -385,6 +434,17 @@ def main(argv: List[str] = None) -> int:
     transfer.add_argument("--full", action="store_true",
                           help="full budgets instead of quick mode")
 
+    obs = sub.add_parser(
+        "bench-obs",
+        help="observability smoke: span parity, overhead, strict JSON",
+    )
+    obs.add_argument("--json", default=None, metavar="PATH",
+                     help="write the JSON report here, e.g. BENCH_obs.json")
+    obs.add_argument("--jobs", type=_jobs_arg, default=None,
+                     help="workers for the parallel cells (default 2)")
+    obs.add_argument("--full", action="store_true",
+                     help="full budgets instead of quick mode")
+
     serve = sub.add_parser(
         "serve", help="HTTP recommendation service over a knowledge base"
     )
@@ -408,6 +468,7 @@ def main(argv: List[str] = None) -> int:
         "bench": _cmd_bench,
         "bench-chaos": _cmd_bench_chaos,
         "bench-transfer": _cmd_bench_transfer,
+        "bench-obs": _cmd_bench_obs,
         "serve": _cmd_serve,
     }
     try:

@@ -28,6 +28,9 @@ from repro.core.system import SystemUnderTune
 from repro.core.workload import Workload
 from repro.exceptions import BudgetExhausted, CircuitOpen, FaultInjected
 from repro.exec.resilience import CircuitBreaker, ExecutionPolicy
+from repro.obs.metrics import global_metrics
+from repro.obs.trace import event as obs_event
+from repro.obs.trace import span as obs_span
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.tuner import Budget
@@ -155,6 +158,9 @@ class TuningSession:
         ):
             return measurement
         self.deadline_kills += 1
+        global_metrics().inc("session.deadline_kills")
+        obs_event("deadline_kill", deadline_s=deadline,
+                  runtime_s=measurement.runtime_s)
         metrics = dict(measurement.metrics)
         metrics["elapsed_before_failure_s"] = deadline
         metrics["deadline_exceeded"] = 1.0
@@ -184,12 +190,15 @@ class TuningSession:
         if self.execution.on_quarantine == "raise":
             raise CircuitOpen(region=self.breaker.region(config))
         self.quarantine_skips += 1
+        global_metrics().inc("session.quarantine_skips")
+        obs_event("quarantine", tag=tag or "quarantined")
         measurement = Measurement(
             runtime_s=math.inf,
             metrics={"quarantined": 1.0, "elapsed_before_failure_s": 0.0},
             failed=True,
         )
         self._charge(measurement)
+        self._obs_account(measurement)
         self.history.record(Observation(
             config, measurement, source=REAL,
             tag=tag or "quarantined", workload=self.workload.name,
@@ -202,6 +211,15 @@ class TuningSession:
             measurement.failed
             and measurement.metric("injected_fault", 0.0) > 0
         )
+
+    def _obs_account(self, measurement: Measurement) -> None:
+        """Per-evaluation metric accounting (one call per charged run)."""
+        metrics = global_metrics()
+        metrics.inc("session.evaluations")
+        if measurement.ok and math.isfinite(measurement.runtime_s):
+            metrics.observe("session.runtime_s", measurement.runtime_s)
+        else:
+            metrics.inc("session.failed_evaluations")
 
     # -- experiment execution ---------------------------------------------
     def evaluate(self, config: Configuration, tag: str = "") -> Measurement:
@@ -219,38 +237,47 @@ class TuningSession:
             )
         if self.breaker is not None and self.breaker.is_open(config):
             return self._quarantined(config, tag)
-        attempt = 0
-        while True:
-            measurement = self._run_once(self.workload, config)
-            if (
-                not self._retryable(measurement)
-                or attempt >= self.execution.max_retries
-            ):
-                break
-            # Budget-charged retry: the failed attempt and its backoff
-            # both cost real budget — clusters bill for crashes too.
-            self.retries += 1
-            self._charge(
-                measurement, extra_time_s=self.execution.backoff_s(attempt)
-            )
+        with obs_span("evaluation", tag=tag) as sp:
+            attempt = 0
+            while True:
+                measurement = self._run_once(self.workload, config)
+                if (
+                    not self._retryable(measurement)
+                    or attempt >= self.execution.max_retries
+                ):
+                    break
+                # Budget-charged retry: the failed attempt and its backoff
+                # both cost real budget — clusters bill for crashes too.
+                self.retries += 1
+                global_metrics().inc("session.retries")
+                obs_event("retry", attempt=attempt,
+                          backoff_s=self.execution.backoff_s(attempt))
+                self._charge(
+                    measurement, extra_time_s=self.execution.backoff_s(attempt)
+                )
+                self._obs_account(measurement)
+                self.history.record(Observation(
+                    config, measurement, source=REAL,
+                    tag=f"{tag}+retry{attempt}" if tag else f"retry{attempt}",
+                    workload=self.workload.name,
+                ))
+                attempt += 1
+                if not self.can_run():
+                    if self.breaker is not None:
+                        self.breaker.record(config, measurement)
+                    return measurement
+            self._charge(measurement)
+            self._obs_account(measurement)
+            if sp is not None:
+                sp.set(ok=measurement.ok, runtime_s=measurement.runtime_s,
+                       attempts=attempt + 1)
+            if self.breaker is not None:
+                self.breaker.record(config, measurement)
             self.history.record(Observation(
-                config, measurement, source=REAL,
-                tag=f"{tag}+retry{attempt}" if tag else f"retry{attempt}",
+                config, measurement, source=REAL, tag=tag,
                 workload=self.workload.name,
             ))
-            attempt += 1
-            if not self.can_run():
-                if self.breaker is not None:
-                    self.breaker.record(config, measurement)
-                return measurement
-        self._charge(measurement)
-        if self.breaker is not None:
-            self.breaker.record(config, measurement)
-        self.history.record(Observation(
-            config, measurement, source=REAL, tag=tag,
-            workload=self.workload.name,
-        ))
-        return measurement
+            return measurement
 
     def evaluate_batch(
         self,
@@ -308,24 +335,35 @@ class TuningSession:
             for c in batch
         ]
         to_run = [c for c, q in zip(batch, quarantined) if not q]
-        executed = iter(self.system.run_batch(self.workload, to_run))
-        measurements: List[Measurement] = []
-        for i, (config, skip) in enumerate(zip(batch, quarantined)):
-            label = tags[i] if tags is not None else tag
-            if skip:
-                measurements.append(self._quarantined(config, label))
-                continue
-            measurement = self._enforce_deadline(self._sanitize(next(executed)))
-            self._charge(measurement)
-            if self.breaker is not None:
-                self.breaker.record(config, measurement)
-            self.history.record(Observation(
-                config, measurement,
-                source=REAL,
-                tag=label,
-                workload=self.workload.name,
-            ))
-            measurements.append(measurement)
+        with obs_span("batch", size=len(batch), tag=tag) as batch_sp:
+            executed = iter(self.system.run_batch(self.workload, to_run))
+            measurements: List[Measurement] = []
+            for i, (config, skip) in enumerate(zip(batch, quarantined)):
+                label = tags[i] if tags is not None else tag
+                if skip:
+                    measurements.append(self._quarantined(config, label))
+                    continue
+                with obs_span("evaluation", tag=label) as sp:
+                    measurement = self._enforce_deadline(
+                        self._sanitize(next(executed))
+                    )
+                    self._charge(measurement)
+                    self._obs_account(measurement)
+                    if sp is not None:
+                        sp.set(ok=measurement.ok,
+                               runtime_s=measurement.runtime_s)
+                    if self.breaker is not None:
+                        self.breaker.record(config, measurement)
+                    self.history.record(Observation(
+                        config, measurement,
+                        source=REAL,
+                        tag=label,
+                        workload=self.workload.name,
+                    ))
+                    measurements.append(measurement)
+            if batch_sp is not None:
+                batch_sp.set(executed=len(to_run),
+                             quarantined=len(batch) - len(to_run))
         return measurements
 
     def evaluate_workload(
@@ -334,8 +372,12 @@ class TuningSession:
         """Run an *alternate* workload (e.g., a probe query) on budget."""
         if not self.can_run():
             raise BudgetExhausted("budget spent")
-        measurement = self._run_once(workload, config)
-        self._charge(measurement)
+        with obs_span("evaluation", tag=tag, workload=workload.name) as sp:
+            measurement = self._run_once(workload, config)
+            self._charge(measurement)
+            self._obs_account(measurement)
+            if sp is not None:
+                sp.set(ok=measurement.ok, runtime_s=measurement.runtime_s)
         self.history.record(Observation(
             config, measurement, source=REAL, tag=tag, workload=workload.name,
         ))
@@ -352,6 +394,7 @@ class TuningSession:
         """
         measurement = self._sanitize(measurement)
         self._charge(measurement)
+        self._obs_account(measurement)
         self.history.record(Observation(
             config, measurement, source=REAL, tag=tag,
             workload=self.workload.name,

@@ -201,14 +201,21 @@ class InstrumentedSystem(SystemUnderTune):
                 if self.cache_enabled and key in self._cache:
                     continue
                 if self.eval_cache is not None:
+                    # Probe through lookup(), not a bare membership
+                    # check: the batch *will* consume these values, so
+                    # hit/miss stats and LRU recency must advance
+                    # exactly as the serial loop's reads would.
                     try:
-                        if self.eval_cache.key_for(
+                        cache_key = self.eval_cache.key_for(
                             self.inner, workload, config
-                        ) in self.eval_cache:
-                            continue
+                        )
                     except Exception:
                         pending = []
                         break
+                    cached = self.eval_cache.lookup(cache_key)
+                    if cached is not None:
+                        self._prefetched[key] = cached
+                        continue
                 seen.add(key)
                 pending.append(config)
             if pending:
@@ -217,16 +224,18 @@ class InstrumentedSystem(SystemUnderTune):
                     [(self.inner, workload, c) for c in pending],
                 )
                 for config, measurement in zip(pending, measurements):
+                    # Hand the value to run() via _prefetched (its miss
+                    # was already counted by the probe) and store it for
+                    # future batches' real hits.
+                    self._prefetched[(workload.name, config)] = measurement
                     if self.eval_cache is not None:
                         try:
                             self.eval_cache.store(
                                 self.eval_cache.key_for(self.inner, workload, config),
                                 measurement,
                             )
-                            continue
                         except Exception:
                             pass
-                    self._prefetched[(workload.name, config)] = measurement
         return [self.run(workload, config) for config in configs]
 
     def reset_counters(self) -> None:

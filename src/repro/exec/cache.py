@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.core.measurement import Measurement
 from repro.core.parameters import Configuration
+from repro.obs.metrics import MetricsRegistry, global_metrics
 
 __all__ = [
     "EvaluationCache",
@@ -176,20 +177,43 @@ class EvaluationCache:
     Args:
         max_entries: LRU capacity; the benchmark suite's working set is
             a few tens of thousands of points.
+        metrics: hit/miss/eviction accounting registry (default: a
+            private :class:`~repro.obs.MetricsRegistry`, so each cache's
+            stats stand alone).  Every event is *also* counted into the
+            process-wide :func:`~repro.obs.global_metrics` under
+            ``exec.cache.*`` for the ``GET /metrics`` endpoint.
 
     Measurements are frozen dataclasses, so sharing one instance across
     lookups is safe.  ``stats()`` reports hits/misses/evictions plus the
     running hit rate for the perf trajectory.
     """
 
-    def __init__(self, max_entries: int = 200_000):
+    def __init__(
+        self,
+        max_entries: int = 200_000,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries
         self._entries: "OrderedDict[Tuple[str, ...], Measurement]" = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    # -- accounting --------------------------------------------------------
+    # The counters live in a MetricsRegistry (thread-safe, snapshot-able)
+    # instead of ad-hoc ints; the int-valued properties keep the
+    # historical stats() surface.
+    @property
+    def hits(self) -> int:
+        return int(self.metrics.value("cache.hits"))
+
+    @property
+    def misses(self) -> int:
+        return int(self.metrics.value("cache.misses"))
+
+    @property
+    def evictions(self) -> int:
+        return int(self.metrics.value("cache.evictions"))
 
     # -- keys --------------------------------------------------------------
     def key_for(
@@ -220,32 +244,45 @@ class EvaluationCache:
 
     # -- storage -----------------------------------------------------------
     def lookup(self, key: Tuple[str, ...]) -> Optional[Measurement]:
+        """The *accounted* read path: counts a hit or miss and
+        refreshes the entry's LRU recency.  Every consumer that acts on
+        the cached value must come through here."""
         entry = self._entries.get(key)
         if entry is None:
-            self.misses += 1
+            self.metrics.inc("cache.misses")
+            global_metrics().inc("exec.cache.misses")
             return None
         self._entries.move_to_end(key)
-        self.hits += 1
+        self.metrics.inc("cache.hits")
+        global_metrics().inc("exec.cache.hits")
         return entry
+
+    def peek(self, key: Tuple[str, ...]) -> Optional[Measurement]:
+        """Side-effect-free probe: no hit/miss accounting, no LRU
+        reordering.  For introspection only — callers that will *use*
+        the value must call :meth:`lookup` instead, otherwise stats and
+        eviction order drift from real access patterns."""
+        return self._entries.get(key)
 
     def store(self, key: Tuple[str, ...], measurement: Measurement) -> None:
         self._entries[key] = measurement
         self._entries.move_to_end(key)
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
-            self.evictions += 1
+            self.metrics.inc("cache.evictions")
+            global_metrics().inc("exec.cache.evictions")
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def __contains__(self, key: Tuple[str, ...]) -> bool:
+        """Membership probe; like :meth:`peek`, deliberately
+        side-effect-free on stats and LRU order."""
         return key in self._entries
 
     def clear(self) -> None:
         self._entries.clear()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        self.metrics.reset()
 
     # -- convenience ---------------------------------------------------------
     def run(self, system: Any, workload: Any, config: Configuration) -> Measurement:

@@ -33,6 +33,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.metrics import global_metrics
+from repro.obs.trace import event as obs_event
+
 __all__ = [
     "FAILURE_POLICIES",
     "PENALIZE",
@@ -186,6 +189,9 @@ class CircuitBreaker:
         if count >= self.threshold and region not in self._open:
             self._open.add(region)
             self.trips += 1
+            global_metrics().inc("resilience.breaker_trips")
+            obs_event("breaker.open", region=str(region),
+                      consecutive_failures=count)
 
     @property
     def open_regions(self) -> List[Tuple[int, ...]]:

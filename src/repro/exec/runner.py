@@ -16,6 +16,22 @@ Worker count resolution, in priority order:
 ``jobs=0`` (or ``REPRO_JOBS=auto``) means "all CPUs".  A runner with
 one worker never builds a pool, so the serial path is exactly a list
 comprehension — no executor overhead, byte-identical results.
+
+Failure semantics: the executor is chosen *before* anything runs — a
+pickling probe on the task decides process vs thread in ``auto`` mode
+— and from then on an exception raised by the task itself propagates
+to the caller unchanged.  Tasks are never silently re-executed on a
+fallback executor: re-running side-effecting work (chaos injection,
+budget charging) because its first execution *raised* would multiply
+those side effects.
+
+Observability: every ``map`` records per-mode job accounting into
+:func:`repro.obs.global_metrics`, and when a tracer is active
+(:func:`repro.obs.get_tracer`) each task runs inside a ``runner.task``
+span.  Process-pool workers cannot write to the parent's tracer, so
+the task is wrapped to capture spans (and worker-side metrics) in the
+worker and merge them back with the result — see
+:meth:`~repro.obs.Tracer.adopt`.
 """
 
 from __future__ import annotations
@@ -23,7 +39,14 @@ from __future__ import annotations
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Any, Callable, Iterable, List, Optional, Sequence
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    global_metrics,
+    set_global_metrics,
+)
+from repro.obs.trace import Tracer, get_tracer, set_tracer
 
 __all__ = ["ParallelRunner", "resolve_jobs"]
 
@@ -51,8 +74,8 @@ class ParallelRunner:
         jobs: worker count (``None`` → ``REPRO_JOBS`` → 1; 0 → all CPUs).
         mode: ``"process"``, ``"thread"``, ``"serial"``, or ``"auto"``
             (process pool, falling back to threads when the task or its
-            arguments cannot be pickled, then to serial on any executor
-            failure).  With one worker every mode collapses to serial.
+            arguments cannot be *pickled* — execution errors always
+            propagate).  With one worker every mode collapses to serial.
 
     Results always come back in submission order regardless of
     completion order, so parallel execution can never reorder a
@@ -98,30 +121,85 @@ class ParallelRunner:
 
     # -- mapping -----------------------------------------------------------
     def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> List[Any]:
-        """Apply ``fn`` to every item; results in submission order."""
+        """Apply ``fn`` to every item; results in submission order.
+
+        The executor is picked up front (pickling probe in ``auto``
+        mode); any exception ``fn`` raises during execution propagates
+        to the caller — tasks are executed at most once, never replayed
+        on a different executor.
+        """
         tasks = list(items)
         if not tasks:
             return []
-        mode = self.mode
-        if self.effective_jobs <= 1 or len(tasks) == 1 or mode == "serial":
-            return [fn(item) for item in tasks]
-        if mode in ("auto", "process"):
+        metrics = global_metrics()
+        metrics.inc("exec.runner.maps")
+        metrics.set_gauge("exec.runner.jobs", self.jobs)
+        if self.effective_jobs <= 1 or len(tasks) == 1 or self.mode == "serial":
+            return self._map_serial(fn, tasks, metrics)
+        if self.mode in ("auto", "process"):
             try:
-                # Fail fast on unpicklable work instead of poisoning the
-                # pool: a pool worker that dies mid-deserialization
-                # breaks every in-flight future.
+                # Probe *picklability only*, before submitting anything:
+                # a pool worker that dies mid-deserialization breaks
+                # every in-flight future.  Execution errors are not
+                # probed here and never demote the executor.
                 pickle.dumps(fn)
                 pickle.dumps(tasks[0])
-                return list(self._processes().map(fn, tasks))
             except Exception:
-                if mode == "process":
+                if self.mode == "process":
                     raise
-        try:
-            return list(self._threads().map(fn, tasks))
-        except Exception:
-            if mode == "thread":
-                raise
+                metrics.inc("exec.runner.pickle_rejects")
+            else:
+                return self._map_process(fn, tasks, metrics)
+        return self._map_thread(fn, tasks, metrics)
+
+    def _map_serial(
+        self, fn: Callable[[Any], Any], tasks: List[Any],
+        metrics: MetricsRegistry,
+    ) -> List[Any]:
+        metrics.inc("exec.runner.tasks.serial", len(tasks))
+        tracer = get_tracer()
+        if tracer is None:
             return [fn(item) for item in tasks]
+        results = []
+        for item in tasks:
+            with tracer.span("runner.task", mode="serial"):
+                results.append(fn(item))
+        return results
+
+    def _map_thread(
+        self, fn: Callable[[Any], Any], tasks: List[Any],
+        metrics: MetricsRegistry,
+    ) -> List[Any]:
+        metrics.inc("exec.runner.tasks.thread", len(tasks))
+        tracer = get_tracer()
+        if tracer is not None:
+            # Worker threads share the tracer but have their own span
+            # stacks; parent the task spans under the submitting
+            # thread's current span explicitly.
+            parent = tracer.current()
+
+            def traced(item: Any) -> Any:
+                with tracer.span("runner.task", parent=parent, mode="thread"):
+                    return fn(item)
+
+            return list(self._threads().map(traced, tasks))
+        return list(self._threads().map(fn, tasks))
+
+    def _map_process(
+        self, fn: Callable[[Any], Any], tasks: List[Any],
+        metrics: MetricsRegistry,
+    ) -> List[Any]:
+        metrics.inc("exec.runner.tasks.process", len(tasks))
+        tracer = get_tracer()
+        if tracer is None:
+            return list(self._processes().map(fn, tasks))
+        payloads = list(self._processes().map(_CapturingTask(fn), tasks))
+        results = []
+        for result, spans, worker_metrics in payloads:
+            tracer.adopt(spans)
+            metrics.merge_state(worker_metrics)
+            results.append(result)
+        return results
 
     def starmap(
         self, fn: Callable[..., Any], items: Iterable[Sequence[Any]]
@@ -141,3 +219,32 @@ class _Star:
 
     def __call__(self, args: Sequence[Any]) -> Any:
         return self.fn(*args)
+
+
+class _CapturingTask:
+    """Worker-side observability capture for process pools.
+
+    Runs the task under a fresh tracer and metrics registry inside the
+    worker and ships ``(result, spans, metrics_state)`` back, so the
+    parent can merge worker-side instrumentation across the process
+    boundary.  Exceptions propagate unchanged (that task's capture is
+    discarded with the worker's stack).
+    """
+
+    def __init__(self, fn: Callable[[Any], Any]):
+        self.fn = fn
+
+    def __call__(
+        self, item: Any
+    ) -> Tuple[Any, List[dict], dict]:
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        prev_tracer = set_tracer(tracer)
+        prev_metrics = set_global_metrics(registry)
+        try:
+            with tracer.span("runner.task", mode="process"):
+                result = self.fn(item)
+        finally:
+            set_tracer(prev_tracer)
+            set_global_metrics(prev_metrics)
+        return result, tracer.export_state(), registry.export_state()

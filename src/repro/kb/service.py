@@ -5,11 +5,20 @@ that are not Python — or not colocated — can query accumulated tuning
 knowledge:
 
 * ``GET  /workloads``  — what the knowledge base has seen.
+* ``GET  /metrics``    — process-wide observability snapshot: the
+  :func:`~repro.obs.global_metrics` counters/gauges/histograms
+  (request latencies included) plus evaluation-cache stats.
 * ``POST /recommend``  — given a workload fingerprint (or a stored
   workload's name), return the most similar stored sessions and the
   best configuration they found.
 * ``POST /ingest``     — store a completed session document (the
   ``kb_session`` payload :meth:`KnowledgeBase.session_payload` builds).
+
+Every response is *strict* RFC 8259 JSON: payloads pass through the
+knowledge base's inf-safe encoding (:func:`~repro.kb.store.json_safe`)
+and are serialized with ``allow_nan=False``, so a stored session whose
+best runtime is ``math.inf`` (an all-failed run) can never leak the
+non-standard ``Infinity`` literal onto the wire.
 
 The service is read-mostly: the fingerprint index is computed once per
 knowledge-base :meth:`~repro.kb.store.KnowledgeBase.version` and shared
@@ -22,11 +31,13 @@ from __future__ import annotations
 import json
 import math
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.kb.fingerprint import WorkloadFingerprint, rank_similar
-from repro.kb.store import KnowledgeBase, SessionRecord
+from repro.kb.store import KnowledgeBase, SessionRecord, dumps_strict
+from repro.obs.metrics import global_metrics
 
 __all__ = ["RecommendationService", "ServiceError", "make_server", "serve_forever"]
 
@@ -136,6 +147,21 @@ class RecommendationService:
             raise ServiceError(f"bad kb_session payload: {exc}") from exc
         return {"session_id": session_id, "n_sessions": len(self.kb)}
 
+    def metrics(self) -> Dict[str, Any]:
+        """Process-wide observability snapshot (``GET /metrics``)."""
+        from repro.exec.cache import global_cache
+
+        registry = global_metrics()
+        registry.set_gauge("kb.sessions", len(self.kb))
+        payload: Dict[str, Any] = {
+            "kb": {"path": self.kb.path, "n_sessions": len(self.kb)},
+            "metrics": registry.snapshot(),
+        }
+        cache = global_cache()
+        if cache is not None:
+            payload["eval_cache"] = cache.stats()
+        return payload
+
 
 class _Handler(BaseHTTPRequestHandler):
     """Routes HTTP requests onto the shared RecommendationService."""
@@ -143,8 +169,11 @@ class _Handler(BaseHTTPRequestHandler):
     service: RecommendationService  # set on the subclass by make_server
 
     def do_GET(self) -> None:  # noqa: N802 (http.server naming)
-        if self.path.rstrip("/") == "/workloads":
-            self._reply(200, self.service.workloads())
+        path = self.path.rstrip("/")
+        if path == "/workloads":
+            self._handle("workloads", lambda: self.service.workloads())
+        elif path == "/metrics":
+            self._handle("metrics", lambda: self.service.metrics())
         else:
             self._reply(404, {"error": f"unknown path {self.path}"})
 
@@ -156,18 +185,33 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply(400, {"error": "request body is not valid JSON"})
             return
         path = self.path.rstrip("/")
+        if path == "/recommend":
+            self._handle("recommend", lambda: self.service.recommend(body))
+        elif path == "/ingest":
+            self._handle("ingest", lambda: self.service.ingest(body))
+        else:
+            self._reply(404, {"error": f"unknown path {self.path}"})
+
+    def _handle(
+        self, endpoint: str, thunk: Callable[[], Dict[str, Any]]
+    ) -> None:
+        """Run one endpoint with latency/status accounting."""
+        metrics = global_metrics()
+        start = time.perf_counter()
         try:
-            if path == "/recommend":
-                self._reply(200, self.service.recommend(body))
-            elif path == "/ingest":
-                self._reply(200, self.service.ingest(body))
-            else:
-                self._reply(404, {"error": f"unknown path {self.path}"})
+            status, payload = 200, thunk()
         except ServiceError as exc:
-            self._reply(400, {"error": str(exc)})
+            status, payload = 400, {"error": str(exc)}
+        metrics.observe(f"kb.http.{endpoint}.seconds",
+                        time.perf_counter() - start)
+        metrics.inc(f"kb.http.{endpoint}.{status}")
+        self._reply(status, payload)
 
     def _reply(self, status: int, payload: Dict[str, Any]) -> None:
-        data = json.dumps(payload).encode("utf-8")
+        # Strict JSON on the wire: the KB's inf-safe encoding plus
+        # allow_nan=False, so math.inf in a stored record (all-failed
+        # sessions) serializes as "inf" instead of the invalid Infinity.
+        data = dumps_strict(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(data)))
@@ -200,7 +244,7 @@ def serve_forever(kb: KnowledgeBase, host: str, port: int) -> None:
     bound_host, bound_port = server.server_address[:2]
     print(f"kb service on http://{bound_host}:{bound_port} "
           f"({len(kb)} stored sessions; endpoints: "
-          f"GET /workloads, POST /recommend, POST /ingest)")
+          f"GET /workloads, GET /metrics, POST /recommend, POST /ingest)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover

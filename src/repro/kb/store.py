@@ -44,7 +44,39 @@ from repro.kb.fingerprint import (
     probe_fingerprint,
 )
 
-__all__ = ["SessionRecord", "KnowledgeBase"]
+__all__ = ["SessionRecord", "KnowledgeBase", "json_safe", "dumps_strict"]
+
+
+def json_safe(value: Any) -> Any:
+    """Recursively apply the store's inf-safe float encoding.
+
+    Non-finite floats have no RFC 8259 representation; the knowledge
+    base encodes them as the strings ``"inf"`` / ``"-inf"`` / ``"nan"``
+    (the same convention :meth:`SessionRecord.describe` and the session
+    payloads use).  Everything else passes through unchanged.
+    """
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        if math.isnan(value):
+            return "nan"
+        return value
+    if isinstance(value, Mapping):
+        return {key: json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(item) for item in value]
+    return value
+
+
+def dumps_strict(payload: Any) -> str:
+    """Serialize to *strict* RFC 8259 JSON.
+
+    ``allow_nan=False`` guarantees the wire format never contains the
+    non-standard ``Infinity``/``NaN`` literals: any non-finite float is
+    first rewritten by :func:`json_safe`, and one slipping past that
+    raises instead of silently corrupting the payload.
+    """
+    return json.dumps(json_safe(payload), allow_nan=False)
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS kb_sessions (
