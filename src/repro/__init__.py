@@ -22,10 +22,12 @@ Quickstart::
 
 from repro.core import (
     Budget,
+    Candidate,
     Configuration,
     ConfigurationSpace,
     InstrumentedSystem,
     Measurement,
+    SearchTuner,
     SystemUnderTune,
     Tuner,
     TuningResult,
@@ -46,6 +48,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Budget",
+    "Candidate",
     "ChaosSystem",
     "Configuration",
     "ConfigurationSpace",
@@ -54,6 +57,7 @@ __all__ = [
     "KnowledgeBase",
     "Measurement",
     "ReproError",
+    "SearchTuner",
     "SystemUnderTune",
     "TransferPrior",
     "Tuner",

@@ -11,6 +11,9 @@ Commands:
     bench-chaos            — tuner robustness under injected faults
                              (crash-free rate, regret inflation,
                              wasted budget) and a JSON report
+    bench-driver           — parallel batching speedup of ask/tell
+                             tuners (serial vs thread-pool legs must
+                             observe identical histories)
     bench-transfer         — cold-start vs knowledge-base warm-start
                              evaluations-to-threshold and a JSON report
     bench-obs              — observability smoke: span parity across
@@ -31,6 +34,7 @@ Examples::
     python -m repro sweep --system spark --workload sort --knob shuffle_partitions
     python -m repro bench --json BENCH_exec.json
     python -m repro bench-chaos --json BENCH_chaos.json
+    python -m repro bench-driver --json BENCH_driver.json --jobs 4
     python -m repro bench-transfer --json BENCH_transfer.json
     python -m repro bench-obs --json BENCH_obs.json
     python -m repro serve --kb tuning.kb --port 8350
@@ -270,6 +274,29 @@ def _cmd_bench_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_driver(args: argparse.Namespace) -> int:
+    from repro.bench.driver import run_driver_benchmark
+
+    report = run_driver_benchmark(
+        quick=not args.full, jobs=args.jobs or 4, json_path=args.json
+    )
+    print(f"driver benchmark: {report['n_tuners']} batched tuners, "
+          f"jobs={report['jobs']}, "
+          f"{report['run_delay_s'] * 1000:.0f}ms per experiment")
+    print(f"  {'tuner':18s} {'runs':>5s} {'serial':>8s} {'parallel':>9s} "
+          f"{'speedup':>8s}")
+    for cell in report["cells"]:
+        print(f"  {cell['tuner']:18s} {cell['n_real_runs']:5d} "
+              f"{cell['serial_wall_s']:7.2f}s {cell['parallel_wall_s']:8.2f}s "
+              f"{cell['speedup']:7.2f}x")
+    print(f"  {report['n_tuners_at_2x']}/{report['n_tuners']} tuners at "
+          f">=2x (median {report['median_speedup']}x); "
+          "histories byte-identical")
+    if args.json:
+        print(f"  report written to {args.json}")
+    return 0
+
+
 def _cmd_bench_transfer(args: argparse.Namespace) -> int:
     from repro.bench.transfer import run_transfer_benchmark
 
@@ -421,6 +448,19 @@ def main(argv: List[str] = None) -> int:
     chaos.add_argument("--full", action="store_true",
                        help="full budgets instead of quick mode")
 
+    driver = sub.add_parser(
+        "bench-driver",
+        help="benchmark parallel batching speedup of ask/tell tuners",
+    )
+    driver.add_argument("--json", default=None, metavar="PATH",
+                        help="write the JSON report here, e.g. "
+                             "BENCH_driver.json")
+    driver.add_argument("--jobs", type=_jobs_arg, default=4,
+                        help="thread-pool width for the parallel leg "
+                             "(default 4)")
+    driver.add_argument("--full", action="store_true",
+                        help="full budgets instead of quick mode")
+
     transfer = sub.add_parser(
         "bench-transfer",
         help="benchmark cold-start vs knowledge-base warm-start tuning",
@@ -467,6 +507,7 @@ def main(argv: List[str] = None) -> int:
         "sweep": _cmd_sweep,
         "bench": _cmd_bench,
         "bench-chaos": _cmd_bench_chaos,
+        "bench-driver": _cmd_bench_driver,
         "bench-transfer": _cmd_bench_transfer,
         "bench-obs": _cmd_bench_obs,
         "serve": _cmd_serve,

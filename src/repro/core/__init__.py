@@ -1,6 +1,11 @@
 """Core abstractions: parameters, configurations, systems, tuners."""
 
-from repro.core.measurement import Measurement, Observation, TuningHistory
+from repro.core.measurement import (
+    Measurement,
+    Observation,
+    TuningHistory,
+    history_digest,
+)
 from repro.core.parameters import (
     BooleanParameter,
     CategoricalParameter,
@@ -30,10 +35,14 @@ from repro.core.tuner import (
 )
 from repro.core.workload import StreamPhase, Workload, WorkloadStream
 
+# Imported last: the driver builds on tuner + session.
+from repro.core.driver import Candidate, SearchDriver, SearchState, SearchTuner
+
 __all__ = [
     "BooleanParameter",
     "Budget",
     "CATEGORIES",
+    "Candidate",
     "CategoricalParameter",
     "Configuration",
     "ConfigurationSpace",
@@ -45,6 +54,9 @@ __all__ = [
     "Observation",
     "OnlineTuner",
     "Parameter",
+    "SearchDriver",
+    "SearchState",
+    "SearchTuner",
     "StreamPhase",
     "StreamResult",
     "StreamStep",
@@ -55,6 +67,7 @@ __all__ = [
     "TuningSession",
     "Workload",
     "WorkloadStream",
+    "history_digest",
     "configuration_from_dict",
     "dumps",
     "history_from_jsonable",

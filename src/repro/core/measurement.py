@@ -10,6 +10,7 @@ incumbent trajectory used by convergence analyses.
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
@@ -18,7 +19,7 @@ import numpy as np
 
 from repro.core.parameters import Configuration
 
-__all__ = ["Measurement", "Observation", "TuningHistory"]
+__all__ = ["Measurement", "Observation", "TuningHistory", "history_digest"]
 
 REAL = "real"
 MODEL = "model"
@@ -202,3 +203,39 @@ class TuningHistory:
             "best_runtime_s": self.best_runtime(),
             "total_experiment_time_s": self.total_runtime_s(),
         }
+
+    def digest(self) -> str:
+        """Execution-order fingerprint of this history; see
+        :func:`history_digest`."""
+        return history_digest(self)
+
+
+def history_digest(history: "TuningHistory") -> str:
+    """Deterministic fingerprint of a tuning history.
+
+    Hashes every observation in recorded order — provenance, tag,
+    workload, the exact configuration array bytes, the runtime repr,
+    the failure flag, and all metrics (sorted by name).  Two histories
+    share a digest iff the search observed the same things in the same
+    order, which is the equivalence the parallel/caching layers promise:
+    serial, batched, and cached execution of one tuner must all land on
+    the same digest.
+    """
+    h = hashlib.sha256()
+    for obs in history:
+        h.update(obs.source.encode())
+        h.update(b"\x00")
+        h.update(obs.tag.encode())
+        h.update(b"\x00")
+        h.update(obs.workload.encode())
+        h.update(b"\x00")
+        h.update(np.asarray(obs.config.to_array(), dtype=float).tobytes())
+        h.update(repr(obs.measurement.runtime_s).encode())
+        h.update(b"\x01" if obs.measurement.failed else b"\x00")
+        for name in sorted(obs.measurement.metrics):
+            h.update(name.encode())
+            h.update(b"=")
+            h.update(repr(float(obs.measurement.metrics[name])).encode())
+            h.update(b";")
+        h.update(b"\x02")
+    return h.hexdigest()[:16]

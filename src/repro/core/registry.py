@@ -8,7 +8,7 @@ decorators.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Type, TypeVar
+from typing import Callable, Dict, List, TypeVar
 
 from repro.exceptions import ReproError
 
@@ -33,11 +33,27 @@ class UnknownName(ReproError):
 
 
 def register_tuner(name: str) -> Callable[[T], T]:
-    """Class decorator registering a tuner factory under ``name``."""
+    """Class decorator registering a tuner factory under ``name``.
+
+    Rejects duplicate names and tuners whose ``category`` is not one of
+    the paper's canonical :data:`~repro.core.tuner.CATEGORIES` — an
+    invalid category would silently vanish from every per-category
+    experiment matrix.
+    """
 
     def decorator(cls: T) -> T:
+        # Imported lazily: repro.core.tuner imports the session layer,
+        # and this module must stay importable before all of core is.
+        from repro.core.tuner import CATEGORIES
+
         if name in _TUNERS:
             raise ReproError(f"tuner {name!r} registered twice")
+        category = getattr(cls, "category", None)
+        if category not in CATEGORIES:
+            raise ReproError(
+                f"tuner {name!r} declares category {category!r}; "
+                f"must be one of {CATEGORIES}"
+            )
         _TUNERS[name] = cls
         return cls
 

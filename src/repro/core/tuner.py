@@ -16,19 +16,19 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 import numpy as np
 
-from repro.core.measurement import Measurement, Observation, TuningHistory
+from repro.core.measurement import Measurement, TuningHistory
 from repro.core.parameters import Configuration
 from repro.core.session import TuningSession
 from repro.core.system import SystemUnderTune
 from repro.core.workload import Workload, WorkloadStream
-from repro.exceptions import BudgetExhausted, TuningError
+from repro.exceptions import BudgetExhausted
 from repro.exec.resilience import ExecutionPolicy
 
-if False:  # TYPE_CHECKING without the import machinery at runtime
+if TYPE_CHECKING:  # pragma: no cover
     from repro.kb.warmstart import TransferPrior
 
 __all__ = [
@@ -271,13 +271,20 @@ class OnlineTuner(Tuner):
             # budget is honored even when max_runs is effectively
             # unbounded.
             probe = session.evaluate(session.default_config(), tag="probe")
-            per_run = (
-                probe.runtime_s
-                if probe.ok and math.isfinite(probe.runtime_s)
-                else max(probe.metric("elapsed_before_failure_s", 1.0), 1.0)
-            )
             remaining = max(cap - session.experiment_time_s, 0.0)
-            reps = min(reps, max(int(remaining // max(per_run, 1e-9)), 0))
+            if probe.ok and math.isfinite(probe.runtime_s):
+                per_run = probe.runtime_s
+            else:
+                per_run = probe.metric("elapsed_before_failure_s", math.nan)
+            if math.isfinite(per_run) and per_run > 0:
+                per_run = max(per_run, 1.0)
+                reps = min(reps, max(int(remaining // per_run), 0))
+            else:
+                # The probe failed without telling us how long it ran;
+                # assuming a cheap 1.0s/run here used to oversize the
+                # stream far past the wall-clock cap.  With no signal,
+                # the conservative stream is a single submission.
+                reps = min(reps, 1 if remaining > 0 else 0)
             if reps == 0:
                 return None
         stream = WorkloadStream.constant(session.workload, reps)

@@ -192,7 +192,7 @@ def _service_check(n_clients: int = 12) -> Dict[str, Any]:
     """
     from repro import Budget, make_system, make_tuner
     from repro.core.measurement import Measurement
-    from repro.core.tuner import Observation, TuningHistory
+    from repro.core.measurement import Observation, TuningHistory
     from repro.kb import KnowledgeBase
     from repro.kb.service import make_server
     from repro.workloads import htap_mixed, olap_analytics

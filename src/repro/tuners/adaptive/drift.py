@@ -12,7 +12,7 @@ shift *before* the runtime regresses (e.g., the read/write mix moved).
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping
 
 __all__ = ["DriftDetector", "MetricDriftDetector"]
 

@@ -15,7 +15,6 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.core.parameters import Configuration
 from repro.core.registry import register_tuner
 from repro.core.system import SystemUnderTune
 from repro.core.tuner import OnlineTuner, StreamResult, StreamStep

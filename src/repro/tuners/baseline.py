@@ -4,64 +4,74 @@ Not one of the paper's six categories, but every evaluation needs them:
 the default configuration is what "untuned" means, and random/grid
 search are the naive experiment-driven floors that principled approaches
 must beat.
+
+All three are :class:`~repro.core.driver.SearchTuner` strategies — the
+simplest examples of the ask/tell contract.  Random search proposes a
+chunk of samples per ask and grid search proposes the whole grid at
+once, so both parallelize through the driver without any code of their
+own.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
-import numpy as np
-
+from repro.core.driver import Candidate, SearchState, SearchTuner
 from repro.core.parameters import Configuration
 from repro.core.registry import register_tuner
-from repro.core.session import TuningSession
-from repro.core.tuner import Tuner
-from repro.exceptions import BudgetExhausted
-from repro.mlkit.sampling import latin_hypercube
 
 __all__ = ["DefaultConfigTuner", "RandomSearchTuner", "GridSearchTuner"]
 
 
 @register_tuner("default")
-class DefaultConfigTuner(Tuner):
+class DefaultConfigTuner(SearchTuner):
     """Run the vendor default once and recommend it (the null tuner)."""
 
     name = "default"
     category = "rule-based"
 
-    def _tune(self, session: TuningSession) -> Optional[Configuration]:
-        default = session.default_config()
-        session.evaluate(default, tag="default")
-        return default
+    def ask(self, state: SearchState) -> Sequence[Candidate]:
+        return []
+
+    def recommend(self, state: SearchState) -> Optional[Configuration]:
+        return state.default_config()
 
 
 @register_tuner("random-search")
-class RandomSearchTuner(Tuner):
+class RandomSearchTuner(SearchTuner):
     """Uniform random sampling of feasible configurations.
 
     Always evaluates the default first so the result can never be worse
-    than untuned.
+    than untuned.  Samples are proposed in chunks so a parallel runner
+    can spread them across workers.
     """
 
     name = "random-search"
     category = "experiment-driven"
 
-    def _tune(self, session: TuningSession) -> Optional[Configuration]:
-        session.evaluate(session.default_config(), tag="default")
-        while session.can_run():
-            config = session.space.sample_configuration(session.rng)
-            session.evaluate(config, tag="random")
-        return None
+    #: Samples proposed per ask; purely an execution batching choice —
+    #: uniform sampling has no sequential dependence, so any chunking
+    #: observes the identical sequence.
+    chunk = 8
+
+    def ask(self, state: SearchState) -> Sequence[Candidate]:
+        n = min(self.chunk, state.remaining_runs)
+        return [
+            Candidate(state.space.sample_configuration(state.rng), tag="random")
+            for _ in range(max(n, 1))
+        ]
 
 
 @register_tuner("grid-search")
-class GridSearchTuner(Tuner):
+class GridSearchTuner(SearchTuner):
     """Coordinate grid over the most promising knobs.
 
     A full factorial over a ~28-knob space is hopeless, so the grid
     covers ``n_knobs`` dimensions (by default the first knobs of the
     catalog, or an explicit list) at ``levels`` levels each, holding the
-    rest at defaults — how practitioners actually grid-search.
+    rest at defaults — how practitioners actually grid-search.  The
+    entire grid is one ask: grid points are independent, so the driver
+    may fan them all out at once.
     """
 
     name = "grid-search"
@@ -74,19 +84,24 @@ class GridSearchTuner(Tuner):
         self.levels = levels
         self.n_knobs = n_knobs
 
-    def _tune(self, session: TuningSession) -> Optional[Configuration]:
-        space = session.space
+    def setup(self, state: SearchState) -> None:
+        self._asked = False
+
+    def ask(self, state: SearchState) -> Sequence[Candidate]:
+        if self._asked:
+            return []
+        self._asked = True
+        space = state.space
         names = self.knobs or space.names()[: self.n_knobs]
         grids = {n: space[n].grid(self.levels) for n in names}
-        session.evaluate(session.default_config(), tag="default")
+        configs: List[Configuration] = []
 
         def recurse(idx: int, overrides: dict) -> None:
             if idx == len(names):
                 try:
-                    config = space.partial(overrides)
+                    configs.append(space.partial(overrides))
                 except Exception:
-                    return  # infeasible grid corner
-                session.evaluate(config, tag="grid")
+                    pass  # infeasible grid corner
                 return
             for value in grids[names[idx]]:
                 overrides[names[idx]] = value
@@ -94,4 +109,4 @@ class GridSearchTuner(Tuner):
             del overrides[names[idx]]
 
         recurse(0, {})
-        return None
+        return [Candidate(c, tag="grid") for c in configs]

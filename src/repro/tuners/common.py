@@ -18,6 +18,7 @@ __all__ = [
     "history_to_training_data",
     "candidate_pool",
     "evaluate_prior_seeds",
+    "ResponseReplay",
 ]
 
 #: Failed runs enter surrogate models at this multiple of the worst
@@ -128,6 +129,46 @@ def evaluate_prior_seeds(
             break
         evaluated += 1
     return evaluated
+
+
+class ResponseReplay:
+    """Incremental failure-policy scoring for ask/tell strategies.
+
+    :func:`failure_response` computes a failure's stand-in value from
+    the successes observed *so far* — which means batch results must be
+    scored one at a time, in execution order, to reproduce what a
+    serial loop would have seen.  Strategies feed every told
+    observation through :meth:`account` and use the returned response
+    as the training/selection value.
+
+    Args:
+        policy: one of ``penalize`` / ``discard`` / ``impute``.
+    """
+
+    def __init__(self, policy: str = "penalize"):
+        self.policy = policy
+        self._successes: List[float] = []
+
+    def account(self, observation) -> Optional[float]:
+        """Score one observation; ``None`` means "drop this row".
+
+        Successful finite runtimes are returned as-is and join the
+        success pool; failures (and hung runs) are mapped per the
+        policy against the successes accounted so far.
+        """
+        measurement = observation.measurement
+        if measurement.ok and math.isfinite(measurement.runtime_s):
+            self._successes.append(measurement.runtime_s)
+            return measurement.runtime_s
+        if self.policy == "discard":
+            return None
+        if self.policy == "impute":
+            return (
+                float(np.median(self._successes))
+                if self._successes
+                else 100.0
+            )
+        return max(self._successes, default=100.0) * FAILURE_PENALTY_FACTOR
 
 
 def candidate_pool(

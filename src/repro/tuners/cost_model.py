@@ -18,14 +18,11 @@ high-benefit consumers.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional
-
-import numpy as np
+from typing import List, Optional
 
 from repro.core.parameters import Configuration
 from repro.core.registry import register_tuner
 from repro.core.session import TuningSession
-from repro.core.system import SystemUnderTune
 from repro.core.tuner import Tuner
 from repro.core.workload import Workload
 from repro.systems.cluster import Cluster

@@ -8,18 +8,20 @@ best) against *exploration* (sample where the surrogate is most
 uncertain).  This implementation uses a random-forest surrogate whose
 ensemble spread provides the uncertainty signal — no GP machinery, in
 keeping with the paper's emphasis on simple, robust mechanisms.
+
+The bootstrap design is one ask (the driver fans it out); the guided
+phase proposes one experiment per ask, attaching the forest's estimate
+as the candidate's prediction.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Sequence
 
 import numpy as np
 
-from repro.core.parameters import Configuration
+from repro.core.driver import Candidate, SearchState, SearchTuner
 from repro.core.registry import register_tuner
-from repro.core.session import TuningSession
-from repro.core.tuner import Tuner
 from repro.mlkit.sampling import latin_hypercube
 from repro.mlkit.tree import RandomForest
 from repro.tuners.common import candidate_pool, history_to_training_data
@@ -28,7 +30,7 @@ __all__ = ["AdaptiveSamplingTuner"]
 
 
 @register_tuner("adaptive-sampling")
-class AdaptiveSamplingTuner(Tuner):
+class AdaptiveSamplingTuner(SearchTuner):
     """Bootstrap batch, then forest-guided explore/exploit sampling."""
 
     name = "adaptive-sampling"
@@ -46,41 +48,45 @@ class AdaptiveSamplingTuner(Tuner):
         self.explore_weight = explore_weight
         self.n_candidates = n_candidates
 
-    def _tune(self, session: TuningSession) -> Optional[Configuration]:
-        space = session.space
-        rng = session.rng
-        session.evaluate(session.default_config(), tag="default")
+    def setup(self, state: SearchState) -> None:
+        self._boot_asked = False
+        self._step = 0
 
-        n_boot = min(self.n_bootstrap, max(session.remaining_runs - 2, 1))
-        for i, row in enumerate(latin_hypercube(n_boot, space.dimension, rng)):
-            config = space.from_array_feasible(row, rng)
-            if session.evaluate_if_budget(config, tag=f"bootstrap-{i}") is None:
-                return None
-
-        step = 0
-        while session.can_run():
-            X, y = history_to_training_data(session)
-            if len(y) < 4:
-                session.evaluate(space.sample_configuration(rng), tag="fallback")
-                continue
-            forest = RandomForest(n_trees=25, max_depth=6, seed=int(rng.integers(1 << 30)))
-            forest.fit(X, y)
-            incumbent = session.best_config()
-            candidates = candidate_pool(
-                space, rng, n_random=self.n_candidates,
-                anchors=[incumbent] if incumbent else None,
+    def ask(self, state: SearchState) -> Sequence[Candidate]:
+        space, rng = state.space, state.rng
+        if not self._boot_asked:
+            self._boot_asked = True
+            n_boot = min(self.n_bootstrap, max(state.remaining_runs - 2, 1))
+            return [
+                Candidate(space.from_array_feasible(row, rng), tag=f"bootstrap-{i}")
+                for i, row in enumerate(latin_hypercube(n_boot, space.dimension, rng))
+            ]
+        X, y = history_to_training_data(state)
+        if len(y) < 4:
+            return [Candidate(space.sample_configuration(rng), tag="fallback")]
+        forest = RandomForest(n_trees=25, max_depth=6, seed=int(rng.integers(1 << 30)))
+        forest.fit(X, y)
+        incumbent = state.best_config()
+        candidates = candidate_pool(
+            space, rng, n_random=self.n_candidates,
+            anchors=[incumbent] if incumbent else None,
+        )
+        if not candidates:
+            return []
+        Xc = np.stack([c.to_array() for c in candidates])
+        mean, spread = forest.predict_std(Xc)
+        # Lower predicted runtime and higher uncertainty both score;
+        # the weight anneals toward exploitation as data accumulates.
+        anneal = self.explore_weight / np.sqrt(1.0 + self._step)
+        score = -mean + anneal * spread
+        best = int(np.argmax(score))
+        step = self._step
+        self._step += 1
+        return [
+            Candidate(
+                candidates[best],
+                tag=f"adaptive-{step}",
+                predicted_runtime_s=float(mean[best]),
+                predict_tag="forest",
             )
-            if not candidates:
-                break
-            Xc = np.stack([c.to_array() for c in candidates])
-            mean, spread = forest.predict_std(Xc)
-            # Lower predicted runtime and higher uncertainty both score;
-            # the weight anneals toward exploitation as data accumulates.
-            anneal = self.explore_weight / np.sqrt(1.0 + step)
-            score = -mean + anneal * spread
-            chosen = candidates[int(np.argmax(score))]
-            session.predict(chosen, float(mean[int(np.argmax(score))]), tag="forest")
-            if session.evaluate_if_budget(chosen, tag=f"adaptive-{step}") is None:
-                break
-            step += 1
-        return None
+        ]

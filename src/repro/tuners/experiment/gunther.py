@@ -5,29 +5,33 @@ Hadoop: a genetic algorithm over the knob space with real executions as
 the fitness function.  Population members are unit-space vectors;
 selection is tournament, crossover is uniform, mutation is Gaussian.
 Works unchanged on any of the three systems.
+
+As an ask/tell strategy, each generation is one proposal batch — the
+driver evaluates whole generations in parallel, which is the natural
+concurrency of a GA.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.parameters import Configuration
+from repro.core.driver import Candidate, SearchState, SearchTuner
+from repro.core.measurement import Observation
 from repro.core.registry import register_tuner
-from repro.core.session import TuningSession
-from repro.core.tuner import Tuner
-from repro.tuners.common import penalized_runtime
+from repro.tuners.common import ResponseReplay
 
 __all__ = ["GeneticTuner"]
 
 
 @register_tuner("genetic")
-class GeneticTuner(Tuner):
+class GeneticTuner(SearchTuner):
     """GA over unit-encoded configurations with measured fitness."""
 
     name = "genetic"
     category = "experiment-driven"
+    default_tag = "gen0-default"
 
     def __init__(
         self,
@@ -47,13 +51,14 @@ class GeneticTuner(Tuner):
         self.mutation_rate = mutation_rate
         self.tournament = tournament
 
-    def _fitness(
-        self, session: TuningSession, config: Configuration, tag: str
-    ) -> Optional[float]:
-        measurement = session.evaluate_if_budget(config, tag=tag)
-        if measurement is None:
-            return None
-        return penalized_runtime(measurement, session.history)
+    def setup(self, state: SearchState) -> None:
+        # Penalize (not the session policy): GA fitness must be total —
+        # a discarded individual would have no rank in its generation.
+        self._replay = ResponseReplay("penalize")
+        self._scored: List[Tuple[float, np.ndarray]] = []
+        self._pending_elite: List[Tuple[float, np.ndarray]] = []
+        self._generation = 0
+        self._gen0_asked = False
 
     def _select(
         self, rng: np.random.Generator, scored: List[Tuple[float, np.ndarray]]
@@ -63,51 +68,58 @@ class GeneticTuner(Tuner):
         best = min(picks, key=lambda i: scored[i][0])
         return scored[best][1]
 
-    def _tune(self, session: TuningSession) -> Optional[Configuration]:
-        space = session.space
-        rng = session.rng
+    def tell(self, state: SearchState, results: List[Observation]) -> None:
+        scored = [
+            (self._replay.account(o), o.config.to_array()) for o in results
+        ]
+        if self._generation == 0:
+            # Generation 0 accumulates the default plus the random
+            # individuals; it is complete once the population is full.
+            self._scored.extend(scored)
+            if len(self._scored) == self.population:
+                self._generation = 1
+            return
+        if len(scored) == self.population - self.elite:
+            # A full generation came back: commit elites + children.
+            # Partial generations (budget died mid-batch) are not
+            # committed, matching the serial loop's early return.
+            self._scored = self._pending_elite + scored
+            self._generation += 1
+
+    def ask(self, state: SearchState) -> Sequence[Candidate]:
+        space, rng = state.space, state.rng
+        if self._generation == 0:
+            if self._gen0_asked:
+                return []
+            self._gen0_asked = True
+            return [
+                Candidate(space.sample_configuration(rng), tag=f"gen0-{i}")
+                for i in range(self.population - 1)
+            ]
         d = space.dimension
+        scored = sorted(self._scored, key=lambda item: item[0])
+        self._pending_elite = list(scored[: self.elite])
+        next_pop: List[np.ndarray] = [x for _, x in scored[: self.elite]]
+        while len(next_pop) < self.population:
+            mother = self._select(rng, scored)
+            father = self._select(rng, scored)
+            mask = rng.random(d) < 0.5
+            child = np.where(mask, mother, father)
+            mutate = rng.random(d) < self.mutation_rate
+            child = np.where(
+                mutate,
+                np.clip(child + rng.normal(scale=self.mutation_scale, size=d), 0, 1),
+                child,
+            )
+            next_pop.append(child)
+        return [
+            Candidate(
+                space.from_array_feasible(x, rng),
+                tag=f"gen{self._generation}-{i}",
+            )
+            for i, x in enumerate(next_pop[self.elite:])
+        ]
 
-        # Generation 0: the default plus random individuals.
-        scored: List[Tuple[float, np.ndarray]] = []
-        default = session.default_config()
-        y = self._fitness(session, default, "gen0-default")
-        if y is None:
-            return None
-        scored.append((y, default.to_array()))
-        for i in range(self.population - 1):
-            config = space.sample_configuration(rng)
-            y = self._fitness(session, config, f"gen0-{i}")
-            if y is None:
-                return None
-            scored.append((y, config.to_array()))
-
-        generation = 1
-        while session.can_run():
-            scored.sort(key=lambda item: item[0])
-            next_pop: List[np.ndarray] = [x for _, x in scored[: self.elite]]
-            while len(next_pop) < self.population:
-                mother = self._select(rng, scored)
-                father = self._select(rng, scored)
-                mask = rng.random(d) < 0.5
-                child = np.where(mask, mother, father)
-                mutate = rng.random(d) < self.mutation_rate
-                child = np.where(
-                    mutate,
-                    np.clip(child + rng.normal(scale=self.mutation_scale, size=d), 0, 1),
-                    child,
-                )
-                next_pop.append(child)
-
-            new_scored: List[Tuple[float, np.ndarray]] = list(scored[: self.elite])
-            for i, x in enumerate(next_pop[self.elite:]):
-                config = space.from_array_feasible(x, rng)
-                y = self._fitness(session, config, f"gen{generation}-{i}")
-                if y is None:
-                    session.extras["generations"] = generation
-                    return None
-                new_scored.append((y, config.to_array()))
-            scored = new_scored
-            generation += 1
-        session.extras["generations"] = generation
-        return None
+    def finish(self, state: SearchState) -> None:
+        if self._generation >= 1:
+            state.extras["generations"] = self._generation

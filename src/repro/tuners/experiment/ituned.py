@@ -14,39 +14,33 @@ once enough data exists, sampling concentrates around the incumbent.
 
 ``batch_size > 1`` reproduces iTuned's *parallel experiments* feature
 (§5 of the paper): the LHS design and each EI proposal round commit to
-a batch of configurations up front, charged atomically through
-:meth:`~repro.core.session.TuningSession.evaluate_batch` — which an
-:class:`~repro.core.system.InstrumentedSystem` with a runner executes
-concurrently.  The default of 1 is the classic sequential loop.
+a batch of configurations up front — the strategy declares its batches
+*atomic*, so the driver charges them whole even under a wall-clock cap
+and fans them out through the session's runner.  The default of 1 is
+the classic sequential loop.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.driver import Candidate, SearchState, SearchTuner
 from repro.core.parameters import Configuration
 from repro.core.registry import register_tuner
-from repro.core.session import TuningSession
-from repro.core.tuner import Tuner
-from repro.exceptions import BudgetExhausted
 from repro.exec.resilience import FAILURE_POLICIES
 from repro.mlkit.acquisition import expected_improvement
 from repro.mlkit.gp import GaussianProcess
 from repro.mlkit.kernels import Matern52
 from repro.mlkit.sampling import maximin_latin_hypercube
-from repro.tuners.common import (
-    candidate_pool,
-    evaluate_prior_seeds,
-    history_to_training_data,
-)
+from repro.tuners.common import candidate_pool, history_to_training_data
 
 __all__ = ["ITunedTuner"]
 
 
 @register_tuner("ituned")
-class ITunedTuner(Tuner):
+class ITunedTuner(SearchTuner):
     """LHS + GP + EI experiment-driven tuning."""
 
     name = "ituned"
@@ -82,99 +76,103 @@ class ITunedTuner(Tuner):
         #: the LHS design, and stack its rows into the GP's data.
         self.warm_start = warm_start
 
-    def _tune(self, session: TuningSession) -> Optional[Configuration]:
-        space = session.space
-        rng = session.rng
-        session.evaluate(session.default_config(), tag="default")
-        seeded = evaluate_prior_seeds(session, k=3)
+    @property
+    def atomic_batches(self) -> bool:
+        # iTuned §5: a parallel proposal round is committed before any
+        # of its results are seen, wall-clock cap or not.
+        return self.batch_size > 1
 
-        # Phase 1: space-filling initialization.  With batching, the
-        # design executes in atomic chunks of ``batch_size`` — the DoE
-        # rows are independent by construction, so this is where
-        # parallel experiment execution pays off first.  A transfer
-        # prior already covers the space with mapped pseudo-samples, so
-        # warm starts shrink the design to a small residual.
-        n_init = self.n_init - 2 * seeded
-        if session.prior is not None and len(session.prior) >= 3:
+    def wants_prior_seeds(self, state: SearchState) -> int:
+        return 3 if self.warm_start else 0
+
+    def setup(self, state: SearchState) -> None:
+        self._init_configs: Optional[List[Configuration]] = None
+        self._init_pos = 0
+        self._step = 0
+
+    def _plan_init(self, state: SearchState) -> None:
+        """Build the space-filling design.  A transfer prior already
+        covers the space with mapped pseudo-samples, so warm starts
+        shrink the design to a small residual."""
+        space, rng = state.space, state.rng
+        n_init = self.n_init - 2 * state.seeded_prior_runs
+        if state.prior is not None and len(state.prior) >= 3:
             n_init = min(n_init, 2)
-        n_init = min(max(n_init, 2), max(session.remaining_runs - 2, 1))
+        n_init = min(max(n_init, 2), max(state.remaining_runs - 2, 1))
         design = maximin_latin_hypercube(n_init, space.dimension, rng)
-        init_configs = [space.from_array_feasible(row, rng) for row in design]
-        if self.batch_size > 1:
-            for start in range(0, len(init_configs), self.batch_size):
-                chunk = init_configs[start:start + self.batch_size]
-                try:
-                    session.evaluate_batch(
-                        chunk,
-                        tags=[f"lhs-{start + j}" for j in range(len(chunk))],
-                    )
-                except BudgetExhausted:
-                    return None
-        else:
-            for i, config in enumerate(init_configs):
-                if session.evaluate_if_budget(config, tag=f"lhs-{i}") is None:
-                    return None
+        self._init_configs = [
+            space.from_array_feasible(row, rng) for row in design
+        ]
 
+    def ask(self, state: SearchState) -> Sequence[Candidate]:
+        space, rng = state.space, state.rng
+        if self._init_configs is None:
+            self._plan_init(state)
+        # Phase 1: the DoE rows are independent by construction, so
+        # batching is where parallel experiment execution pays off
+        # first.
+        if self._init_pos < len(self._init_configs):
+            start = self._init_pos
+            width = self.batch_size if self.batch_size > 1 else 1
+            chunk = self._init_configs[start:start + width]
+            self._init_pos += len(chunk)
+            return [
+                Candidate(c, tag=f"lhs-{start + j}")
+                for j, c in enumerate(chunk)
+            ]
         # Phase 2: adaptive sampling with EI.
-        use_prior = session.prior is not None and len(session.prior) > 0
-        step = 0
-        while session.can_run():
-            X, y = history_to_training_data(session, include_prior=use_prior)
-            if len(y) < 3:
-                config = space.sample_configuration(rng)
-                session.evaluate(config, tag="fallback")
-                continue
-            # Runtimes (and failure penalties) span decades; the GP is
-            # far better behaved on log targets, and EI in log space
-            # optimizes relative improvement.
-            gp = GaussianProcess(kernel=Matern52(), optimize=True).fit(X, np.log(y))
-            best = float(np.log(session.best_runtime()))
-            anchors: List[Configuration] = []
-            if self.shrink_after and len(y) >= self.shrink_after:
-                incumbent = session.best_config()
-                if incumbent is not None:
-                    anchors.append(incumbent)
-            candidates = candidate_pool(
-                space, rng, n_random=self.n_candidates, anchors=anchors
-            )
-            if not candidates:
-                break
-            Xc = np.stack([c.to_array() for c in candidates])
-            mean, std = gp.predict(Xc, return_std=True)
-            ei = expected_improvement(mean, std, best, xi=self.xi)
-            if self.batch_size > 1:
-                # Parallel iTuned: commit to the top-EI *distinct*
-                # candidates as one atomic batch per model fit.
-                order = np.argsort(-ei)
-                chosen_batch: List[Configuration] = []
-                seen = set()
-                for j in order:
-                    config = candidates[int(j)]
-                    if config in seen:
-                        continue
-                    seen.add(config)
-                    session.predict(
-                        config, float(np.exp(mean[int(j)])), tag="gp-mean"
+        use_prior = state.prior is not None and len(state.prior) > 0
+        X, y = history_to_training_data(state, include_prior=use_prior)
+        if len(y) < 3:
+            return [Candidate(space.sample_configuration(rng), tag="fallback")]
+        # Runtimes (and failure penalties) span decades; the GP is
+        # far better behaved on log targets, and EI in log space
+        # optimizes relative improvement.
+        gp = GaussianProcess(kernel=Matern52(), optimize=True).fit(X, np.log(y))
+        best = float(np.log(state.best_runtime()))
+        anchors: List[Configuration] = []
+        if self.shrink_after and len(y) >= self.shrink_after:
+            incumbent = state.best_config()
+            if incumbent is not None:
+                anchors.append(incumbent)
+        candidates = candidate_pool(
+            space, rng, n_random=self.n_candidates, anchors=anchors
+        )
+        if not candidates:
+            return []
+        Xc = np.stack([c.to_array() for c in candidates])
+        mean, std = gp.predict(Xc, return_std=True)
+        ei = expected_improvement(mean, std, best, xi=self.xi)
+        step = self._step
+        self._step += 1
+        if self.batch_size > 1:
+            # Parallel iTuned: commit to the top-EI *distinct*
+            # candidates as one atomic batch per model fit.
+            order = np.argsort(-ei)
+            batch: List[Candidate] = []
+            seen = set()
+            for j in order:
+                config = candidates[int(j)]
+                if config in seen:
+                    continue
+                seen.add(config)
+                batch.append(
+                    Candidate(
+                        config,
+                        tag=f"ei-{step}.{len(batch)}",
+                        predicted_runtime_s=float(np.exp(mean[int(j)])),
+                        predict_tag="gp-mean",
                     )
-                    chosen_batch.append(config)
-                    if len(chosen_batch) >= self.batch_size:
-                        break
-                try:
-                    session.evaluate_batch(
-                        chosen_batch,
-                        tags=[
-                            f"ei-{step}.{j}" for j in range(len(chosen_batch))
-                        ],
-                    )
-                except BudgetExhausted:
+                )
+                if len(batch) >= self.batch_size:
                     break
-                step += 1
-                continue
-            chosen = candidates[int(np.argmax(ei))]
-            session.predict(
-                chosen, float(np.exp(mean[int(np.argmax(ei))])), tag="gp-mean"
+            return batch
+        idx = int(np.argmax(ei))
+        return [
+            Candidate(
+                candidates[idx],
+                tag=f"ei-{step}",
+                predicted_runtime_s=float(np.exp(mean[idx])),
+                predict_tag="gp-mean",
             )
-            if session.evaluate_if_budget(chosen, tag=f"ei-{step}") is None:
-                break
-            step += 1
-        return None
+        ]

@@ -4,25 +4,29 @@ A classic black-box algorithm used by several Hadoop tuners (e.g.,
 Gunther-style searchers): alternate global random sampling with
 recursive shrink-and-resample around the best point, restarting the
 local phase when it stops paying off.
+
+The global bursts are independent uniform samples, so each burst is a
+single ask the driver can fan out; the local phase is inherently
+sequential (every sample recenters on the incumbent) and proposes one
+candidate at a time.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.parameters import Configuration
+from repro.core.driver import Candidate, SearchState, SearchTuner
+from repro.core.measurement import Observation
 from repro.core.registry import register_tuner
-from repro.core.session import TuningSession
-from repro.core.tuner import Tuner
-from repro.tuners.common import penalized_runtime
+from repro.tuners.common import ResponseReplay
 
 __all__ = ["RecursiveRandomSearchTuner"]
 
 
 @register_tuner("rrs")
-class RecursiveRandomSearchTuner(Tuner):
+class RecursiveRandomSearchTuner(SearchTuner):
     """Global/local recursive random search."""
 
     name = "rrs"
@@ -42,54 +46,58 @@ class RecursiveRandomSearchTuner(Tuner):
         self.local_fail_limit = local_fail_limit
         self.min_radius = min_radius
 
-    def _run(self, session: TuningSession, config: Configuration, tag: str) -> Optional[float]:
-        measurement = session.evaluate_if_budget(config, tag=tag)
-        if measurement is None:
-            return None
-        return penalized_runtime(measurement, session.history)
+    def setup(self, state: SearchState) -> None:
+        # Penalize (not the session policy): every sample must yield a
+        # finite score for the incumbent comparison to stay total.
+        self._replay = ResponseReplay("penalize")
+        self._best_y = float("inf")
+        self._best_x: Optional[np.ndarray] = None
+        self._phase = "default"  # what the last proposal was
+        self._radius = 0.0
+        self._failures = 0
 
-    def _tune(self, session: TuningSession) -> Optional[Configuration]:
-        space = session.space
-        rng = session.rng
-        default = session.default_config()
-        best_y = self._run(session, default, "default")
-        if best_y is None:
-            return None
-        best_x = default.to_array()
+    def tell(self, state: SearchState, results: List[Observation]) -> None:
+        for obs in results:
+            y = self._replay.account(obs)
+            x = obs.config.to_array()
+            if self._phase in ("default", "global"):
+                if y < self._best_y:
+                    self._best_y, self._best_x = y, x
+                continue
+            # Local phase: track the incumbent and the failure streak
+            # that drives the shrink schedule.
+            if y < self._best_y:
+                self._best_y, self._best_x = y, x
+                self._failures = 0
+            else:
+                self._failures += 1
+                if self._failures >= self.local_fail_limit:
+                    self._radius *= self.shrink
+                    self._failures = 0
 
-        while session.can_run():
-            # Global phase: a burst of uniform samples.
-            improved_globally = False
-            for i in range(self.n_global):
-                config = space.sample_configuration(rng)
-                y = self._run(session, config, f"global-{i}")
-                if y is None:
-                    return None
-                if y < best_y:
-                    best_y, best_x = y, config.to_array()
-                    improved_globally = True
+    def _global_burst(self, state: SearchState) -> Sequence[Candidate]:
+        self._phase = "global"
+        return [
+            Candidate(state.space.sample_configuration(state.rng), tag=f"global-{i}")
+            for i in range(self.n_global)
+        ]
 
-            # Local phase: shrink a box around the incumbent.
-            radius = 0.25
-            failures = 0
-            while radius > self.min_radius and session.can_run():
-                x = np.clip(
-                    best_x + rng.uniform(-radius, radius, size=space.dimension),
-                    0.0,
-                    1.0,
-                )
-                config = space.from_array_feasible(x, rng)
-                y = self._run(session, config, f"local-r{radius:.2f}")
-                if y is None:
-                    return None
-                if y < best_y:
-                    best_y, best_x = y, config.to_array()
-                    failures = 0
-                else:
-                    failures += 1
-                    if failures >= self.local_fail_limit:
-                        radius *= self.shrink
-                        failures = 0
-            if not improved_globally and not session.can_run():
-                break
-        return None
+    def ask(self, state: SearchState) -> Sequence[Candidate]:
+        if self._phase == "default":
+            return self._global_burst(state)
+        if self._phase == "global":
+            # Global burst digested: recurse locally around the best.
+            self._radius = 0.25
+            self._failures = 0
+            self._phase = "local"
+        if self._radius <= self.min_radius:
+            # Local phase exhausted; restart with a fresh global burst.
+            return self._global_burst(state)
+        space, rng = state.space, state.rng
+        x = np.clip(
+            self._best_x + rng.uniform(-self._radius, self._radius, size=space.dimension),
+            0.0,
+            1.0,
+        )
+        config = space.from_array_feasible(x, rng)
+        return [Candidate(config, tag=f"local-r{self._radius:.2f}")]

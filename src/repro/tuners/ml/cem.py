@@ -8,25 +8,27 @@ family: maintain a Gaussian *policy* over unit-encoded configurations,
 sample a batch, keep the elite fraction, refit the policy toward them,
 and repeat.  No value function, no gradients — just distribution
 shaping, which is robust at tuning's tiny sample sizes.
+
+Each policy batch is one ask — CEM is embarrassingly parallel within a
+generation, so the driver fans whole generations out.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Sequence
 
 import numpy as np
 
-from repro.core.parameters import Configuration
+from repro.core.driver import Candidate, SearchState, SearchTuner
+from repro.core.measurement import Observation
 from repro.core.registry import register_tuner
-from repro.core.session import TuningSession
-from repro.core.tuner import Tuner
-from repro.tuners.common import penalized_runtime
+from repro.tuners.common import ResponseReplay
 
 __all__ = ["CrossEntropyTuner"]
 
 
 @register_tuner("cem")
-class CrossEntropyTuner(Tuner):
+class CrossEntropyTuner(SearchTuner):
     """Gaussian policy search over the unit cube."""
 
     name = "cem"
@@ -52,45 +54,57 @@ class CrossEntropyTuner(Tuner):
         self.min_std = min_std
         self.smoothing = smoothing
 
-    def _tune(self, session: TuningSession) -> Optional[Configuration]:
-        space = session.space
-        rng = session.rng
-        d = space.dimension
-
-        default = session.default_config()
-        session.evaluate(default, tag="default")
-
+    def setup(self, state: SearchState) -> None:
+        self._replay = ResponseReplay("penalize")
+        d = state.space.dimension
         # Policy initialized at the default configuration — tuning
         # starts from what the operator runs today.
-        mean = default.to_array().astype(float)
-        std = np.full(d, self.init_std)
-        n_elite = max(2, int(round(self.batch * self.elite_frac)))
+        self._mean = state.default_config().to_array().astype(float)
+        self._std = np.full(d, self.init_std)
+        self._n_elite = max(2, int(round(self.batch * self.elite_frac)))
+        self._generation = 0
+        self._started = False
+        self._stop = False
 
-        generation = 0
-        while session.can_run():
-            scored: List[Tuple[float, np.ndarray]] = []
-            for i in range(self.batch):
-                if not session.can_run():
-                    break
-                x = np.clip(rng.normal(mean, std), 0.0, 1.0)
-                config = space.from_array_feasible(x, rng)
-                measurement = session.evaluate(config, tag=f"cem-g{generation}-{i}")
-                scored.append(
-                    (penalized_runtime(measurement, session.history), config.to_array())
+    def tell(self, state: SearchState, results: List[Observation]) -> None:
+        if not self._started:
+            # The default evaluation anchors the incumbent but is not a
+            # policy sample — it never enters the elite set.
+            return
+        scored = [
+            (self._replay.account(o), o.config.to_array()) for o in results
+        ]
+        if len(scored) < self._n_elite:
+            self._stop = True
+            return
+        scored.sort(key=lambda item: item[0])
+        elite = np.stack([x for _, x in scored[: self._n_elite]])
+        new_mean = elite.mean(axis=0)
+        new_std = elite.std(axis=0)
+        # Smooth updates keep the policy from collapsing on a fluke.
+        self._mean = self.smoothing * new_mean + (1 - self.smoothing) * self._mean
+        self._std = np.maximum(
+            self.smoothing * new_std + (1 - self.smoothing) * self._std,
+            self.min_std,
+        )
+        self._generation += 1
+
+    def ask(self, state: SearchState) -> Sequence[Candidate]:
+        if self._stop:
+            return []
+        self._started = True
+        space, rng = state.space, state.rng
+        candidates = []
+        for i in range(self.batch):
+            x = np.clip(rng.normal(self._mean, self._std), 0.0, 1.0)
+            candidates.append(
+                Candidate(
+                    space.from_array_feasible(x, rng),
+                    tag=f"cem-g{self._generation}-{i}",
                 )
-            if len(scored) < n_elite:
-                break
-            scored.sort(key=lambda item: item[0])
-            elite = np.stack([x for _, x in scored[:n_elite]])
-            new_mean = elite.mean(axis=0)
-            new_std = elite.std(axis=0)
-            # Smooth updates keep the policy from collapsing on a fluke.
-            mean = self.smoothing * new_mean + (1 - self.smoothing) * mean
-            std = np.maximum(
-                self.smoothing * new_std + (1 - self.smoothing) * std,
-                self.min_std,
             )
-            generation += 1
-        session.extras["cem_generations"] = generation
-        session.extras["cem_final_std"] = float(np.mean(std))
-        return None
+        return candidates
+
+    def finish(self, state: SearchState) -> None:
+        state.extras["cem_generations"] = self._generation
+        state.extras["cem_final_std"] = float(np.mean(self._std))

@@ -9,14 +9,12 @@ uncertainty — exploration targets configs the models disagree about.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Sequence
 
 import numpy as np
 
-from repro.core.parameters import Configuration
+from repro.core.driver import Candidate, SearchState, SearchTuner
 from repro.core.registry import register_tuner
-from repro.core.session import TuningSession
-from repro.core.tuner import Tuner
 from repro.mlkit.gp import GaussianProcess
 from repro.mlkit.neural import MLPRegressor
 from repro.mlkit.sampling import latin_hypercube
@@ -27,7 +25,7 @@ __all__ = ["EnsembleTuner"]
 
 
 @register_tuner("ensemble")
-class EnsembleTuner(Tuner):
+class EnsembleTuner(SearchTuner):
     """GP + forest + MLP committee with disagreement-driven exploration."""
 
     name = "ensemble"
@@ -62,41 +60,43 @@ class EnsembleTuner(Tuner):
         stack = np.stack(predictions)
         return stack.mean(axis=0), stack.std(axis=0)
 
-    def _tune(self, session: TuningSession) -> Optional[Configuration]:
-        space = session.space
-        rng = session.rng
-        session.evaluate(session.default_config(), tag="default")
-        n_init = min(self.n_init, max(session.remaining_runs - 2, 1))
-        for i, row in enumerate(latin_hypercube(n_init, space.dimension, rng)):
-            if session.evaluate_if_budget(
-                space.from_array_feasible(row, rng), tag=f"init-{i}"
-            ) is None:
-                return None
+    def setup(self, state: SearchState) -> None:
+        self._init_asked = False
+        self._step = 0
 
-        step = 0
-        while session.can_run():
-            X, y = history_to_training_data(session)
-            if len(y) < 4:
-                session.evaluate(space.sample_configuration(rng), tag="fallback")
-                continue
-            incumbent = session.best_config()
-            candidates = candidate_pool(
-                space, rng, n_random=self.n_candidates,
-                anchors=[incumbent] if incumbent else None,
+    def ask(self, state: SearchState) -> Sequence[Candidate]:
+        space, rng = state.space, state.rng
+        if not self._init_asked:
+            self._init_asked = True
+            n_init = min(self.n_init, max(state.remaining_runs - 2, 1))
+            return [
+                Candidate(space.from_array_feasible(row, rng), tag=f"init-{i}")
+                for i, row in enumerate(latin_hypercube(n_init, space.dimension, rng))
+            ]
+        X, y = history_to_training_data(state)
+        if len(y) < 4:
+            return [Candidate(space.sample_configuration(rng), tag="fallback")]
+        incumbent = state.best_config()
+        candidates = candidate_pool(
+            space, rng, n_random=self.n_candidates,
+            anchors=[incumbent] if incumbent else None,
+        )
+        if not candidates:
+            return []
+        Xc = np.stack([c.to_array() for c in candidates])
+        mean, disagreement = self._committee_predict(
+            X, y, Xc, seed=int(rng.integers(1 << 30))
+        )
+        anneal = self.explore_weight / np.sqrt(1.0 + self._step)
+        score = -mean + anneal * disagreement
+        chosen = int(np.argmax(score))
+        step = self._step
+        self._step += 1
+        return [
+            Candidate(
+                candidates[chosen],
+                tag=f"ens-{step}",
+                predicted_runtime_s=float(np.expm1(mean[chosen])),
+                predict_tag="committee",
             )
-            if not candidates:
-                break
-            Xc = np.stack([c.to_array() for c in candidates])
-            mean, disagreement = self._committee_predict(
-                X, y, Xc, seed=int(rng.integers(1 << 30))
-            )
-            anneal = self.explore_weight / np.sqrt(1.0 + step)
-            score = -mean + anneal * disagreement
-            chosen = candidates[int(np.argmax(score))]
-            session.predict(
-                chosen, float(np.expm1(mean[int(np.argmax(score))])), tag="committee"
-            )
-            if session.evaluate_if_budget(chosen, tag=f"ens-{step}") is None:
-                break
-            step += 1
-        return None
+        ]

@@ -29,7 +29,6 @@ from repro.core.parameters import Configuration
 from repro.core.registry import register_tuner
 from repro.core.session import TuningSession
 from repro.core.tuner import Tuner
-from repro.tuners.rule_based import _cluster_of
 
 __all__ = ["ErnestTuner", "fit_ernest_model", "ernest_features"]
 

@@ -9,33 +9,28 @@ observations.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Sequence
 
 import numpy as np
 
-from repro.core.parameters import Configuration
+from repro.core.driver import Candidate, SearchState, SearchTuner
 from repro.core.registry import register_tuner
-from repro.core.session import TuningSession
-from repro.core.tuner import Tuner
 from repro.mlkit.acquisition import maximize_acquisition
 from repro.mlkit.gp import GaussianProcess
-from repro.tuners.common import (
-    candidate_pool,
-    evaluate_prior_seeds,
-    history_to_training_data,
-)
+from repro.tuners.common import candidate_pool, history_to_training_data
 
 __all__ = ["BayesOptTuner"]
 
 
 @register_tuner("bayesopt")
-class BayesOptTuner(Tuner):
+class BayesOptTuner(SearchTuner):
     """GP-based Bayesian optimization over the full knob space.
 
     With ``warm_start=True`` and a transfer prior on the session, the
-    tuner (a) evaluates the prior's best configurations before random
-    init, (b) shrinks random init accordingly, and (c) stacks the
-    prior's scaled pseudo-observations into the GP's training data.
+    driver (a) evaluates the prior's best configurations before random
+    init, the strategy then (b) shrinks random init accordingly, and
+    (c) stacks the prior's scaled pseudo-observations into the GP's
+    training data.
     """
 
     name = "bayesopt"
@@ -59,38 +54,42 @@ class BayesOptTuner(Tuner):
         self.n_candidates = n_candidates
         self.warm_start = warm_start
 
-    def _tune(self, session: TuningSession) -> Optional[Configuration]:
-        space = session.space
-        rng = session.rng
-        session.evaluate(session.default_config(), tag="default")
-        seeded = evaluate_prior_seeds(session, k=min(3, self.n_init))
-        n_init = max(self.n_init - seeded, 1 if seeded == 0 else 0)
-        for i in range(min(n_init, max(session.remaining_runs - 1, 0))):
-            config = space.sample_configuration(rng)
-            if session.evaluate_if_budget(config, tag=f"init-{i}") is None:
-                return None
+    def wants_prior_seeds(self, state: SearchState) -> int:
+        return min(3, self.n_init) if self.warm_start else 0
 
-        use_prior = session.prior is not None and len(session.prior) > 0
-        step = 0
-        while session.can_run():
-            X, y = history_to_training_data(session, include_prior=use_prior)
-            if len(y) < 3:
-                session.evaluate(space.sample_configuration(rng), tag="fallback")
-                continue
-            gp = GaussianProcess(optimize=True).fit(X, np.log(y))
-            incumbent = session.best_config()
-            candidates = candidate_pool(
-                space, rng, n_random=self.n_candidates,
-                anchors=[incumbent] if incumbent else None,
-            )
-            if not candidates:
-                break
-            Xc = np.stack([c.to_array() for c in candidates])
-            idx, _ = maximize_acquisition(
-                gp, float(np.log(session.best_runtime())), Xc,
-                kind=self.acquisition, xi=self.xi, kappa=self.kappa,
-            )
-            if session.evaluate_if_budget(candidates[idx], tag=f"bo-{step}") is None:
-                break
-            step += 1
-        return None
+    def setup(self, state: SearchState) -> None:
+        self._init_asked = False
+        self._step = 0
+
+    def ask(self, state: SearchState) -> Sequence[Candidate]:
+        space, rng = state.space, state.rng
+        if not self._init_asked:
+            self._init_asked = True
+            seeded = state.seeded_prior_runs
+            n_init = max(self.n_init - seeded, 1 if seeded == 0 else 0)
+            count = min(n_init, max(state.remaining_runs - 1, 0))
+            if count > 0:
+                return [
+                    Candidate(space.sample_configuration(rng), tag=f"init-{i}")
+                    for i in range(count)
+                ]
+        use_prior = state.prior is not None and len(state.prior) > 0
+        X, y = history_to_training_data(state, include_prior=use_prior)
+        if len(y) < 3:
+            return [Candidate(space.sample_configuration(rng), tag="fallback")]
+        gp = GaussianProcess(optimize=True).fit(X, np.log(y))
+        incumbent = state.best_config()
+        candidates = candidate_pool(
+            space, rng, n_random=self.n_candidates,
+            anchors=[incumbent] if incumbent else None,
+        )
+        if not candidates:
+            return []
+        Xc = np.stack([c.to_array() for c in candidates])
+        idx, _ = maximize_acquisition(
+            gp, float(np.log(state.best_runtime())), Xc,
+            kind=self.acquisition, xi=self.xi, kappa=self.kappa,
+        )
+        step = self._step
+        self._step += 1
+        return [Candidate(candidates[idx], tag=f"bo-{step}")]

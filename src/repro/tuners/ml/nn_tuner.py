@@ -10,14 +10,12 @@ category with: "hard to choose the proper model").
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Sequence
 
 import numpy as np
 
-from repro.core.parameters import Configuration
+from repro.core.driver import Candidate, SearchState, SearchTuner
 from repro.core.registry import register_tuner
-from repro.core.session import TuningSession
-from repro.core.tuner import Tuner
 from repro.mlkit.neural import MLPRegressor
 from repro.mlkit.sampling import latin_hypercube
 from repro.tuners.common import candidate_pool, history_to_training_data
@@ -26,7 +24,7 @@ __all__ = ["NeuralNetTuner"]
 
 
 @register_tuner("nn-tuner")
-class NeuralNetTuner(Tuner):
+class NeuralNetTuner(SearchTuner):
     """MLP surrogate with ε-greedy argmin recommendation."""
 
     name = "nn-tuner"
@@ -48,45 +46,45 @@ class NeuralNetTuner(Tuner):
         self.epochs = epochs
         self.n_candidates = n_candidates
 
-    def _tune(self, session: TuningSession) -> Optional[Configuration]:
-        space = session.space
-        rng = session.rng
-        session.evaluate(session.default_config(), tag="default")
-        n_init = min(self.n_init, max(session.remaining_runs - 2, 1))
-        for i, row in enumerate(latin_hypercube(n_init, space.dimension, rng)):
-            if session.evaluate_if_budget(
-                space.from_array_feasible(row, rng), tag=f"init-{i}"
-            ) is None:
-                return None
+    def setup(self, state: SearchState) -> None:
+        self._init_asked = False
+        self._step = 0
 
-        step = 0
-        while session.can_run():
-            if rng.random() < self.epsilon:
-                config = space.sample_configuration(rng)
-                if session.evaluate_if_budget(config, tag="explore") is None:
-                    break
-                continue
-            X, y = history_to_training_data(session)
-            if len(y) < 4:
-                session.evaluate(space.sample_configuration(rng), tag="fallback")
-                continue
-            # Log-scale targets stabilize training across decades.
-            model = MLPRegressor(
-                hidden=self.hidden, epochs=self.epochs,
-                seed=int(rng.integers(1 << 30)),
-            ).fit(X, np.log1p(y))
-            incumbent = session.best_config()
-            candidates = candidate_pool(
-                space, rng, n_random=self.n_candidates,
-                anchors=[incumbent] if incumbent else None,
+    def ask(self, state: SearchState) -> Sequence[Candidate]:
+        space, rng = state.space, state.rng
+        if not self._init_asked:
+            self._init_asked = True
+            n_init = min(self.n_init, max(state.remaining_runs - 2, 1))
+            return [
+                Candidate(space.from_array_feasible(row, rng), tag=f"init-{i}")
+                for i, row in enumerate(latin_hypercube(n_init, space.dimension, rng))
+            ]
+        if rng.random() < self.epsilon:
+            return [Candidate(space.sample_configuration(rng), tag="explore")]
+        X, y = history_to_training_data(state)
+        if len(y) < 4:
+            return [Candidate(space.sample_configuration(rng), tag="fallback")]
+        # Log-scale targets stabilize training across decades.
+        model = MLPRegressor(
+            hidden=self.hidden, epochs=self.epochs,
+            seed=int(rng.integers(1 << 30)),
+        ).fit(X, np.log1p(y))
+        incumbent = state.best_config()
+        candidates = candidate_pool(
+            space, rng, n_random=self.n_candidates,
+            anchors=[incumbent] if incumbent else None,
+        )
+        if not candidates:
+            return []
+        Xc = np.stack([c.to_array() for c in candidates])
+        pred = model.predict(Xc)
+        step = self._step
+        self._step += 1
+        return [
+            Candidate(
+                candidates[int(np.argmin(pred))],
+                tag=f"nn-{step}",
+                predicted_runtime_s=float(np.expm1(pred.min())),
+                predict_tag="nn",
             )
-            if not candidates:
-                break
-            Xc = np.stack([c.to_array() for c in candidates])
-            pred = model.predict(Xc)
-            chosen = candidates[int(np.argmin(pred))]
-            session.predict(chosen, float(np.expm1(pred.min())), tag="nn")
-            if session.evaluate_if_budget(chosen, tag=f"nn-{step}") is None:
-                break
-            step += 1
-        return None
+        ]

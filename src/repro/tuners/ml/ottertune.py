@@ -30,11 +30,10 @@ if TYPE_CHECKING:  # pragma: no cover
 
 import numpy as np
 
+from repro.core.driver import Candidate, SearchState, SearchTuner
 from repro.core.parameters import Configuration, ConfigurationSpace
 from repro.core.registry import register_tuner
-from repro.core.session import TuningSession
 from repro.core.system import SystemUnderTune
-from repro.core.tuner import Tuner
 from repro.core.workload import Workload
 from repro.exceptions import TuningError
 from repro.exec.resilience import FAILURE_POLICIES
@@ -45,12 +44,7 @@ from repro.mlkit.gp import GaussianProcess
 from repro.mlkit.linear import lasso_rank_features
 from repro.mlkit.sampling import latin_hypercube
 from repro.mlkit.scaler import StandardScaler
-from repro.tuners.common import (
-    candidate_pool,
-    evaluate_prior_seeds,
-    history_to_training_data,
-    penalized_runtime,
-)
+from repro.tuners.common import candidate_pool, history_to_training_data
 
 __all__ = ["OtterTuneRepository", "OtterTuneTuner", "build_repository"]
 
@@ -297,7 +291,7 @@ def _sample_workloads(system, workloads, space, n_samples, rng, runner, cache):
 
 
 @register_tuner("ottertune")
-class OtterTuneTuner(Tuner):
+class OtterTuneTuner(SearchTuner):
     """The OtterTune recommendation loop against a repository.
 
     Args:
@@ -353,81 +347,86 @@ class OtterTuneTuner(Tuner):
             target_X, target_M, pruned, self.repository.workloads
         )
 
-    def _tune(self, session: TuningSession) -> Optional[Configuration]:
-        space = session.space
-        rng = session.rng
+    def wants_prior_seeds(self, state: SearchState) -> int:
+        return 2 if self.warm_start else 0
+
+    def setup(self, state: SearchState) -> None:
+        space = state.space
         metric_names = self.repository.metric_names
-
-        pruned = self.repository.pruned_metrics()
-        ranked = self.repository.ranked_knobs(space)
-        top_knobs = ranked[: self.top_k_knobs]
-        session.extras["ottertune_pruned_metrics"] = [
-            metric_names[i] for i in pruned
+        # Stages 2–3 run on repository data alone, before any target
+        # experiment is spent.
+        self._pruned = self.repository.pruned_metrics()
+        top_knobs = self.repository.ranked_knobs(space)[: self.top_k_knobs]
+        state.extras["ottertune_pruned_metrics"] = [
+            metric_names[i] for i in self._pruned
         ]
-        session.extras["ottertune_top_knobs"] = top_knobs
-        knob_idx = [space.names().index(k) for k in top_knobs]
+        state.extras["ottertune_top_knobs"] = top_knobs
+        self._knob_idx = [space.names().index(k) for k in top_knobs]
+        self._init_asked = False
+        self._step = 0
+        self._mapped_name: Optional[str] = None
 
-        session.evaluate(session.default_config(), tag="default")
-        seeded = evaluate_prior_seeds(session, k=2)
-        n_init = min(
-            max(self.n_init - seeded, 1), max(session.remaining_runs - 2, 1)
-        )
-        for i, row in enumerate(latin_hypercube(n_init, space.dimension, rng)):
-            if session.evaluate_if_budget(
-                space.from_array_feasible(row, rng), tag=f"init-{i}"
-            ) is None:
-                return None
-
-        step = 0
-        mapped_name = None
-        while session.can_run():
-            # Hung runs are "successful" with unbounded runtime; they
-            # would wreck target_y's median scale and the GP targets.
-            obs = session.history.finite_successful()
-            target_X = np.stack([o.config.to_array() for o in obs]) if obs else np.zeros((0, space.dimension))
-            target_y = np.array([o.runtime_s for o in obs])
-            target_M = (
-                np.stack([o.measurement.metric_vector(metric_names) for o in obs])
-                if obs else np.zeros((0, len(metric_names)))
+    def ask(self, state: SearchState) -> Sequence[Candidate]:
+        space, rng = state.space, state.rng
+        metric_names = self.repository.metric_names
+        if not self._init_asked:
+            self._init_asked = True
+            n_init = min(
+                max(self.n_init - state.seeded_prior_runs, 1),
+                max(state.remaining_runs - 2, 1),
             )
-            mapped = (
-                self._map_workload(target_X, target_M, pruned)
-                if self.use_mapping else None
-            )
-            if mapped is not None:
-                mapped_name = mapped.name
-                # Scale the mapped workload's runtimes onto the target's
-                # scale before merging (OtterTune's target-first merge).
-                scale = (
-                    np.median(target_y) / np.median(mapped.y)
-                    if len(target_y) and np.median(mapped.y) > 0
-                    else 1.0
+            return [
+                Candidate(space.from_array_feasible(row, rng), tag=f"init-{i}")
+                for i, row in enumerate(
+                    latin_hypercube(n_init, space.dimension, rng)
                 )
-                train_X = np.vstack([mapped.X, target_X])
-                train_y = np.concatenate([mapped.y * scale, target_y])
-            else:
-                train_X, train_y = history_to_training_data(session)
-            if len(train_y) < 3:
-                session.evaluate(space.sample_configuration(rng), tag="fallback")
-                continue
+            ]
+        # Hung runs are "successful" with unbounded runtime; they
+        # would wreck target_y's median scale and the GP targets.
+        obs = state.history.finite_successful()
+        target_X = np.stack([o.config.to_array() for o in obs]) if obs else np.zeros((0, space.dimension))
+        target_y = np.array([o.runtime_s for o in obs])
+        target_M = (
+            np.stack([o.measurement.metric_vector(metric_names) for o in obs])
+            if obs else np.zeros((0, len(metric_names)))
+        )
+        mapped = (
+            self._map_workload(target_X, target_M, self._pruned)
+            if self.use_mapping else None
+        )
+        if mapped is not None:
+            self._mapped_name = mapped.name
+            # Scale the mapped workload's runtimes onto the target's
+            # scale before merging (OtterTune's target-first merge).
+            scale = (
+                np.median(target_y) / np.median(mapped.y)
+                if len(target_y) and np.median(mapped.y) > 0
+                else 1.0
+            )
+            train_X = np.vstack([mapped.X, target_X])
+            train_y = np.concatenate([mapped.y * scale, target_y])
+        else:
+            train_X, train_y = history_to_training_data(state)
+        if len(train_y) < 3:
+            return [Candidate(space.sample_configuration(rng), tag="fallback")]
 
-            gp = GaussianProcess(optimize=True).fit(
-                train_X[:, knob_idx], np.log(np.maximum(train_y, 1e-6))
-            )
-            best = float(np.log(session.best_runtime()))
-            incumbent = session.best_config()
-            candidates = candidate_pool(
-                space, rng, n_random=self.n_candidates,
-                anchors=[incumbent] if incumbent else None,
-            )
-            if not candidates:
-                break
-            Xc = np.stack([c.to_array() for c in candidates])[:, knob_idx]
-            mean, std = gp.predict(Xc, return_std=True)
-            ei = expected_improvement(mean, std, best)
-            chosen = candidates[int(np.argmax(ei))]
-            if session.evaluate_if_budget(chosen, tag=f"rec-{step}") is None:
-                break
-            step += 1
-        session.extras["ottertune_mapped_workload"] = mapped_name
-        return None
+        gp = GaussianProcess(optimize=True).fit(
+            train_X[:, self._knob_idx], np.log(np.maximum(train_y, 1e-6))
+        )
+        best = float(np.log(state.best_runtime()))
+        incumbent = state.best_config()
+        candidates = candidate_pool(
+            space, rng, n_random=self.n_candidates,
+            anchors=[incumbent] if incumbent else None,
+        )
+        if not candidates:
+            return []
+        Xc = np.stack([c.to_array() for c in candidates])[:, self._knob_idx]
+        mean, std = gp.predict(Xc, return_std=True)
+        ei = expected_improvement(mean, std, best)
+        step = self._step
+        self._step += 1
+        return [Candidate(candidates[int(np.argmax(ei))], tag=f"rec-{step}")]
+
+    def finish(self, state: SearchState) -> None:
+        state.extras["ottertune_mapped_workload"] = self._mapped_name

@@ -127,8 +127,12 @@ def trace_replay_predict(
         # phase length.
         rd_new = rd * (base_red / cand_red) ** 0.85 + 0.05 * (cand_red - base_red)
         rd_new = max(rd_new, 0.02 * rd)
-        comp = lambda c: 0.55 if c["map_output_compress"] else 1.0
-        combiner = lambda c: 0.5 if c["combiner_enabled"] else 1.0
+        def comp(c):
+            return 0.55 if c["map_output_compress"] else 1.0
+
+        def combiner(c):
+            return 0.5 if c["combiner_enabled"] else 1.0
+
         shuffle_scale = (
             comp(candidate) / comp(base_config)
             * combiner(candidate) / combiner(base_config)
@@ -144,13 +148,17 @@ def trace_replay_predict(
     if kind == "spark":
         stage = m.get("stage_time_s", base_total)
         other = max(base_total - stage, 0.0)
-        slots = lambda c: max(int(c["num_executors"]) * int(c["executor_cores"]), 1)
+        def slots(c):
+            return max(int(c["num_executors"]) * int(c["executor_cores"]), 1)
+
         slot_scale = slots(base_config) / slots(candidate)
         part_scale = float(candidate["shuffle_partitions"]) / max(
             float(base_config["shuffle_partitions"]), 1.0
         )
         overhead = 0.02 * (part_scale - 1.0)
-        ser = lambda c: 0.9 if c["serializer"] == "kryo" else 2.5
+        def ser(c):
+            return 0.9 if c["serializer"] == "kryo" else 2.5
+
         ser_scale = 0.7 + 0.3 * ser(candidate) / ser(base_config)
         return stage * (0.3 + 0.7 * slot_scale) * ser_scale * (1.0 + max(overhead, -0.015)) + other
 

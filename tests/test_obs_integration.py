@@ -13,7 +13,7 @@ import pytest
 from repro import Budget, make_system
 from repro.core.measurement import Measurement
 from repro.core.system import InstrumentedSystem
-from repro.core.tuner import Observation, TuningHistory
+from repro.core.measurement import Observation, TuningHistory
 from repro.exec.cache import EvaluationCache
 from repro.exec.runner import ParallelRunner
 from repro.kb.store import KnowledgeBase, dumps_strict, json_safe

@@ -1,0 +1,82 @@
+"""Registry integrity: every registered tuner declares a canonical
+category, bogus categories are rejected at registration time, and every
+name in the registry can actually run a short tune end to end."""
+
+import numpy as np
+import pytest
+
+from repro import Budget, make_tuner, tuner_names
+from repro.core.registry import _TUNERS, register_tuner
+from repro.core.tuner import CATEGORIES, Tuner
+from repro.exceptions import ReproError
+from repro.systems.cluster import Cluster
+from repro.systems.dbms import DbmsSimulator, htap_mixed, olap_analytics
+from repro.tuners import build_repository
+
+
+def _system():
+    return DbmsSimulator(Cluster.uniform(4))
+
+
+def _instantiate(name: str, system):
+    if name == "ottertune":
+        repo = build_repository(
+            system, [olap_analytics(0.3)], n_samples=12,
+            rng=np.random.default_rng(7),
+        )
+        return make_tuner(name, repository=repo)
+    if name == "nn-tuner":
+        return make_tuner(name, epochs=60)
+    if name == "ensemble":
+        return make_tuner(name, mlp_epochs=60)
+    if name in ("cost-model", "trace-sim"):
+        return make_tuner(name, n_model_samples=150)
+    if name == "genetic":
+        return make_tuner(name, population=4, elite=1)
+    return make_tuner(name)
+
+
+def test_every_registered_tuner_declares_canonical_category():
+    for name in tuner_names():
+        cls = _TUNERS[name]
+        assert getattr(cls, "category", None) in CATEGORIES, name
+
+
+def test_register_rejects_bogus_category():
+    class BogusTuner(Tuner):
+        name = "bogus-category-tuner"
+        category = "vibes-driven"
+
+        def _tune(self, session):
+            return None
+
+    with pytest.raises(ReproError, match="vibes-driven"):
+        register_tuner("bogus-category-tuner")(BogusTuner)
+    assert "bogus-category-tuner" not in _TUNERS
+
+
+def test_register_rejects_none_category():
+    class NoCategoryTuner(Tuner):
+        name = "no-category-tuner"
+        category = None
+
+        def _tune(self, session):
+            return None
+
+    with pytest.raises(ReproError, match="None"):
+        register_tuner("no-category-tuner")(NoCategoryTuner)
+    assert "no-category-tuner" not in _TUNERS
+
+
+@pytest.mark.parametrize("tuner_name", tuner_names())
+def test_every_registered_tuner_smoke_tunes(tuner_name):
+    """Three real runs is enough to exercise construction, the driver
+    (or legacy loop), and recommendation for every registry entry."""
+    system = _system()
+    tuner = _instantiate(tuner_name, system)
+    result = tuner.tune(
+        system, htap_mixed(0.3), Budget(max_runs=3),
+        rng=np.random.default_rng(11),
+    )
+    assert result.n_real_runs <= 3
+    system.config_space.configuration(result.best_config.to_dict())
