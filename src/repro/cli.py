@@ -19,6 +19,10 @@ Commands:
     bench-obs              — observability smoke: span parity across
                              execution modes, <5% tracing overhead,
                              strict-JSON /metrics under concurrency
+    bench-vec              — vectorized batch-evaluation speedup per
+                             (system, batch tuner) cell; asserts the
+                             scalar and vectorized tuning histories
+                             are byte-identical, noiseless and noisy
     serve                  — HTTP recommendation service over a tuning
                              knowledge base
 
@@ -37,6 +41,7 @@ Examples::
     python -m repro bench-driver --json BENCH_driver.json --jobs 4
     python -m repro bench-transfer --json BENCH_transfer.json
     python -m repro bench-obs --json BENCH_obs.json
+    python -m repro bench-vec --json BENCH_vec.json
     python -m repro serve --kb tuning.kb --port 8350
 """
 
@@ -358,6 +363,29 @@ def _cmd_bench_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_vec(args: argparse.Namespace) -> int:
+    from repro.bench.vec import run_vec_benchmark
+
+    report = run_vec_benchmark(
+        quick=not args.full, json_path=args.json,
+        systems=args.systems or None,
+    )
+    print(f"vec benchmark: {report['n_cells']} cells, "
+          f"batch={report['batch']}, density={report['density']}")
+    print(f"  {'system':6s} {'tuner':8s} {'runs':>5s} {'scalar':>9s} "
+          f"{'vector':>9s} {'speedup':>8s}")
+    for cell in report["cells"]:
+        print(f"  {cell['system']:6s} {cell['tuner']:8s} "
+              f"{cell['n_real_runs']:5d} {cell['scalar_eval_s']:8.2f}s "
+              f"{cell['vectorized_eval_s']:8.2f}s {cell['speedup']:7.2f}x")
+    print(f"  {report['n_cells_at_10x']}/{report['n_cells']} cells at "
+          f">=10x (median {report['median_speedup']}x); "
+          "histories byte-identical, noiseless and noisy")
+    if args.json:
+        print(f"  report written to {args.json}")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.kb import KnowledgeBase
     from repro.kb.service import serve_forever
@@ -485,6 +513,18 @@ def main(argv: List[str] = None) -> int:
     obs.add_argument("--full", action="store_true",
                      help="full budgets instead of quick mode")
 
+    vec = sub.add_parser(
+        "bench-vec",
+        help="benchmark vectorized batch evaluation vs the scalar loop",
+    )
+    vec.add_argument("--json", default=None, metavar="PATH",
+                     help="write the JSON report here, e.g. BENCH_vec.json")
+    vec.add_argument("--systems", nargs="*", default=None,
+                     choices=["dbms", "spark", "hadoop"],
+                     help="restrict to these simulators (default: all)")
+    vec.add_argument("--full", action="store_true",
+                     help="larger batches/budgets instead of quick mode")
+
     serve = sub.add_parser(
         "serve", help="HTTP recommendation service over a knowledge base"
     )
@@ -510,6 +550,7 @@ def main(argv: List[str] = None) -> int:
         "bench-driver": _cmd_bench_driver,
         "bench-transfer": _cmd_bench_transfer,
         "bench-obs": _cmd_bench_obs,
+        "bench-vec": _cmd_bench_vec,
         "serve": _cmd_serve,
     }
     try:

@@ -14,6 +14,7 @@ sessions talk to.
 from __future__ import annotations
 
 import math
+import os
 from abc import ABC, abstractmethod
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
@@ -72,6 +73,18 @@ class SystemUnderTune(ABC):
         """
         return [self.run(workload, config) for config in configs]
 
+    def supports_vectorized(self) -> bool:
+        """Whether this system offers a ``run_batch_vectorized`` fast path.
+
+        The capability protocol is structural: a system that defines
+        ``run_batch_vectorized(workload, configs) -> List[Measurement]``
+        (promising bit-identical results to a serial ``run()`` loop)
+        advertises it here.  Wrappers forward their inner system's
+        answer; wrappers that perturb execution (chaos injection) simply
+        don't define the method and stay on the scalar path.
+        """
+        return callable(getattr(self, "run_batch_vectorized", None))
+
     def default_configuration(self) -> Configuration:
         return self.config_space.default_configuration()
 
@@ -104,6 +117,12 @@ class InstrumentedSystem(SystemUnderTune):
         runner: when set, :meth:`run_batch` computes inner measurements
             for a batch concurrently (noise is applied sequentially in
             batch order afterwards, preserving determinism).
+        vectorize: prefer the inner system's ``run_batch_vectorized``
+            fast path for batches when it offers one.  ``None`` (the
+            default) consults the ``REPRO_VECTORIZE`` environment
+            variable (on unless set to ``"0"``).  Vectorized inner
+            results are bit-identical to serial ones, so this only
+            changes wall-clock, never measurements.
     """
 
     def __init__(
@@ -114,6 +133,7 @@ class InstrumentedSystem(SystemUnderTune):
         rng: Optional[np.random.Generator] = None,
         eval_cache: Optional["EvaluationCache"] = None,
         runner: Optional["ParallelRunner"] = None,
+        vectorize: Optional[bool] = None,
     ):
         if noise < 0:
             raise ValueError("noise must be >= 0")
@@ -125,6 +145,9 @@ class InstrumentedSystem(SystemUnderTune):
         self.rng = rng
         self.eval_cache = eval_cache
         self.runner = runner
+        if vectorize is None:
+            vectorize = os.environ.get("REPRO_VECTORIZE", "1") != "0"
+        self.vectorize = bool(vectorize)
         self.name = inner.name
         self.kind = inner.kind
         self.run_count = 0
@@ -175,19 +198,27 @@ class InstrumentedSystem(SystemUnderTune):
             self._cache[key] = measurement
         return measurement
 
+    def supports_vectorized(self) -> bool:
+        return self.vectorize and self.inner.supports_vectorized()
+
     def run_batch(
         self, workload: Workload, configs: Sequence[Configuration]
     ) -> List[Measurement]:
-        """Batch execution: concurrent inner runs, deterministic results.
+        """Batch execution: bulk inner runs, deterministic results.
 
         The deterministic inner measurements of configurations not yet
-        cached are computed concurrently through the runner (simulators
-        never see noise, so completion order cannot matter); the
-        noise/counting pipeline then replays sequentially in ``configs``
-        order, drawing from the RNG exactly as a serial loop would.
+        cached are computed in bulk — preferably by the inner system's
+        vectorized kernel (one numpy computation for the whole batch),
+        otherwise concurrently through the runner (simulators never see
+        noise, so completion order cannot matter).  The noise/counting
+        pipeline then replays sequentially in ``configs`` order, drawing
+        from the RNG exactly as a serial loop would, so noisy results,
+        counters, and cache hit/miss accounting are identical across the
+        serial, parallel, and vectorized paths.
         """
         configs = list(configs)
-        if (
+        use_vec = len(configs) > 1 and self.supports_vectorized()
+        if use_vec or (
             self.runner is not None
             and self.runner.effective_jobs > 1
             and len(configs) > 1
@@ -219,10 +250,15 @@ class InstrumentedSystem(SystemUnderTune):
                 seen.add(key)
                 pending.append(config)
             if pending:
-                measurements = self.runner.starmap(
-                    _inner_run_task,
-                    [(self.inner, workload, c) for c in pending],
-                )
+                if use_vec:
+                    measurements = self.inner.run_batch_vectorized(
+                        workload, pending
+                    )
+                else:
+                    measurements = self.runner.starmap(
+                        _inner_run_task,
+                        [(self.inner, workload, c) for c in pending],
+                    )
                 for config, measurement in zip(pending, measurements):
                     # Hand the value to run() via _prefetched (its miss
                     # was already counted by the probe) and store it for
@@ -300,3 +336,14 @@ class SubspaceSystem(SystemUnderTune):
     def run(self, workload: Workload, config: Configuration) -> Measurement:
         self.check_workload(workload)
         return self.inner.run(workload, self.expand(config))
+
+    def supports_vectorized(self) -> bool:
+        return self.inner.supports_vectorized()
+
+    def run_batch_vectorized(
+        self, workload: Workload, configs: Sequence[Configuration]
+    ) -> List[Measurement]:
+        self.check_workload(workload)
+        return self.inner.run_batch_vectorized(
+            workload, [self.expand(c) for c in configs]
+        )

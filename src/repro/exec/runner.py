@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
@@ -76,17 +77,34 @@ class ParallelRunner:
             (process pool, falling back to threads when the task or its
             arguments cannot be *pickled* — execution errors always
             propagate).  With one worker every mode collapses to serial.
+        cheap_task_s: auto-mode guard against fan-out that costs more
+            than it saves (BENCH_exec E1: sub-millisecond cost-model
+            calls ran ~4x *slower* through a process pool).  Before
+            building a pool, auto mode times the first task serially;
+            below this threshold the rest of the batch stays serial too.
+            ``None`` reads ``REPRO_CHEAP_TASK_S`` (default 0.005s); a
+            value <= 0 disables the guard.  Explicit ``process``/
+            ``thread`` modes are never second-guessed.
 
     Results always come back in submission order regardless of
     completion order, so parallel execution can never reorder a
     benchmark table.
     """
 
-    def __init__(self, jobs: Optional[int] = None, mode: str = "auto"):
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        mode: str = "auto",
+        cheap_task_s: Optional[float] = None,
+    ):
         if mode not in _MODES:
             raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
         self.jobs = resolve_jobs(jobs)
         self.mode = mode
+        if cheap_task_s is None:
+            env = os.environ.get("REPRO_CHEAP_TASK_S", "").strip()
+            cheap_task_s = float(env) if env else 0.005
+        self.cheap_task_s = cheap_task_s
         self._process_pool: Optional[ProcessPoolExecutor] = None
         self._thread_pool: Optional[ThreadPoolExecutor] = None
 
@@ -149,8 +167,33 @@ class ParallelRunner:
                     raise
                 metrics.inc("exec.runner.pickle_rejects")
             else:
+                if self.mode == "auto" and self.cheap_task_s > 0:
+                    # Time the first task serially; its result is kept
+                    # (never re-executed).  When the task is cheaper
+                    # than fork+pickle overhead, finish serially.
+                    first, elapsed = self._probe_first(fn, tasks, metrics)
+                    rest = tasks[1:]
+                    if elapsed < self.cheap_task_s:
+                        metrics.inc("exec.runner.cheap_fallbacks")
+                        return [first] + self._map_serial(fn, rest, metrics)
+                    return [first] + self._map_process(fn, rest, metrics)
                 return self._map_process(fn, tasks, metrics)
         return self._map_thread(fn, tasks, metrics)
+
+    def _probe_first(
+        self, fn: Callable[[Any], Any], tasks: List[Any],
+        metrics: MetricsRegistry,
+    ) -> Tuple[Any, float]:
+        """Execute ``tasks[0]`` serially and time it."""
+        metrics.inc("exec.runner.tasks.serial")
+        tracer = get_tracer()
+        start = time.perf_counter()
+        if tracer is None:
+            result = fn(tasks[0])
+        else:
+            with tracer.span("runner.task", mode="serial"):
+                result = fn(tasks[0])
+        return result, time.perf_counter() - start
 
     def _map_serial(
         self, fn: Callable[[Any], Any], tasks: List[Any],

@@ -10,8 +10,8 @@ cost model consumes them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, Sequence, Tuple
 
 from repro.core.workload import Workload
 from repro.exceptions import WorkloadError

@@ -9,7 +9,7 @@ the "lack of input data statistics" scenario.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

@@ -18,15 +18,26 @@ the surveyed literature tunes:
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
 
 from repro.core.measurement import Measurement
 from repro.core.parameters import Configuration, ConfigurationSpace
 from repro.core.system import SystemUnderTune
 from repro.core.workload import Workload
-from repro.systems.cluster import Cluster, NodeSpec
+from repro.systems.cluster import Cluster
 from repro.systems.hadoop.job import HadoopWorkload, MRJobSpec
 from repro.systems.hadoop.knobs import build_hadoop_space
+from repro.systems.vectorize import (
+    emap,
+    emap_where,
+    knob_bools,
+    knob_floats,
+    knob_table,
+    measurements_from_columns,
+    metric_columns,
+)
 
 __all__ = ["HadoopSimulator"]
 
@@ -100,6 +111,313 @@ class HadoopSimulator(SystemUnderTune):
         total_s = max(total_s, 1e-3)
         cost = total_s * len(self.cluster) / 3600.0
         return Measurement(runtime_s=total_s, metrics=m, cost_units=cost)
+
+    # ------------------------------------------------------------------
+    def run_batch_vectorized(
+        self, workload: Workload, configs: Sequence[Configuration]
+    ) -> List[Measurement]:
+        """Evaluate a whole candidate batch as one numpy computation.
+
+        Bit-for-bit identical to the scalar :meth:`run` loop.  The four
+        per-job failure points (no map slots, map container OOM, no
+        reduce slots, reduce container OOM) become alive-row masks: a
+        dead row's metric columns freeze at the values the scalar early
+        return would have left, and its lanes compute garbage harmlessly
+        under ``np.errstate`` without being read again.
+        """
+        self.check_workload(workload)
+        assert isinstance(workload, HadoopWorkload)
+        configs = list(configs)
+        n = len(configs)
+        if n == 0:
+            return []
+        node = self.cluster.min_node
+        mean_speed = self.cluster.mean_cpu_speed()
+        cols = metric_columns(self.METRIC_NAMES, n)
+
+        def acc(key: str, mask: np.ndarray, vals) -> None:
+            # where=-ufunc form of cols[key][mask] += vals[mask]: the
+            # adds on masked lanes are the same IEEE-754 ops, unmasked
+            # lanes are never touched, and no index arrays materialize.
+            np.add(cols[key], vals, out=cols[key], where=mask)
+
+        def put(key: str, mask: np.ndarray, vals) -> None:
+            np.copyto(cols[key], np.asarray(vals, dtype=float), where=mask)
+
+        codec_ratio = knob_table(configs, "compress_codec", _CODEC, 0)
+        codec_cpu = knob_table(configs, "compress_codec", _CODEC, 1)
+        compress = knob_bools(configs, "map_output_compress")
+        combiner_on = knob_bools(configs, "combiner_enabled")
+        jvm_reuse = knob_bools(configs, "jvm_reuse")
+        spec = knob_bools(configs, "speculative_execution")
+        block_mb = knob_floats(configs, "dfs_block_size_mb")
+        io_sort_mb = knob_floats(configs, "io_sort_mb")
+        spill_pct = knob_floats(configs, "io_sort_spill_percent")
+        sort_factor = np.array(
+            [max(2, int(c["io_sort_factor"])) for c in configs], dtype=float
+        )
+        map_mem = knob_floats(configs, "mapreduce_map_memory_mb")
+        red_mem = knob_floats(configs, "mapreduce_reduce_memory_mb")
+        n_red = knob_floats(configs, "mapreduce_job_reduces")
+        slowstart = knob_floats(configs, "reduce_slowstart")
+        copies = knob_floats(configs, "shuffle_parallel_copies")
+        red_buf_pct = knob_floats(configs, "shuffle_input_buffer_percent")
+        repl = np.array(
+            [int(c["output_replication"]) for c in configs], dtype=float
+        )
+        # Batch-axis mirror of _slots: np.floor_divide matches Python
+        # float ``//`` bit-for-bit, and per-node slot counts are small
+        # integers, so the float accumulation stays exact.
+        def slots_for(sizes: np.ndarray) -> np.ndarray:
+            total = np.zeros(sizes.shape[0])
+            for nd in self.cluster.nodes:
+                by_mem = np.floor_divide(nd.memory_mb * 0.9, sizes)
+                total += np.maximum(0.0, np.minimum(float(nd.cores), by_mem))
+            return total
+
+        map_slots = slots_for(map_mem)
+        red_slots = slots_for(red_mem)
+        sf = self.cluster.straggler_factor()
+        strag = np.where(spec, max(1.03, 1.0 + (sf - 1.0) * 0.3), sf)
+        agg_net_mbps = sum(nd.network_mbps for nd in self.cluster.nodes) / 8.0
+        disk_rw = 0.5 * (node.disk_read_mbps + node.disk_write_mbps)
+
+        alive = np.ones(n, dtype=bool)
+        failure_elapsed = np.full(n, 20.0)
+        total_s = np.zeros(n)
+
+        p2 = map_slots > 0
+        p4 = red_slots > 0
+        compress_ratio_vals = np.where(compress, codec_ratio, 1.0)
+
+        def job_arrays(job: MRJobSpec) -> Dict[str, np.ndarray]:
+            """All pure per-job arrays: config- and spec-dependent only.
+
+            Nothing here reads the alive mask, so repeated job templates
+            (densified workloads) can share one computation; the loop
+            below replays only the masked accumulations.
+            """
+            J: Dict[str, np.ndarray] = {}
+
+            # ---- map phase -------------------------------------------
+            n_maps = np.maximum(1.0, np.ceil(job.input_mb / block_mb))
+            J["n_maps"] = n_maps
+            map_need = io_sort_mb + job.task_mem_overhead_mb
+            J["p3"] = p2 & ~(map_mem < map_need)
+
+            per_map_in = job.input_mb / n_maps
+            read_s = per_map_in / node.disk_read_mbps
+            map_cpu_s = per_map_in * job.map_cpu_ms_per_mb / 1000.0 / mean_speed
+
+            out_mb = per_map_in * job.map_selectivity
+            comb = combiner_on & (job.combiner_reduction > 0)
+            map_cpu_s = map_cpu_s + np.where(
+                comb, out_mb * 2.0 / 1000.0 / mean_speed, 0.0
+            )
+            out_mb = np.where(comb, out_mb * (1.0 - job.combiner_reduction), out_mb)
+            J["combine_out"] = out_mb * n_maps
+
+            disk_out_mb = np.where(compress, out_mb * codec_ratio, out_mb)
+            map_cpu_s = map_cpu_s + np.where(
+                compress, out_mb * codec_cpu / 1000.0 / mean_speed, 0.0
+            )
+
+            buffer_mb = io_sort_mb * spill_pct
+            n_spills = np.maximum(
+                1.0, np.ceil(out_mb / np.maximum(buffer_mb, 1.0))
+            )
+            multi = n_spills > 1
+            passes = np.where(
+                multi,
+                np.maximum(
+                    1.0,
+                    np.ceil(
+                        emap_where(
+                            multi, math.log, n_spills, sort_factor, fill=1.0
+                        )
+                    ),
+                ),
+                0.0,
+            )
+            spill_io_mb = np.where(
+                multi, disk_out_mb * (1.0 + 2.0 * passes), disk_out_mb
+            )
+            J["map_spilled"] = (n_spills - 1.0) * disk_out_mb * n_maps
+            J["passes"] = passes
+            spill_s = spill_io_mb / disk_rw + 0.03 * n_spills
+            sort_cpu_s = (
+                out_mb
+                * 1.0
+                * emap(lambda o: math.log2(max(o, 2.0)), out_mb)
+                / 1000.0
+                / mean_speed
+            )
+
+            map_task_s = read_s + map_cpu_s + spill_s + sort_cpu_s
+            jvm_maps = np.where(jvm_reuse, map_slots, n_maps)
+            map_jvm_s = _JVM_STARTUP_S * jvm_maps / map_slots
+            J["map_jvm_s"] = map_jvm_s
+            map_waves = np.ceil(n_maps / map_slots)
+            J["map_waves"] = map_waves
+            J["spec_map"] = 0.05 * map_task_s
+            map_phase_s = map_waves * map_task_s * strag + map_jvm_s
+
+            slot_pressure = np.minimum(1.0, n_red / np.maximum(map_slots, 1.0))
+            map_phase_s = map_phase_s * (
+                1.0 + 0.15 * (1.0 - slowstart) * slot_pressure
+            )
+            J["map_phase_s"] = map_phase_s
+            J["hdfs_read"] = np.full(n, job.input_mb)
+            J["map_cpu_total"] = (map_cpu_s + sort_cpu_s) * n_maps
+            J["map_io_total"] = (read_s + spill_s) * n_maps
+
+            # ---- shuffle ---------------------------------------------
+            shuffle_mb = disk_out_mb * n_maps
+            J["shuffle_mb"] = shuffle_mb
+            fetch_mbps = np.minimum(
+                agg_net_mbps, n_red * copies * _FETCH_MBPS_PER_COPY
+            )
+            shuffle_s = shuffle_mb / np.maximum(fetch_mbps, 1.0)
+            overlap = map_phase_s * (1.0 - slowstart) * 0.7
+            J["shuffle_eff_s"] = np.maximum(shuffle_s - overlap, 0.05 * shuffle_s)
+            J["shuffle_s"] = shuffle_s
+
+            # ---- reduce phase ----------------------------------------
+            per_red_mb = shuffle_mb / n_red
+            per_red_raw = out_mb * n_maps / n_red
+            red_buffer = red_mem * red_buf_pct
+            red_need = np.minimum(per_red_raw, red_buffer) + job.task_mem_overhead_mb
+            p5 = J["p3"] & p4 & ~(red_mem < red_need)
+            J["p5"] = p5
+
+            ov = per_red_raw > red_buffer
+            red_merge = np.where(
+                ov,
+                np.maximum(
+                    1.0,
+                    np.ceil(
+                        emap_where(
+                            ov,
+                            math.log,
+                            np.maximum(
+                                per_red_raw / np.maximum(red_buffer, 1.0), 2.0
+                            ),
+                            sort_factor,
+                            fill=2.0,
+                        )
+                    ),
+                ),
+                0.0,
+            )
+            J["p5ov"] = p5 & ov
+            J["red_merge"] = red_merge
+            red_io_s = np.where(
+                ov, per_red_mb * 2.0 * red_merge / disk_rw, 0.0
+            )
+            J["red_spilled"] = per_red_mb * n_red
+            red_cpu_s = per_red_raw * job.reduce_cpu_ms_per_mb / 1000.0 / mean_speed
+            red_cpu_s = red_cpu_s + np.where(
+                compress, per_red_raw * codec_cpu / 1000.0 / mean_speed, 0.0
+            )
+
+            out_per_red = per_red_raw * job.reduce_selectivity
+            write_s = out_per_red / node.disk_write_mbps + (
+                out_per_red * (repl - 1.0) / (node.network_mbps / 8.0)
+            )
+            J["hdfs_write"] = out_per_red * n_red * repl
+
+            J["skew"] = 1.0 + job.skew * np.sqrt(emap(math.log, n_red + 1.0))
+
+            red_task_s = (
+                per_red_mb / node.disk_read_mbps + red_io_s + red_cpu_s + write_s
+            )
+            jvm_reds = np.where(jvm_reuse, red_slots, n_red)
+            red_jvm_s = (
+                _JVM_STARTUP_S
+                * np.minimum(jvm_reds, n_red)
+                / np.minimum(red_slots, np.maximum(n_red, 1.0))
+            )
+            red_waves = np.ceil(n_red / red_slots)
+            J["red_waves"] = red_waves
+            sched_s = 0.3 * n_red / red_slots
+            J["spec_red"] = 0.05 * red_task_s
+            reduce_phase_s = (
+                red_waves * red_task_s * J["skew"] * strag + red_jvm_s + sched_s
+            )
+            J["reduce_phase_s"] = reduce_phase_s
+            J["red_cpu_total"] = red_cpu_s * n_red
+            J["red_io_total"] = (red_io_s + write_s) * n_red
+
+            J["p3spec"] = J["p3"] & spec
+            J["p5spec"] = p5 & spec
+            job_s = map_phase_s + J["shuffle_eff_s"] + reduce_phase_s
+            J["job_total"] = job_s + _JOB_SETUP_S
+            return J
+
+        job_memo: Dict[tuple, Dict[str, np.ndarray]] = {}
+
+        with np.errstate(all="ignore"):
+            for job in workload.jobs:
+                if not alive.any():
+                    break
+                jkey = (
+                    job.input_mb, job.map_selectivity, job.combiner_reduction,
+                    job.map_cpu_ms_per_mb, job.reduce_cpu_ms_per_mb,
+                    job.task_mem_overhead_mb, job.reduce_selectivity, job.skew,
+                )
+                J = job_memo.get(jkey)
+                if J is None:
+                    J = job_memo[jkey] = job_arrays(job)
+                total_before = total_s.copy()
+
+                # Masked accumulations, replayed in the scalar path's
+                # order per column (masks are alive & <pure mask>).
+                a3 = alive & J["p3"]
+                a5 = alive & J["p5"]
+                acc("n_map_tasks", alive, J["n_maps"])
+                put("map_slots", alive & p2, map_slots)
+                acc("combine_output_mb", a3, J["combine_out"])
+                put("compress_ratio", a3, compress_ratio_vals)
+                acc("spilled_mb", a3, J["map_spilled"])
+                acc("merge_passes", a3, J["passes"])
+                acc("jvm_startup_s", a3, J["map_jvm_s"])
+                acc("map_waves", a3, J["map_waves"])
+                acc("speculative_waste_s", alive & J["p3spec"], J["spec_map"])
+                acc("map_phase_s", a3, J["map_phase_s"])
+                acc("hdfs_read_mb", a3, J["hdfs_read"])
+                acc("cpu_s", a3, J["map_cpu_total"])
+                acc("io_s", a3, J["map_io_total"])
+                acc("shuffle_mb", a3, J["shuffle_mb"])
+                acc("shuffle_phase_s", a3, J["shuffle_eff_s"])
+                acc("net_s", a3, J["shuffle_s"])
+                put("reduce_slots", a3 & p4, red_slots)
+                acc("merge_passes", alive & J["p5ov"], J["red_merge"])
+                acc("spilled_mb", alive & J["p5ov"], J["red_spilled"])
+                acc("hdfs_write_mb", a5, J["hdfs_write"])
+                put("skew_factor", a5, J["skew"])
+                acc("reduce_waves", a5, J["red_waves"])
+                acc("n_reduce_tasks", a5, n_red)
+                acc("speculative_waste_s", alive & J["p5spec"], J["spec_red"])
+                acc("reduce_phase_s", a5, J["reduce_phase_s"])
+                acc("cpu_s", a5, J["red_cpu_total"])
+                acc("io_s", a5, J["red_io_total"])
+
+                newly = alive & ~J["p5"]
+                np.copyto(failure_elapsed, total_before + 20.0, where=newly)
+                alive = a5
+                np.copyto(total_s, total_before + J["job_total"], where=alive)
+
+            total_s = np.maximum(total_s, 1e-3)
+            cost = total_s * len(self.cluster) / 3600.0
+        return measurements_from_columns(
+            cols,
+            self.METRIC_NAMES,
+            total_s,
+            cost,
+            failed=~alive,
+            failure_elapsed=failure_elapsed,
+            failure_cost=np.ones(n),
+        )
 
     # ------------------------------------------------------------------
     def profile(self, workload: Workload, config: Configuration) -> List[Dict[str, float]]:

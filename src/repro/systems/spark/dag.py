@@ -9,8 +9,8 @@ configuration — the central Spark tuning tradeoff.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, Sequence, Tuple
 
 from repro.core.workload import Workload
 from repro.exceptions import WorkloadError

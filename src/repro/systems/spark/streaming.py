@@ -22,7 +22,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Optional
 
 from repro.core.parameters import Configuration
 from repro.systems.spark.dag import SparkJob, SparkStage, SparkWorkload

@@ -34,13 +34,18 @@ def _parse_strict(data):
 
 
 def _tuned_session(jobs, tracer, chaos=False, runs=14):
-    """One deterministic ituned session; jobs>1 fans batches out."""
+    """One deterministic ituned session; jobs>1 fans batches out.
+
+    Vectorized batching is disabled so jobs>1 exercises the *runner*
+    path (process fan-out, worker span adoption) these tests pin down;
+    vectorized-path parity has its own suite.
+    """
     sim = make_system("dbms")
-    runner = ParallelRunner(jobs=jobs) if jobs > 1 else None
+    runner = ParallelRunner(jobs=jobs, cheap_task_s=0.0) if jobs > 1 else None
     cache = EvaluationCache()
     system = InstrumentedSystem(
         sim, noise=0.05, rng=np.random.default_rng(1),
-        eval_cache=cache, runner=runner,
+        eval_cache=cache, runner=runner, vectorize=False,
     )
     execution = None
     if chaos:

@@ -123,6 +123,80 @@ class TestSideEffectCounts:
         assert executed == [0, 1, 3, 4]
 
 
+def _slow_square(x):
+    import time
+
+    time.sleep(0.02)
+    return x * x
+
+
+class TestCheapTaskGuard:
+    """Auto mode must not fan sub-millisecond tasks out to a pool.
+
+    BENCH_exec E1 regression: cost-model calls (~100us) ran ~4x slower
+    through a process pool than serially because fork+pickle dominates.
+    Auto mode now times the first task and keeps the batch serial when
+    it comes in under ``cheap_task_s``.
+    """
+
+    def test_cheap_batch_stays_serial(self):
+        registry = MetricsRegistry()
+        previous = set_global_metrics(registry)
+        try:
+            with ParallelRunner(jobs=2, mode="auto", cheap_task_s=10.0) as r:
+                assert r.map(_square, [1, 2, 3, 4]) == [1, 4, 9, 16]
+        finally:
+            set_global_metrics(previous)
+        assert registry.value("exec.runner.cheap_fallbacks") == 1
+        assert registry.value("exec.runner.tasks.serial") == 4
+        assert registry.value("exec.runner.tasks.process") == 0
+
+    def test_expensive_batch_uses_pool(self):
+        registry = MetricsRegistry()
+        previous = set_global_metrics(registry)
+        try:
+            with ParallelRunner(
+                jobs=2, mode="auto", cheap_task_s=0.001
+            ) as r:
+                assert r.map(_slow_square, [1, 2, 3]) == [1, 4, 9]
+        finally:
+            set_global_metrics(previous)
+        assert registry.value("exec.runner.cheap_fallbacks") == 0
+        # The probed first task runs serially; the rest fan out.
+        assert registry.value("exec.runner.tasks.serial") == 1
+        assert registry.value("exec.runner.tasks.process") == 2
+
+    def test_zero_threshold_disables_probe(self):
+        registry = MetricsRegistry()
+        previous = set_global_metrics(registry)
+        try:
+            with ParallelRunner(jobs=2, mode="auto", cheap_task_s=0.0) as r:
+                assert r.map(_square, [1, 2, 3]) == [1, 4, 9]
+        finally:
+            set_global_metrics(previous)
+        assert registry.value("exec.runner.cheap_fallbacks") == 0
+        assert registry.value("exec.runner.tasks.process") == 3
+
+    def test_explicit_process_mode_never_second_guessed(self):
+        registry = MetricsRegistry()
+        previous = set_global_metrics(registry)
+        try:
+            with ParallelRunner(
+                jobs=2, mode="process", cheap_task_s=10.0
+            ) as r:
+                assert r.map(_square, [1, 2]) == [1, 4]
+        finally:
+            set_global_metrics(previous)
+        assert registry.value("exec.runner.cheap_fallbacks") == 0
+        assert registry.value("exec.runner.tasks.process") == 2
+
+    def test_env_threshold_is_read(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHEAP_TASK_S", "1.25")
+        assert ParallelRunner(jobs=2, mode="auto").cheap_task_s == 1.25
+        monkeypatch.delenv("REPRO_CHEAP_TASK_S")
+        assert ParallelRunner(jobs=2, mode="auto").cheap_task_s == 0.005
+
+
 class TestModeAccounting:
     def test_serial_and_pool_task_counters(self):
         registry = MetricsRegistry()
