@@ -188,6 +188,41 @@ class ChaosSystem(SystemUnderTune):
         self._next_index = 0
         self._policy_state = [{} for _ in self.policies]
 
+    def injection_state(self) -> Dict[str, object]:
+        """JSON-safe snapshot of the injection cursor + policy state.
+
+        Restoring this on a freshly constructed ``ChaosSystem`` with the
+        same seed and policies makes future injections byte-identical to
+        continuing the original instance — the fleet checkpoint relies
+        on it.  (The fault log is bookkeeping, not injection state, and
+        is not part of the snapshot.)
+        """
+        return {
+            "kind": "chaos_injection_state",
+            "seed": self.seed,
+            "next_index": self._next_index,
+            "policy_state": [dict(s) for s in self._policy_state],
+        }
+
+    def restore_injection_state(self, payload: Dict[str, object]) -> None:
+        if payload.get("kind") != "chaos_injection_state":
+            raise ValueError(
+                f"not a chaos_injection_state payload: {payload.get('kind')!r}"
+            )
+        if int(payload["seed"]) != self.seed:
+            raise ValueError(
+                f"chaos seed mismatch: checkpoint has {payload['seed']}, "
+                f"system has {self.seed}"
+            )
+        state = payload["policy_state"]
+        if len(state) != len(self.policies):
+            raise ValueError(
+                f"policy count mismatch: checkpoint has {len(state)}, "
+                f"system has {len(self.policies)}"
+            )
+        self._next_index = int(payload["next_index"])
+        self._policy_state = [dict(s) for s in state]
+
     def __repr__(self) -> str:  # pragma: no cover
         names = ", ".join(p.name for p in self.policies)
         return f"ChaosSystem({self.inner.name}, [{names}], seed={self.seed})"

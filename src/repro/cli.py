@@ -23,6 +23,13 @@ Commands:
                              (system, batch tuner) cell; asserts the
                              scalar and vectorized tuning histories
                              are byte-identical, noiseless and noisy
+    bench-fleet            — continuous vs one-shot tuning of a tenant
+                             fleet under workload drift and chaos:
+                             cumulative regret, guardrail saves, and
+                             a zero-bypass safety audit
+    fleet                  — run a multi-tenant continuous-tuning fleet
+                             (drift-triggered re-tunes, safety gate,
+                             optional chaos and checkpoint/resume)
     serve                  — HTTP recommendation service over a tuning
                              knowledge base
 
@@ -42,6 +49,9 @@ Examples::
     python -m repro bench-transfer --json BENCH_transfer.json
     python -m repro bench-obs --json BENCH_obs.json
     python -m repro bench-vec --json BENCH_vec.json
+    python -m repro bench-fleet --json BENCH_fleet.json
+    python -m repro fleet --system dbms --tenants 4 --epochs 9 --chaos 0.1
+    python -m repro fleet --system spark --kb fleet.kb --checkpoint fleet.ckpt
     python -m repro serve --kb tuning.kb --port 8350
 """
 
@@ -386,6 +396,88 @@ def _cmd_bench_vec(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_fleet(args: argparse.Namespace) -> int:
+    from repro.bench.fleet import run_fleet_benchmark
+
+    report = run_fleet_benchmark(
+        quick=not args.full, jobs=args.jobs, json_path=args.json
+    )
+    print(f"fleet benchmark: {report['n_cells']} cells "
+          f"(continuous vs one-shot), jobs={report['jobs']}")
+    print(f"  serial   {report['serial_wall_s']:8.2f}s")
+    if report["parallel_wall_s"] is not None:
+        print(f"  parallel {report['parallel_wall_s']:8.2f}s "
+              "(tenant histories identical)")
+    print(f"  {'system':6s} {'chaos':>6s} {'continuous':>11s} "
+          f"{'one-shot':>11s} {'winner':>11s} {'saves':>6s} {'vetoes':>7s}")
+    for cell in report["cells"]:
+        winner = "continuous" if cell["continuous_wins"] else "one-shot"
+        print(f"  {cell['system']:6s} {cell['intensity']:6.0%} "
+              f"{cell['regret_continuous']:11.1f} "
+              f"{cell['regret_oneshot']:11.1f} {winner:>11s} "
+              f"{cell['saves']:6d} {cell['gate_vetoes']:7d}")
+    print(f"  continuous won {report['n_cells_continuous_wins']}/"
+          f"{report['n_cells']} cells; "
+          f"{report['total_guardrail_saves']} guardrail saves; "
+          f"no admitted config predicted past the "
+          f"{report['max_regression']:.0%} regression bar")
+    if args.json:
+        print(f"  report written to {args.json}")
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import contextlib
+
+    from repro.bench.fleet import _build_specs, _cell_deadline
+    from repro.fleet import FleetController
+    from repro.kb import KnowledgeBase
+
+    specs = _build_specs(
+        args.system, args.chaos, args.tenants, args.phase_length, args.budget
+    )
+    deadline_s = _cell_deadline(
+        _build_specs(args.system, args.chaos, args.tenants,
+                     args.phase_length, args.budget)
+    )
+    with contextlib.ExitStack() as stack:
+        kb = None
+        if args.kb is not None:
+            kb = stack.enter_context(KnowledgeBase(args.kb))
+        elif args.checkpoint is None:
+            kb = stack.enter_context(KnowledgeBase(":memory:"))
+        controller = FleetController(
+            specs,
+            epochs=args.epochs,
+            seed=args.seed,
+            kb=kb,
+            deadline_s=deadline_s,
+            checkpoint_path=args.checkpoint,
+            log=print,
+        )
+        if controller.resumed_from_epoch is not None:
+            print(f"resumed from {args.checkpoint} at epoch "
+                  f"{controller.resumed_from_epoch}")
+        report = controller.run()
+    print(f"\nfleet of {args.tenants} {args.system} tenants, "
+          f"{report['epochs_done']} epochs, chaos {args.chaos:.0%}:")
+    for name, tenant in report["tenants"].items():
+        gate = tenant["gate"]
+        print(f"  {name:10s} retunes={tenant['retunes']:<3d} "
+              f"demotions={tenant['demotions']:<3d} "
+              f"drift_events={tenant['drift_events']:<3d} "
+              f"gate: {gate['allowed']} allowed / {gate['clipped']} clipped "
+              f"/ {gate['vetoes']} vetoed")
+        for workload, entry in tenant["incumbents"].items():
+            runtime = entry["runtime_s"]
+            shown = "-" if runtime in (None, "inf") else f"{runtime:.1f}s"
+            flag = " (demoted)" if entry["stale"] else ""
+            print(f"    {workload:24s} incumbent {shown}{flag}")
+    if args.checkpoint:
+        print(f"checkpoint written to {args.checkpoint}")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.kb import KnowledgeBase
     from repro.kb.service import serve_forever
@@ -525,6 +617,43 @@ def main(argv: List[str] = None) -> int:
     vec.add_argument("--full", action="store_true",
                      help="larger batches/budgets instead of quick mode")
 
+    bfleet = sub.add_parser(
+        "bench-fleet",
+        help="benchmark continuous vs one-shot fleet tuning under drift",
+    )
+    bfleet.add_argument("--json", default=None, metavar="PATH",
+                        help="write the JSON report here, e.g. "
+                             "BENCH_fleet.json")
+    bfleet.add_argument("--jobs", type=_jobs_arg, default=None,
+                        help="workers for the parallel verification pass "
+                             "(default 2; <=1 skips it)")
+    bfleet.add_argument("--full", action="store_true",
+                        help="full fleet sizes instead of quick mode")
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="run a multi-tenant continuous-tuning fleet",
+    )
+    fleet.add_argument("--system", choices=["dbms", "spark"], default="dbms")
+    fleet.add_argument("--tenants", type=int, default=4,
+                       help="number of tenant slots (default 4)")
+    fleet.add_argument("--epochs", type=int, default=9,
+                       help="monitor/re-tune epochs to run (default 9)")
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument("--chaos", type=float, default=0.0, metavar="INTENSITY",
+                       help="standing-fault intensity in [0, 1] (default 0)")
+    fleet.add_argument("--budget", type=int, default=8,
+                       help="real runs per re-tuning episode (default 8)")
+    fleet.add_argument("--phase-length", type=int, default=3,
+                       help="epochs per workload phase (default 3)")
+    fleet.add_argument("--kb", default=None, metavar="KB_PATH",
+                       help="knowledge base for cross-tenant warm starts "
+                            "(default: in-memory; required file-backed "
+                            "when --checkpoint is set)")
+    fleet.add_argument("--checkpoint", default=None, metavar="PATH",
+                       help="checkpoint file; if it exists, the fleet "
+                            "resumes from it")
+
     serve = sub.add_parser(
         "serve", help="HTTP recommendation service over a knowledge base"
     )
@@ -551,6 +680,8 @@ def main(argv: List[str] = None) -> int:
         "bench-transfer": _cmd_bench_transfer,
         "bench-obs": _cmd_bench_obs,
         "bench-vec": _cmd_bench_vec,
+        "bench-fleet": _cmd_bench_fleet,
+        "fleet": _cmd_fleet,
         "serve": _cmd_serve,
     }
     try:

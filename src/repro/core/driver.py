@@ -233,7 +233,27 @@ class SearchTuner(Tuner):
 
 
 class SearchDriver:
-    """Owns the evaluate loop between a strategy and a session."""
+    """Owns the evaluate loop between a strategy and a session.
+
+    Args:
+        guard: optional guardrail (e.g.,
+            :class:`repro.fleet.SafetyGate`) consulted before any
+            proposal executes.  ``guard.filter(session, candidates)``
+            returns the admitted (possibly clipped) subset; vetoed
+            candidates are never executed, so with a guard installed a
+            ``tell`` may cover fewer observations than the ask proposed
+            while the search still continues.
+        max_fruitless_asks: consecutive fully-vetoed asks after which
+            the driver ends the search (graceful degradation to the
+            incumbent) instead of spinning on a strategy whose every
+            proposal the guard rejects.
+    """
+
+    def __init__(self, guard: Optional[Any] = None, max_fruitless_asks: int = 5):
+        if max_fruitless_asks < 1:
+            raise ValueError("max_fruitless_asks must be >= 1")
+        self.guard = guard
+        self.max_fruitless_asks = max_fruitless_asks
 
     def run(
         self, strategy: SearchTuner, session: TuningSession
@@ -251,6 +271,7 @@ class SearchDriver:
                 )
                 strategy.tell(state, self._finals(session, mark, single=True))
             self._seed_from_prior(strategy, state, session)
+            fruitless = 0
             while session.can_run():
                 proposals = strategy.ask(state)
                 candidates = [
@@ -261,6 +282,15 @@ class SearchDriver:
                     break
                 metrics.inc("driver.asks")
                 metrics.observe("driver.ask_size", float(len(candidates)))
+                if self.guard is not None:
+                    candidates = list(self.guard.filter(session, candidates))
+                    if not candidates:
+                        fruitless += 1
+                        if fruitless >= self.max_fruitless_asks:
+                            metrics.inc("driver.guard_exhausted")
+                            break
+                        continue
+                    fruitless = 0
                 for c in candidates:
                     if c.predicted_runtime_s is not None:
                         session.predict(
@@ -352,7 +382,16 @@ class SearchDriver:
         for i, config in enumerate(session.prior_best_configs(k=k)):
             if session.remaining_runs <= strategy.prior_seed_reserve:
                 break
-            if session.evaluate_if_budget(config, tag=f"prior-{i}") is None:
+            candidate = Candidate(config, tag=f"prior-{i}")
+            if self.guard is not None:
+                kept = list(self.guard.filter(session, [candidate]))
+                if not kept:
+                    continue
+                candidate = kept[0]
+            if (
+                session.evaluate_if_budget(candidate.config, tag=candidate.tag)
+                is None
+            ):
                 break
             seeded += 1
         state.seeded_prior_runs = seeded

@@ -58,6 +58,7 @@ class TuningSession:
         rng: np.random.Generator,
         execution: Optional[ExecutionPolicy] = None,
         prior: Optional["TransferPrior"] = None,
+        breaker: Optional[CircuitBreaker] = None,
     ):
         system.check_workload(workload)
         self.system = system
@@ -67,8 +68,11 @@ class TuningSession:
         self.prior = prior
         self.execution = execution or ExecutionPolicy()
         self.failure_policy = self.execution.failure_policy
-        self.breaker: Optional[CircuitBreaker] = None
-        if self.execution.breaker_threshold is not None:
+        # An injected breaker (e.g., the fleet controller's persistent
+        # per-tenant breaker) takes precedence over building one from
+        # the policy — quarantine knowledge then outlives the session.
+        self.breaker: Optional[CircuitBreaker] = breaker
+        if breaker is None and self.execution.breaker_threshold is not None:
             self.breaker = CircuitBreaker(
                 threshold=self.execution.breaker_threshold,
                 resolution=self.execution.breaker_resolution,

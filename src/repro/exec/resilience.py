@@ -131,11 +131,23 @@ class CircuitBreaker:
     ``injected_fault``) never trip the breaker — a transient fault says
     nothing about the region.
 
+    By default an open circuit stays open forever.  Long-running loops
+    (the fleet controller) can opt into a *half-open* recovery mode with
+    ``cooldown_runs``: once that many further runs have been recorded
+    since the region opened, the next ``is_open`` check grants exactly
+    one probe — it reports the circuit closed for that single proposal.
+    A successful probe closes the circuit; a config-correlated probe
+    failure re-opens it and re-arms the cooldown; an environmental probe
+    failure is inconclusive and simply releases the probe slot.
+
     Args:
         threshold: consecutive failures that open a cell's circuit.
         resolution: grid cells per knob dimension.
         knobs: knob names to track (default: all knobs of whatever
             configurations are recorded).
+        cooldown_runs: recorded runs after which an open region admits
+            one probe config (``None``, the default, keeps regions
+            quarantined forever — the historical behavior).
     """
 
     def __init__(
@@ -143,16 +155,23 @@ class CircuitBreaker:
         threshold: int,
         resolution: int = 4,
         knobs: Optional[Sequence[str]] = None,
+        cooldown_runs: Optional[int] = None,
     ):
         if threshold < 1:
             raise ValueError("threshold must be >= 1")
         if resolution < 1:
             raise ValueError("resolution must be >= 1")
+        if cooldown_runs is not None and cooldown_runs < 1:
+            raise ValueError("cooldown_runs must be >= 1")
         self.threshold = threshold
         self.resolution = resolution
         self.knobs = tuple(knobs) if knobs else None
+        self.cooldown_runs = cooldown_runs
         self._consecutive: Dict[Tuple[int, ...], int] = {}
         self._open: set = set()
+        self._runs = 0
+        self._opened_at: Dict[Tuple[int, ...], int] = {}
+        self._probing: set = set()
         self.trips = 0
 
     def region(self, config) -> Tuple[int, ...]:
@@ -169,25 +188,78 @@ class CircuitBreaker:
         )
 
     def is_open(self, config) -> bool:
-        return self.region(config) in self._open
+        """Whether ``config``'s region is quarantined right now.
+
+        In half-open mode this call has a side effect: once the cooldown
+        has elapsed it grants a single probe (returns ``False`` exactly
+        once; further checks report open until the probe's outcome is
+        recorded).  Use :meth:`would_block` for a side-effect-free view.
+        """
+        region = self.region(config)
+        if region not in self._open:
+            return False
+        if not self._cooldown_elapsed(region):
+            return True
+        # Half-open: admit one probe config into the region.
+        self._probing.add(region)
+        global_metrics().inc("resilience.breaker_probes")
+        obs_event("breaker.half_open", region=str(region))
+        return False
+
+    def would_block(self, config) -> bool:
+        """Side-effect-free version of :meth:`is_open`.
+
+        Guardrail layers use this to pre-vet proposals without consuming
+        the half-open probe slot the executing session will claim.
+        """
+        region = self.region(config)
+        return region in self._open and not self._cooldown_elapsed(region)
+
+    def _cooldown_elapsed(self, region: Tuple[int, ...]) -> bool:
+        if self.cooldown_runs is None or region in self._probing:
+            return False
+        opened_at = self._opened_at.get(region, self._runs)
+        return self._runs - opened_at >= self.cooldown_runs
 
     def record(self, config, measurement) -> None:
         """Account one real execution's outcome for ``config``'s region.
 
-        Successes reset the region's failure streak (but never close an
-        already-open circuit — a quarantined cliff stays quarantined).
-        Failures marked as environmental are ignored.
+        Successes reset the region's failure streak (and, for a granted
+        half-open probe, close the circuit; without ``cooldown_runs`` an
+        open circuit never closes — a quarantined cliff stays
+        quarantined).  Failures marked as environmental are ignored,
+        except that they release a pending probe slot (inconclusive).
         """
+        self._runs += 1
         region = self.region(config)
         if measurement.ok:
             self._consecutive[region] = 0
+            if region in self._probing:
+                self._probing.discard(region)
+                self._open.discard(region)
+                self._opened_at.pop(region, None)
+                global_metrics().inc("resilience.breaker_closes")
+                obs_event("breaker.close", region=str(region))
             return
         if measurement.metric("injected_fault", 0.0) > 0:
+            # Environmental: says nothing about the region, but a probe
+            # burned on it is inconclusive — release the slot.
+            self._probing.discard(region)
+            return
+        if region in self._probing:
+            # Probe failed for config-correlated reasons: re-open and
+            # re-arm the cooldown clock.
+            self._probing.discard(region)
+            self._opened_at[region] = self._runs
+            self._consecutive[region] = self.threshold
+            global_metrics().inc("resilience.breaker_reopens")
+            obs_event("breaker.reopen", region=str(region))
             return
         count = self._consecutive.get(region, 0) + 1
         self._consecutive[region] = count
         if count >= self.threshold and region not in self._open:
             self._open.add(region)
+            self._opened_at[region] = self._runs
             self.trips += 1
             global_metrics().inc("resilience.breaker_trips")
             obs_event("breaker.open", region=str(region),
@@ -200,6 +272,9 @@ class CircuitBreaker:
     def reset(self) -> None:
         self._consecutive.clear()
         self._open.clear()
+        self._opened_at.clear()
+        self._probing.clear()
+        self._runs = 0
         self.trips = 0
 
     def summary(self) -> Dict[str, Any]:
@@ -209,6 +284,52 @@ class CircuitBreaker:
             "open_regions": len(self._open),
             "trips": self.trips,
         }
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        """Snapshot the breaker's mutable state (checkpoint support)."""
+        return {
+            "kind": "circuit_breaker",
+            "threshold": self.threshold,
+            "resolution": self.resolution,
+            "knobs": list(self.knobs) if self.knobs is not None else None,
+            "cooldown_runs": self.cooldown_runs,
+            "runs": self._runs,
+            "trips": self.trips,
+            "consecutive": [
+                [list(region), count]
+                for region, count in sorted(self._consecutive.items())
+            ],
+            "open": [list(region) for region in sorted(self._open)],
+            "opened_at": [
+                [list(region), at]
+                for region, at in sorted(self._opened_at.items())
+            ],
+            "probing": [list(region) for region in sorted(self._probing)],
+        }
+
+    @classmethod
+    def from_jsonable(cls, payload: Dict[str, Any]) -> "CircuitBreaker":
+        if payload.get("kind") != "circuit_breaker":
+            raise ValueError(
+                f"not a circuit_breaker payload: {payload.get('kind')!r}"
+            )
+        breaker = cls(
+            threshold=payload["threshold"],
+            resolution=payload["resolution"],
+            knobs=payload["knobs"],
+            cooldown_runs=payload["cooldown_runs"],
+        )
+        breaker._runs = int(payload["runs"])
+        breaker.trips = int(payload["trips"])
+        breaker._consecutive = {
+            tuple(region): int(count) for region, count in payload["consecutive"]
+        }
+        breaker._open = {tuple(region) for region in payload["open"]}
+        breaker._opened_at = {
+            tuple(region): int(at) for region, at in payload["opened_at"]
+        }
+        breaker._probing = {tuple(region) for region in payload["probing"]}
+        return breaker
 
     def __repr__(self) -> str:  # pragma: no cover
         return (

@@ -1,0 +1,23 @@
+"""Safe continuous tuning for a multi-tenant fleet.
+
+The fleet layer operates the repro's tuners the way production systems
+do: many tenants, each drifting through workload phases under standing
+faults, kept tuned by an epoch loop of monitor → drift-detect →
+guarded re-tune → checkpoint.  See
+:class:`~repro.fleet.controller.FleetController` for the loop,
+:class:`~repro.fleet.safety.SafetyGate` for the exploration guardrails,
+and :mod:`repro.fleet.checkpoint` for crash-safe persistence.
+"""
+
+from repro.fleet.checkpoint import read_checkpoint, write_checkpoint
+from repro.fleet.controller import FleetController, TenantSpec
+from repro.fleet.safety import SafetyGate, VetoRecord
+
+__all__ = [
+    "FleetController",
+    "TenantSpec",
+    "SafetyGate",
+    "VetoRecord",
+    "read_checkpoint",
+    "write_checkpoint",
+]

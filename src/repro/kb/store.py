@@ -377,6 +377,29 @@ class KnowledgeBase:
             records = [r for r in records if r.space_names == wanted]
         return records
 
+    def has_session(
+        self,
+        system_kind: str,
+        workload_name: str,
+        tuner_name: str,
+        seed: Optional[int],
+    ) -> bool:
+        """Whether a session with this exact identity is already stored.
+
+        Crash-safe ingest loops (the fleet controller) derive a
+        deterministic ``(tuner_name, seed)`` identity per episode and
+        skip the insert when a resume replays an epoch that was already
+        persisted — making re-ingestion idempotent.
+        """
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT 1 FROM kb_sessions WHERE system_kind = ?"
+                " AND workload_name = ? AND tuner_name = ?"
+                " AND seed IS ? LIMIT 1",
+                (system_kind, workload_name, tuner_name, seed),
+            ).fetchone()
+        return row is not None
+
     def history(self, session_id: int, space: ConfigurationSpace) -> TuningHistory:
         """Deserialize one session's observation history against ``space``."""
         with self._lock:

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -125,6 +125,7 @@ def warm_start_prior(
     max_observations: int = 60,
     exclude_workloads: Sequence[str] = (),
     fingerprint: Optional[WorkloadFingerprint] = None,
+    session_filter: Optional[Callable[[SessionRecord], bool]] = None,
 ) -> TransferPrior:
     """Build a transfer prior for tuning ``workload`` on ``system``.
 
@@ -137,6 +138,11 @@ def warm_start_prior(
             use this to force strictly cross-workload transfer.
         fingerprint: reuse an already-computed target fingerprint
             instead of probing (e.g., from a service request).
+        session_filter: optional predicate; sessions it rejects are
+            invisible to this prior.  The fleet controller uses it for
+            deterministic resume: a replayed episode must not see
+            sessions that were ingested "in its future" by the run
+            being resumed.
 
     Returns an empty prior (rather than raising) when the KB holds
     nothing compatible; warm-started tuners degrade to cold-start.
@@ -152,6 +158,7 @@ def warm_start_prior(
         )
         if record.fingerprint is not None
         and record.workload_name not in excluded
+        and (session_filter is None or session_filter(record))
     ]
     ranked = rank_similar(fingerprint, candidates)[: max(k_sessions, 0)]
     prior = TransferPrior(target_fingerprint=fingerprint)

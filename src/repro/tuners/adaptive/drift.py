@@ -12,9 +12,16 @@ shift *before* the runtime regresses (e.g., the read/write mix moved).
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Mapping
+from typing import Any, Dict, List, Mapping
 
 __all__ = ["DriftDetector", "MetricDriftDetector"]
+
+
+def _validate_params(delta: float, threshold: float, min_samples: int) -> None:
+    if delta < 0 or threshold <= 0:
+        raise ValueError("delta must be >= 0 and threshold > 0")
+    if min_samples < 2:
+        raise ValueError("min_samples must be >= 2")
 
 
 class DriftDetector:
@@ -34,10 +41,7 @@ class DriftDetector:
         threshold: float = 0.5,
         min_samples: int = 3,
     ):
-        if delta < 0 or threshold <= 0:
-            raise ValueError("delta must be >= 0 and threshold > 0")
-        if min_samples < 2:
-            raise ValueError("min_samples must be >= 2")
+        _validate_params(delta, threshold, min_samples)
         self.delta = delta
         self.threshold = threshold
         self.min_samples = min_samples
@@ -87,6 +91,38 @@ class DriftDetector:
             self.reset()
         return drifted
 
+    def to_jsonable(self) -> Dict[str, Any]:
+        """Snapshot the detector's mutable state (checkpoint support)."""
+        return {
+            "kind": "drift_detector",
+            "delta": self.delta,
+            "threshold": self.threshold,
+            "min_samples": self.min_samples,
+            "n": self._n,
+            "mean": self._mean,
+            "cum_up": self._cum_up,
+            "cum_down": self._cum_down,
+            "min_up": self._min_up,
+            "max_down": self._max_down,
+        }
+
+    @classmethod
+    def from_jsonable(cls, payload: Mapping[str, Any]) -> "DriftDetector":
+        if payload.get("kind") != "drift_detector":
+            raise ValueError(f"not a drift_detector payload: {payload.get('kind')!r}")
+        detector = cls(
+            delta=payload["delta"],
+            threshold=payload["threshold"],
+            min_samples=payload["min_samples"],
+        )
+        detector._n = int(payload["n"])
+        detector._mean = float(payload["mean"])
+        detector._cum_up = float(payload["cum_up"])
+        detector._cum_down = float(payload["cum_down"])
+        detector._min_up = float(payload["min_up"])
+        detector._max_down = float(payload["max_down"])
+        return detector
+
 
 class MetricDriftDetector:
     """Per-metric Page–Hinkley detectors over a metric mapping.
@@ -96,6 +132,9 @@ class MetricDriftDetector:
     """
 
     def __init__(self, delta: float = 0.1, threshold: float = 1.0, min_samples: int = 3):
+        # Validate eagerly: the lazy per-metric detectors would otherwise
+        # defer a bad delta/threshold to the first update() call.
+        _validate_params(delta, threshold, min_samples)
         self.delta = delta
         self.threshold = threshold
         self.min_samples = min_samples
@@ -119,3 +158,31 @@ class MetricDriftDetector:
     def reset(self) -> None:
         for detector in self._detectors.values():
             detector.reset()
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        """Snapshot all per-metric detectors (checkpoint support)."""
+        return {
+            "kind": "metric_drift_detector",
+            "delta": self.delta,
+            "threshold": self.threshold,
+            "min_samples": self.min_samples,
+            "detectors": {
+                name: detector.to_jsonable()
+                for name, detector in sorted(self._detectors.items())
+            },
+        }
+
+    @classmethod
+    def from_jsonable(cls, payload: Mapping[str, Any]) -> "MetricDriftDetector":
+        if payload.get("kind") != "metric_drift_detector":
+            raise ValueError(
+                f"not a metric_drift_detector payload: {payload.get('kind')!r}"
+            )
+        detector = cls(
+            delta=payload["delta"],
+            threshold=payload["threshold"],
+            min_samples=payload["min_samples"],
+        )
+        for name, sub in payload["detectors"].items():
+            detector._detectors[name] = DriftDetector.from_jsonable(sub)
+        return detector
