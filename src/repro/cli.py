@@ -27,6 +27,12 @@ Commands:
                              fleet under workload drift and chaos:
                              cumulative regret, guardrail saves, and
                              a zero-bypass safety audit
+    bench-surrogate        — zero-probe surrogate serving vs the
+                             similarity recommender and cold tuning on
+                             a (system, workload family) matrix; checks
+                             the KB-hit path issues 0 live probe runs
+    surrogate              — train per-family KB surrogates and print
+                             their knob-importance reports
     fleet                  — run a multi-tenant continuous-tuning fleet
                              (drift-triggered re-tunes, safety gate,
                              optional chaos and checkpoint/resume)
@@ -50,9 +56,11 @@ Examples::
     python -m repro bench-obs --json BENCH_obs.json
     python -m repro bench-vec --json BENCH_vec.json
     python -m repro bench-fleet --json BENCH_fleet.json
+    python -m repro bench-surrogate --json BENCH_surrogate.json
+    python -m repro surrogate --kb tuning.kb --system dbms
     python -m repro fleet --system dbms --tenants 4 --epochs 9 --chaos 0.1
     python -m repro fleet --system spark --kb fleet.kb --checkpoint fleet.ckpt
-    python -m repro serve --kb tuning.kb --port 8350
+    python -m repro serve --kb tuning.kb --port 8350 --surrogate-dir models/
 """
 
 from __future__ import annotations
@@ -426,6 +434,69 @@ def _cmd_bench_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_surrogate(args: argparse.Namespace) -> int:
+    from repro.bench.surrogate import run_surrogate_benchmark
+
+    report = run_surrogate_benchmark(
+        quick=not args.full, jobs=args.jobs, json_path=args.json
+    )
+    print(f"surrogate benchmark: {report['n_cells']} cells "
+          f"(zero-probe serving vs similarity vs cold), jobs={report['jobs']}")
+    print(f"  serial   {report['serial_wall_s']:8.2f}s")
+    if report["parallel_wall_s"] is not None:
+        print(f"  parallel {report['parallel_wall_s']:8.2f}s "
+              "(cell reports identical)")
+    print(f"  {'system':6s} {'family':16s} {'served_by':20s} {'model':9s} "
+          f"{'surrogate':>10s} {'similarity':>11s} {'cold':>9s}")
+    for cell in report["cells"]:
+        def fmt(value):
+            return "inf" if value in (None, "inf") else f"{value:8.2f}s"
+        print(f"  {cell['system']:6s} {cell['family']:16s} "
+              f"{cell['served_by']:20s} {str(cell['model_kind']):9s} "
+              f"{fmt(cell['surrogate_s']):>10s} {fmt(cell['similarity_s']):>11s} "
+              f"{fmt(cell['cold_best_s']):>9s}")
+    print(f"  surrogate beat similarity in {report['n_surrogate_wins']}/"
+          f"{report['n_cells']} cells "
+          f"(required >= {report['required_wins']}); "
+          f"{report['n_served_zero_probe']}/{report['n_cells']} served with "
+          "0 live probe runs")
+    if args.json:
+        print(f"  report written to {args.json}")
+    return 0
+
+
+def _cmd_surrogate(args: argparse.Namespace) -> int:
+    from repro import make_system
+    from repro.kb import KnowledgeBase
+    from repro.surrogate import SurrogateStore
+
+    store = SurrogateStore(args.surrogate_dir)
+    with KnowledgeBase(args.kb) as kb:
+        system = make_system(args.system)
+        trained = store.train_all(kb, args.system, system.config_space)
+        if not trained:
+            print(f"no trainable workload families for {args.system!r} "
+                  f"in {args.kb} (need sessions with fingerprints and "
+                  "enough successful rows)")
+            return 1
+        for family, model in sorted(trained.items()):
+            info = model.describe()
+            print(f"{args.system}/{family}: model={info['model_kind']} "
+                  f"rows={info['n_rows']} ({info['n_failed']} failed) "
+                  f"sessions={info['n_sessions']} "
+                  f"kb_version={info['kb_version']}")
+            print(f"  workloads: {', '.join(info['workloads'])}")
+            print(f"  {'knob':28s} {'forest':>8s} {'lasso':>8s} "
+                  f"{'combined':>9s}")
+            for row in model.importance.to_jsonable()["knobs"][: args.top]:
+                marker = "*" if row["name"] in model.top_knobs else " "
+                print(f"  {marker}{row['name']:27s} {row['forest']:8.3f} "
+                      f"{row['lasso']:8.3f} {row['combined']:9.3f}")
+        if args.surrogate_dir:
+            print(f"models written to {args.surrogate_dir}/")
+    return 0
+
+
 def _cmd_fleet(args: argparse.Namespace) -> int:
     import contextlib
 
@@ -483,7 +554,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.kb.service import serve_forever
 
     with KnowledgeBase(args.kb) as kb:
-        serve_forever(kb, args.host, args.port)
+        serve_forever(kb, args.host, args.port,
+                      surrogate_dir=args.surrogate_dir)
     return 0
 
 
@@ -630,6 +702,34 @@ def main(argv: List[str] = None) -> int:
     bfleet.add_argument("--full", action="store_true",
                         help="full fleet sizes instead of quick mode")
 
+    bsur = sub.add_parser(
+        "bench-surrogate",
+        help="benchmark zero-probe surrogate serving vs similarity/cold",
+    )
+    bsur.add_argument("--json", default=None, metavar="PATH",
+                      help="write the JSON report here, e.g. "
+                           "BENCH_surrogate.json")
+    bsur.add_argument("--jobs", type=_jobs_arg, default=None,
+                      help="workers for the parallel verification pass "
+                           "(default 2; <=1 skips it)")
+    bsur.add_argument("--full", action="store_true",
+                      help="full budgets instead of quick mode")
+
+    surrogate = sub.add_parser(
+        "surrogate",
+        help="train KB surrogates and print knob-importance reports",
+    )
+    surrogate.add_argument("--kb", required=True, metavar="KB_PATH",
+                           help="knowledge base to train from (SQLite file)")
+    surrogate.add_argument("--system", choices=["dbms", "hadoop", "spark"],
+                           required=True)
+    surrogate.add_argument("--surrogate-dir", default=None, metavar="DIR",
+                           help="persist trained models to this directory "
+                                "(default: in-memory only)")
+    surrogate.add_argument("--top", type=int, default=10,
+                           help="importance rows to print per family "
+                                "(default 10; * marks search-pruned knobs)")
+
     fleet = sub.add_parser(
         "fleet",
         help="run a multi-tenant continuous-tuning fleet",
@@ -661,6 +761,9 @@ def main(argv: List[str] = None) -> int:
                        help="knowledge base to serve (SQLite file)")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8350)
+    serve.add_argument("--surrogate-dir", default=None, metavar="DIR",
+                       help="disk-backed surrogate registry so trained "
+                            "models survive restarts (default: in-memory)")
 
     sweep = sub.add_parser("sweep", help="one-at-a-time knob sweep")
     sweep.add_argument("--system", choices=["dbms", "hadoop", "spark"], required=True)
@@ -681,6 +784,8 @@ def main(argv: List[str] = None) -> int:
         "bench-obs": _cmd_bench_obs,
         "bench-vec": _cmd_bench_vec,
         "bench-fleet": _cmd_bench_fleet,
+        "bench-surrogate": _cmd_bench_surrogate,
+        "surrogate": _cmd_surrogate,
         "fleet": _cmd_fleet,
         "serve": _cmd_serve,
     }

@@ -43,6 +43,12 @@ class WorkloadError(ReproError):
     """A workload definition is inconsistent or unsupported by a system."""
 
 
+class SurrogateError(ReproError):
+    """A surrogate model could not be trained, loaded, or queried —
+    e.g., too few successful observations for a workload family, or a
+    fingerprint without a finite probe anchor."""
+
+
 class FaultInjected(ReproError):
     """An *environmental* fault (injected by a chaos policy) killed a run.
 

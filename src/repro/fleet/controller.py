@@ -87,6 +87,7 @@ from repro.kb.warmstart import warm_start_prior
 from repro.obs.metrics import global_metrics
 from repro.obs.trace import event as obs_event
 from repro.obs.trace import span as obs_span
+from repro.surrogate import SurrogateStore, surrogate_prior
 from repro.tuners.adaptive.drift import DriftDetector, MetricDriftDetector
 
 __all__ = ["TenantSpec", "FleetController"]
@@ -175,6 +176,14 @@ class FleetController:
             (``None`` disables transfer).  Must be file-backed when
             ``checkpoint_path`` is set — an in-memory KB cannot survive
             the crash the checkpoint exists for.
+        surrogate_store: opt-in :class:`~repro.surrogate.SurrogateStore`;
+            when set (and ``kb`` is set), each re-tune episode's prior is
+            additionally seeded with the family surrogate's top predicted
+            configurations (:func:`~repro.surrogate.surrogate_prior`), so
+            the opening batch starts from the model's best guesses.
+            Default ``None`` keeps the similarity-only prior — resumed
+            runs replay to byte-identical digests only when the store
+            (and its on-disk state) is supplied identically.
         strategy: registered tuner name used for episodes; must be a
             :class:`~repro.core.driver.SearchTuner` (the episode runs
             through a guarded ``SearchDriver``).
@@ -205,6 +214,7 @@ class FleetController:
         epochs: int,
         seed: int = 0,
         kb: Optional[KnowledgeBase] = None,
+        surrogate_store: Optional[SurrogateStore] = None,
         strategy: str = "bayesopt",
         strategy_kwargs: Optional[Mapping[str, Any]] = None,
         max_regression: float = 0.25,
@@ -236,6 +246,7 @@ class FleetController:
         self.epochs = epochs
         self.seed = int(seed)
         self.kb = kb
+        self.surrogate_store = surrogate_store
         self.strategy = strategy
         self.strategy_kwargs = dict(strategy_kwargs or {})
         self.max_regression = max_regression
@@ -525,7 +536,38 @@ class FleetController:
             self.kb, spec.system, workload, fingerprint=fingerprint,
             session_filter=self._session_visible(spec.name, epoch),
         )
+        if self.surrogate_store is not None:
+            rows = self._surrogate_rows(spec, workload, epoch, fingerprint)
+            if rows:
+                prior.rows = rows + prior.rows
+                global_metrics().inc("fleet.surrogate_priors")
+                obs_event("fleet.surrogate_prior", tenant=spec.name,
+                          epoch=epoch, workload=workload.name,
+                          rows=len(rows))
         return prior if len(prior) else None
+
+    def _surrogate_rows(self, spec: TenantSpec, workload: Workload,
+                        epoch: int, fingerprint) -> List[Any]:
+        """Family surrogate's top picks as extra prior rows (opt-in).
+
+        Uses the same session-visibility predicate as the similarity
+        prior so a resumed run retrains from the same KB slice.  A prior
+        must never crash the episode it seeds: any surrogate failure
+        degrades to the similarity-only prior.
+        """
+        assert self.surrogate_store is not None
+        space = spec.system.config_space
+        try:
+            trained = self.surrogate_store.get(
+                self.kb, spec.system.kind,
+                SurrogateStore.family_of(workload.name), space,
+                session_filter=self._session_visible(spec.name, epoch),
+            )
+            if trained is None:
+                return []
+            return surrogate_prior(trained, space, fingerprint)
+        except Exception:
+            return []
 
     def _session_visible(self, tenant_name: str, epoch: int):
         """Visibility predicate for deterministic resume.

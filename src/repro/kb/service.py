@@ -8,11 +8,19 @@ knowledge:
 * ``GET  /metrics``    — process-wide observability snapshot: the
   :func:`~repro.obs.global_metrics` counters/gauges/histograms
   (request latencies included) plus evaluation-cache stats.
+* ``GET  /surrogate/status`` — the surrogate registry: which
+  (system, family) models exist, their KB-version freshness, holdout
+  scores, and top knobs.
 * ``POST /recommend``  — given a workload fingerprint (or a stored
   workload's name), return the most similar stored sessions and the
-  best configuration they found.
+  best configuration they found.  With ``"mode": "surrogate"`` the
+  reply instead optimizes a learned per-family surrogate (zero probe
+  runs), falling back to the similarity answer on cache miss or low
+  model confidence — ``served_by``/``fallback_reason`` say which.
 * ``POST /ingest``     — store a completed session document (the
   ``kb_session`` payload :meth:`KnowledgeBase.session_payload` builds).
+  Ingests bump the KB version, which invalidates both the fingerprint
+  index and any surrogate models trained on the previous contents.
 
 Every response is *strict* RFC 8259 JSON: payloads pass through the
 knowledge base's inf-safe encoding (:func:`~repro.kb.store.json_safe`)
@@ -35,9 +43,16 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
+from repro.exceptions import SurrogateError
 from repro.kb.fingerprint import WorkloadFingerprint, rank_similar
 from repro.kb.store import KnowledgeBase, SessionRecord, dumps_strict
 from repro.obs.metrics import global_metrics
+from repro.surrogate import (
+    DEFAULT_CONFIDENCE,
+    SurrogateStore,
+    family_of,
+    recommend_config,
+)
 
 __all__ = ["RecommendationService", "ServiceError", "make_server", "serve_forever"]
 
@@ -47,13 +62,31 @@ class ServiceError(ValueError):
 
 
 class RecommendationService:
-    """Query engine behind the HTTP endpoints (usable in-process too)."""
+    """Query engine behind the HTTP endpoints (usable in-process too).
 
-    def __init__(self, kb: KnowledgeBase) -> None:
+    Args:
+        surrogate_store: registry backing surrogate-mode recommends and
+            ``/surrogate/status``; defaults to a fresh in-memory store
+            (models train lazily on first surrogate request).
+        confidence_threshold: maximum relative posterior std for a
+            surrogate answer to be served; above it the reply falls
+            back to the similarity recommendation.
+    """
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        surrogate_store: Optional[SurrogateStore] = None,
+        confidence_threshold: float = DEFAULT_CONFIDENCE,
+    ) -> None:
         self.kb = kb
+        self.surrogates = surrogate_store or SurrogateStore()
+        self.confidence_threshold = confidence_threshold
         self._index_lock = threading.Lock()
         self._index_version: Optional[Tuple[int, int]] = None
         self._index: List[Tuple[SessionRecord, WorkloadFingerprint]] = []
+        self._surrogate_lock = threading.Lock()
+        self._spaces: Dict[str, Any] = {}
 
     # -- index -------------------------------------------------------------
     def _fingerprint_index(
@@ -84,8 +117,16 @@ class RecommendationService:
             ``workload``: name of a stored workload whose newest stored
                 fingerprint stands in for a probe run;
             ``system_kind`` (optional): restrict candidates;
-            ``k`` (optional, default 3): number of matches returned.
+            ``k`` (optional, default 3): number of matches returned;
+            ``mode`` (optional): ``"similarity"`` (default) replays the
+                nearest stored session's best config; ``"surrogate"``
+                optimizes the workload family's learned model instead,
+                falling back to the similarity answer when no model
+                applies or its confidence gate fails.
         """
+        mode = request.get("mode", "similarity")
+        if mode not in ("similarity", "surrogate"):
+            raise ServiceError(f"unknown recommend mode {mode!r}")
         k = int(request.get("k", 3))
         if k <= 0:
             raise ServiceError("k must be positive")
@@ -116,11 +157,95 @@ class RecommendationService:
                 "from_workload": record.workload_name,
                 "expected_runtime_s": record.best_runtime_s,
             }
-        return {
+        response = {
             "n_candidates": len(candidates),
             "matches": matches,
             "recommended": recommended,
         }
+        if mode == "surrogate":
+            response = self._surrogate_overlay(
+                request, response, fingerprint, ranked, system_kind
+            )
+        return response
+
+    # -- surrogate mode ----------------------------------------------------
+    def _space_for(self, system_kind: str) -> Optional[Any]:
+        """The system kind's configuration space (memoized; None if the
+        kind is not registered — surrogate mode then falls back)."""
+        if system_kind not in self._spaces:
+            from repro.core.registry import make_system
+
+            try:
+                self._spaces[system_kind] = make_system(system_kind).config_space
+            except Exception:
+                self._spaces[system_kind] = None
+        return self._spaces[system_kind]
+
+    def _surrogate_overlay(
+        self,
+        request: Mapping[str, Any],
+        base: Dict[str, Any],
+        fingerprint: WorkloadFingerprint,
+        ranked: List[Tuple[SessionRecord, float]],
+        system_kind: Optional[str],
+    ) -> Dict[str, Any]:
+        """Serve the request from a per-family surrogate if one applies.
+
+        Every exit path keeps the similarity fields intact: a fallback
+        response is exactly the similarity answer plus provenance
+        (``served_by: "similarity-fallback"`` and the reason).
+        """
+        response = dict(base)
+        response["mode"] = "surrogate"
+        response["surrogate"] = None
+        response["served_by"] = "similarity-fallback"
+        response["fallback_reason"] = None
+
+        def fallback(reason: str) -> Dict[str, Any]:
+            response["fallback_reason"] = reason
+            return response
+
+        kind = system_kind or (ranked[0][0].system_kind if ranked else None)
+        if kind is None:
+            return fallback("no-candidate-sessions")
+        workload = request.get("workload") or (
+            ranked[0][0].workload_name if ranked else None
+        )
+        if workload is None:
+            return fallback("no-workload-match")
+        space = self._space_for(kind)
+        if space is None:
+            return fallback(f"unknown-system-kind:{kind}")
+        family = family_of(workload)
+        with self._surrogate_lock:
+            model = self.surrogates.get(self.kb, kind, family, space)
+        if model is None:
+            return fallback("no-model")
+        try:
+            recommendation = recommend_config(
+                model, space, fingerprint,
+                confidence_threshold=self.confidence_threshold,
+            )
+        except SurrogateError:
+            return fallback("no-probe-anchor")
+        if recommendation is None:
+            return fallback("no-feasible-candidates")
+        response["surrogate"] = recommendation.describe()
+        if not recommendation.confident:
+            return fallback("low-confidence")
+        response["served_by"] = "surrogate"
+        response["recommended"] = {
+            "config": dict(recommendation.values),
+            "from_surrogate": model.family,
+            "model_kind": model.model_kind,
+            "expected_runtime_s": recommendation.predicted_runtime_s,
+        }
+        return response
+
+    def surrogate_status(self) -> Dict[str, Any]:
+        """Registry snapshot (``GET /surrogate/status``)."""
+        with self._surrogate_lock:
+            return self.surrogates.status(self.kb)
 
     def _request_fingerprint(
         self,
@@ -174,6 +299,10 @@ class _Handler(BaseHTTPRequestHandler):
             self._handle("workloads", lambda: self.service.workloads())
         elif path == "/metrics":
             self._handle("metrics", lambda: self.service.metrics())
+        elif path == "/surrogate/status":
+            self._handle(
+                "surrogate_status", lambda: self.service.surrogate_status()
+            )
         else:
             self._reply(404, {"error": f"unknown path {self.path}"})
 
@@ -223,28 +352,40 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 def make_server(
-    kb: KnowledgeBase, host: str = "127.0.0.1", port: int = 0
+    kb: KnowledgeBase,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    surrogate_dir: Optional[str] = None,
 ) -> ThreadingHTTPServer:
     """Build a threading HTTP server bound to (host, port).
 
     ``port=0`` picks a free port (tests); the bound address is available
     as ``server.server_address``.  Call ``serve_forever()`` on it (or
-    use :func:`serve_forever` for the CLI loop).
+    use :func:`serve_forever` for the CLI loop).  ``surrogate_dir``
+    makes the surrogate registry disk-backed so trained models survive
+    restarts.
     """
-    service = RecommendationService(kb)
+    store = SurrogateStore(surrogate_dir) if surrogate_dir else None
+    service = RecommendationService(kb, surrogate_store=store)
     handler = type("KBHandler", (_Handler,), {"service": service})
     server = ThreadingHTTPServer((host, port), handler)
     server.daemon_threads = True
     return server
 
 
-def serve_forever(kb: KnowledgeBase, host: str, port: int) -> None:
+def serve_forever(
+    kb: KnowledgeBase,
+    host: str,
+    port: int,
+    surrogate_dir: Optional[str] = None,
+) -> None:
     """Blocking CLI entry point (Ctrl-C to stop)."""
-    server = make_server(kb, host, port)
+    server = make_server(kb, host, port, surrogate_dir=surrogate_dir)
     bound_host, bound_port = server.server_address[:2]
     print(f"kb service on http://{bound_host}:{bound_port} "
           f"({len(kb)} stored sessions; endpoints: "
-          f"GET /workloads, GET /metrics, POST /recommend, POST /ingest)")
+          f"GET /workloads, GET /metrics, GET /surrogate/status, "
+          f"POST /recommend, POST /ingest)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover

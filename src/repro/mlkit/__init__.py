@@ -20,6 +20,7 @@ from repro.mlkit.doe import (
     main_effects,
     plackett_burman,
 )
+from repro.mlkit.ensemble import MeanEnsemble
 from repro.mlkit.factor import PCA, FactorAnalysis
 from repro.mlkit.gp import GaussianProcess
 from repro.mlkit.kernels import RBF, ConstantTimes, Kernel, Matern52, Sum
@@ -27,6 +28,7 @@ from repro.mlkit.linear import Lasso, RidgeRegression, lasso_path, lasso_rank_fe
 from repro.mlkit.neural import MLPRegressor
 from repro.mlkit.sampling import halton, latin_hypercube, maximin_latin_hypercube, uniform
 from repro.mlkit.scaler import MinMaxScaler, StandardScaler
+from repro.mlkit.state import dump_model, load_model
 from repro.mlkit.tree import RandomForest, RegressionTree
 
 __all__ = [
@@ -38,6 +40,7 @@ __all__ = [
     "Lasso",
     "MLPRegressor",
     "Matern52",
+    "MeanEnsemble",
     "MinMaxScaler",
     "PCA",
     "RBF",
@@ -46,6 +49,7 @@ __all__ = [
     "RidgeRegression",
     "StandardScaler",
     "Sum",
+    "dump_model",
     "expected_improvement",
     "foldover",
     "full_factorial_two_level",
@@ -53,6 +57,7 @@ __all__ = [
     "lasso_path",
     "lasso_rank_features",
     "latin_hypercube",
+    "load_model",
     "lower_confidence_bound",
     "main_effects",
     "maximin_latin_hypercube",

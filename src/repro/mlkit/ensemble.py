@@ -1,0 +1,82 @@
+"""Model averaging: a mean-committee meta-estimator.
+
+Averaging two structurally different regressors (smooth GP + piecewise
+forest) cuts the idiosyncratic error either one would let an argmin
+exploit — the committee's top-ranked candidate has to look good to both
+members.  Uncertainty averages over the members that provide it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.mlkit.gp import GaussianProcess
+
+__all__ = ["MeanEnsemble"]
+
+
+class MeanEnsemble:
+    """Average the predictions of independently fitted members.
+
+    Args:
+        members: regressors exposing ``fit``/``predict``; members that
+            also expose an uncertainty (``predict_std``, or a GP's
+            ``return_std``) contribute to the committee std.
+    """
+
+    def __init__(self, members: Sequence[Any]) -> None:
+        if not members:
+            raise ValueError("MeanEnsemble needs at least one member")
+        self.members = list(members)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MeanEnsemble":
+        for member in self.members:
+            member.fit(X, y)
+        return self
+
+    def _member_predict(
+        self, member: Any, X: np.ndarray
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        if isinstance(member, GaussianProcess):
+            return member.predict(X, return_std=True)
+        if hasattr(member, "predict_std"):
+            return member.predict_std(X)
+        return np.asarray(member.predict(X), dtype=float), None
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        means = [self._member_predict(m, X)[0] for m in self.members]
+        return np.mean(means, axis=0)
+
+    def predict_std(
+        self, X: np.ndarray
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """(committee mean, mean member std).
+
+        The std averages the members that report one; ``None`` when no
+        member does.
+        """
+        means: List[np.ndarray] = []
+        stds: List[np.ndarray] = []
+        for member in self.members:
+            mean, std = self._member_predict(member, X)
+            means.append(np.asarray(mean, dtype=float))
+            if std is not None:
+                stds.append(np.asarray(std, dtype=float))
+        mean = np.mean(means, axis=0)
+        return mean, (np.mean(stds, axis=0) if stds else None)
+
+    def to_state(self) -> Dict[str, Any]:
+        from repro.mlkit.state import dump_model
+
+        return {
+            "kind": "mean_ensemble",
+            "members": [dump_model(m) for m in self.members],
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "MeanEnsemble":
+        from repro.mlkit.state import load_model
+
+        return cls([load_model(s) for s in state["members"]])

@@ -15,12 +15,12 @@ the small sample sizes tuning produces (tens to low hundreds of runs).
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.exceptions import ModelNotFitted
-from repro.mlkit.kernels import Kernel, Matern52, pairwise_sq_dists
+from repro.mlkit.kernels import RBF, Kernel, Matern52, pairwise_sq_dists
 
 __all__ = ["GaussianProcess"]
 
@@ -249,3 +249,48 @@ class GaussianProcess:
     @property
     def n_train(self) -> int:
         return 0 if self._X is None else self._X.shape[0]
+
+    # -- serialization -------------------------------------------------------
+    def to_state(self) -> Dict[str, Any]:
+        """JSON-safe snapshot of the fitted GP.
+
+        Stores the selected kernel hyperparameters plus the raw training
+        data; :meth:`from_state` re-runs the (deterministic) Cholesky
+        factorization with ``optimize=False``, which reproduces the
+        original fit's ``_finalize`` path exactly — identical
+        predictions without serializing triangular factors.
+        """
+        if self._X is None:
+            raise ModelNotFitted("GaussianProcess not fitted")
+        kernel_types = {RBF: "rbf", Matern52: "matern52"}
+        kind = kernel_types.get(type(self.kernel))
+        if kind is None:
+            raise ValueError(
+                f"cannot serialize kernel {type(self.kernel).__name__}"
+            )
+        return {
+            "kind": "gp",
+            "kernel": {
+                "type": kind,
+                "lengthscale": self.kernel.lengthscale.tolist(),
+                "variance": self.kernel.variance,
+            },
+            "noise": self.noise,
+            "X": self._X.tolist(),
+            "y": self._y_raw.tolist(),
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "GaussianProcess":
+        kernel_types = {"rbf": RBF, "matern52": Matern52}
+        spec = state["kernel"]
+        kernel = kernel_types[spec["type"]](
+            lengthscale=np.asarray(spec["lengthscale"], dtype=float),
+            variance=spec["variance"],
+        )
+        gp = cls(kernel=kernel, noise=state["noise"], optimize=False)
+        gp.fit(
+            np.asarray(state["X"], dtype=float),
+            np.asarray(state["y"], dtype=float),
+        )
+        return gp

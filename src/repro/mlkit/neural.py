@@ -7,7 +7,7 @@ substrate for that tuner and for generic learned performance models.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -130,3 +130,37 @@ class MLPRegressor:
         Z = self._x_scaler.transform(np.atleast_2d(np.asarray(X, dtype=float)))
         pred, _ = self._forward(Z)
         return pred.ravel() * self._y_std + self._y_mean
+
+    def to_state(self) -> Dict[str, Any]:
+        """JSON-safe snapshot of the trained network."""
+        if self._weights is None or self._x_scaler is None:
+            raise ModelNotFitted("MLPRegressor not fitted")
+        return {
+            "kind": "mlp",
+            "hidden": list(self.hidden),
+            "lr": self.lr,
+            "epochs": self.epochs,
+            "l2": self.l2,
+            "seed": self.seed,
+            "weights": [w.tolist() for w in self._weights],
+            "biases": [b.tolist() for b in self._biases],
+            "x_scaler": self._x_scaler.to_state(),
+            "y_mean": self._y_mean,
+            "y_std": self._y_std,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "MLPRegressor":
+        model = cls(
+            hidden=state["hidden"],
+            lr=state["lr"],
+            epochs=state["epochs"],
+            l2=state["l2"],
+            seed=state["seed"],
+        )
+        model._weights = [np.asarray(w, dtype=float) for w in state["weights"]]
+        model._biases = [np.asarray(b, dtype=float) for b in state["biases"]]
+        model._x_scaler = StandardScaler.from_state(state["x_scaler"])
+        model._y_mean = float(state["y_mean"])
+        model._y_std = float(state["y_std"])
+        return model

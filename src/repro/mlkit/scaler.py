@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Dict, Optional
 
 import numpy as np
 
@@ -45,6 +45,22 @@ class StandardScaler:
             raise ModelNotFitted("StandardScaler not fitted")
         return np.asarray(X, dtype=float) * self.scale_ + self.mean_
 
+    def to_state(self) -> Dict[str, Any]:
+        if self.mean_ is None:
+            raise ModelNotFitted("StandardScaler not fitted")
+        return {
+            "kind": "standard_scaler",
+            "mean": self.mean_.tolist(),
+            "scale": self.scale_.tolist(),
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "StandardScaler":
+        scaler = cls()
+        scaler.mean_ = np.asarray(state["mean"], dtype=float)
+        scaler.scale_ = np.asarray(state["scale"], dtype=float)
+        return scaler
+
 
 class MinMaxScaler:
     """Scale columns into [0, 1]; constant columns map to 0."""
@@ -70,3 +86,30 @@ class MinMaxScaler:
 
     def fit_transform(self, X: np.ndarray) -> np.ndarray:
         return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        """Map scaled values back to the original units.
+
+        Constant columns round-trip exactly: they were divided by the
+        degenerate-range placeholder of 1, so multiplying by it and
+        adding ``min_`` restores the original value.
+        """
+        if self.min_ is None:
+            raise ModelNotFitted("MinMaxScaler not fitted")
+        return np.asarray(X, dtype=float) * self.range_ + self.min_
+
+    def to_state(self) -> Dict[str, Any]:
+        if self.min_ is None:
+            raise ModelNotFitted("MinMaxScaler not fitted")
+        return {
+            "kind": "minmax_scaler",
+            "min": self.min_.tolist(),
+            "range": self.range_.tolist(),
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "MinMaxScaler":
+        scaler = cls()
+        scaler.min_ = np.asarray(state["min"], dtype=float)
+        scaler.range_ = np.asarray(state["range"], dtype=float)
+        return scaler

@@ -8,7 +8,7 @@ impurity-based parameter-importance scores.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -30,6 +30,62 @@ class _Node:
         return self.left is None
 
 
+@dataclass
+class _FlatTree:
+    """Array-of-nodes form of a fitted tree for vectorized prediction.
+
+    ``feature[i] == -1`` marks node ``i`` as a leaf; otherwise ``left``/
+    ``right`` hold child node indices.
+    """
+
+    feature: np.ndarray
+    threshold: np.ndarray
+    left: np.ndarray
+    right: np.ndarray
+    value: np.ndarray
+
+
+def _flatten(root: _Node) -> _FlatTree:
+    feature: List[int] = []
+    threshold: List[float] = []
+    left: List[int] = []
+    right: List[int] = []
+    value: List[float] = []
+
+    def visit(node: _Node) -> int:
+        idx = len(feature)
+        feature.append(node.feature if not node.is_leaf else -1)
+        threshold.append(node.threshold)
+        left.append(-1)
+        right.append(-1)
+        value.append(node.value)
+        if not node.is_leaf:
+            left[idx] = visit(node.left)
+            right[idx] = visit(node.right)
+        return idx
+
+    visit(root)
+    return _FlatTree(
+        feature=np.asarray(feature, dtype=np.intp),
+        threshold=np.asarray(threshold, dtype=float),
+        left=np.asarray(left, dtype=np.intp),
+        right=np.asarray(right, dtype=np.intp),
+        value=np.asarray(value, dtype=float),
+    )
+
+
+def _unflatten(flat: _FlatTree, idx: int = 0) -> _Node:
+    if flat.feature[idx] < 0:
+        return _Node(value=float(flat.value[idx]))
+    return _Node(
+        feature=int(flat.feature[idx]),
+        threshold=float(flat.threshold[idx]),
+        left=_unflatten(flat, int(flat.left[idx])),
+        right=_unflatten(flat, int(flat.right[idx])),
+        value=float(flat.value[idx]),
+    )
+
+
 class RegressionTree:
     """CART regression tree (variance reduction splits)."""
 
@@ -49,6 +105,7 @@ class RegressionTree:
         self.max_features = max_features
         self.rng = rng or np.random.default_rng(0)
         self._root: Optional[_Node] = None
+        self._flat: Optional[_FlatTree] = None
         self.feature_importances_: Optional[np.ndarray] = None
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "RegressionTree":
@@ -58,6 +115,7 @@ class RegressionTree:
             raise ValueError("invalid training data")
         self._importance = np.zeros(X.shape[1])
         self._root = self._build(X, y, depth=0)
+        self._flat = _flatten(self._root)
         total = self._importance.sum()
         self.feature_importances_ = (
             self._importance / total if total > 0 else self._importance
@@ -117,6 +175,30 @@ class RegressionTree:
         return node
 
     def predict(self, X: np.ndarray) -> np.ndarray:
+        """Vectorized batch traversal over the flattened node arrays.
+
+        All rows advance one tree level per iteration; rows that reach a
+        leaf drop out of the frontier.  Comparisons and leaf values are
+        the very same floats the scalar walk uses, so the result matches
+        :meth:`predict_scalar` bit for bit.
+        """
+        if self._root is None:
+            raise ModelNotFitted("RegressionTree not fitted")
+        if self._flat is None:
+            self._flat = _flatten(self._root)
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        flat = self._flat
+        nodes = np.zeros(X.shape[0], dtype=np.intp)
+        rows = np.nonzero(flat.feature[nodes] >= 0)[0]
+        while rows.size:
+            at = nodes[rows]
+            go_left = X[rows, flat.feature[at]] <= flat.threshold[at]
+            nodes[rows] = np.where(go_left, flat.left[at], flat.right[at])
+            rows = rows[flat.feature[nodes[rows]] >= 0]
+        return flat.value[nodes]
+
+    def predict_scalar(self, X: np.ndarray) -> np.ndarray:
+        """Reference per-row tree walk; pins :meth:`predict`'s output."""
         if self._root is None:
             raise ModelNotFitted("RegressionTree not fitted")
         X = np.atleast_2d(np.asarray(X, dtype=float))
@@ -127,6 +209,44 @@ class RegressionTree:
                 node = node.left if row[node.feature] <= node.threshold else node.right
             out[i] = node.value
         return out
+
+    def to_state(self) -> Dict[str, Any]:
+        """JSON-safe snapshot of the fitted tree."""
+        if self._root is None or self._flat is None:
+            raise ModelNotFitted("RegressionTree not fitted")
+        return {
+            "kind": "regression_tree",
+            "max_depth": self.max_depth,
+            "min_samples_leaf": self.min_samples_leaf,
+            "feature": self._flat.feature.tolist(),
+            "threshold": self._flat.threshold.tolist(),
+            "left": self._flat.left.tolist(),
+            "right": self._flat.right.tolist(),
+            "value": self._flat.value.tolist(),
+            "feature_importances": (
+                None
+                if self.feature_importances_ is None
+                else self.feature_importances_.tolist()
+            ),
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "RegressionTree":
+        tree = cls(
+            max_depth=state["max_depth"],
+            min_samples_leaf=state["min_samples_leaf"],
+        )
+        tree._flat = _FlatTree(
+            feature=np.asarray(state["feature"], dtype=np.intp),
+            threshold=np.asarray(state["threshold"], dtype=float),
+            left=np.asarray(state["left"], dtype=np.intp),
+            right=np.asarray(state["right"], dtype=np.intp),
+            value=np.asarray(state["value"], dtype=float),
+        )
+        tree._root = _unflatten(tree._flat)
+        fi = state.get("feature_importances")
+        tree.feature_importances_ = None if fi is None else np.asarray(fi, dtype=float)
+        return tree
 
 
 class RandomForest:
@@ -182,3 +302,36 @@ class RandomForest:
             raise ModelNotFitted("RandomForest not fitted")
         preds = np.stack([t.predict(X) for t in self._trees])
         return preds.mean(axis=0), preds.std(axis=0)
+
+    def to_state(self) -> Dict[str, Any]:
+        """JSON-safe snapshot of the fitted forest."""
+        if not self._trees:
+            raise ModelNotFitted("RandomForest not fitted")
+        return {
+            "kind": "random_forest",
+            "n_trees": self.n_trees,
+            "max_depth": self.max_depth,
+            "min_samples_leaf": self.min_samples_leaf,
+            "seed": self.seed,
+            "trees": [t.to_state() for t in self._trees],
+            "feature_importances": (
+                None
+                if self.feature_importances_ is None
+                else self.feature_importances_.tolist()
+            ),
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "RandomForest":
+        forest = cls(
+            n_trees=state["n_trees"],
+            max_depth=state["max_depth"],
+            min_samples_leaf=state["min_samples_leaf"],
+            seed=state["seed"],
+        )
+        forest._trees = [RegressionTree.from_state(t) for t in state["trees"]]
+        fi = state.get("feature_importances")
+        forest.feature_importances_ = (
+            None if fi is None else np.asarray(fi, dtype=float)
+        )
+        return forest

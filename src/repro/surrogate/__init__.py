@@ -1,0 +1,49 @@
+"""Surrogate serving: zero-probe recommendations learned from the KB.
+
+The knowledge base stores full tuning histories; this package turns
+them into per-workload-family performance models that answer "what
+configuration should this workload run?" instantly, with no live probe
+runs, plus knob-importance reports explaining *which* knobs matter.
+
+Pipeline: :mod:`dataset` extracts pooled training matrices →
+:mod:`importance` ranks knobs (forest impurity + lasso path) →
+:mod:`trainer` fits GP/forest/MLP candidates with holdout selection →
+:mod:`registry` versions the result against ``KnowledgeBase.version()``
+→ :mod:`recommend` optimizes over the pruned space with confidence
+gating.  The recommendation service, fleet controller, and CLI all
+consume the same :class:`SurrogateStore`.
+"""
+
+from repro.surrogate.dataset import TrainingMatrix, build_matrices, family_of
+from repro.surrogate.importance import ImportanceReport, KnobScore, rank_knobs
+from repro.surrogate.recommend import (
+    DEFAULT_CONFIDENCE,
+    SurrogateRecommendation,
+    rank_configs,
+    recommend_config,
+    surrogate_prior,
+)
+from repro.surrogate.registry import SurrogateStore
+from repro.surrogate.trainer import (
+    DEFAULT_MODELS,
+    TrainedSurrogate,
+    train_surrogate,
+)
+
+__all__ = [
+    "DEFAULT_CONFIDENCE",
+    "DEFAULT_MODELS",
+    "ImportanceReport",
+    "KnobScore",
+    "SurrogateRecommendation",
+    "SurrogateStore",
+    "TrainedSurrogate",
+    "TrainingMatrix",
+    "build_matrices",
+    "family_of",
+    "rank_configs",
+    "rank_knobs",
+    "recommend_config",
+    "surrogate_prior",
+    "train_surrogate",
+]
