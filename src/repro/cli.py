@@ -31,6 +31,10 @@ Commands:
                              similarity recommender and cold tuning on
                              a (system, workload family) matrix; checks
                              the KB-hit path issues 0 live probe runs
+    bench-serve            — recommendation service under 1000+
+                             concurrent clients: clean, chaos (hostile
+                             traffic), and overload (shedding) storms
+                             with per-endpoint tail latency
     surrogate              — train per-family KB surrogates and print
                              their knob-importance reports
     fleet                  — run a multi-tenant continuous-tuning fleet
@@ -57,6 +61,8 @@ Examples::
     python -m repro bench-vec --json BENCH_vec.json
     python -m repro bench-fleet --json BENCH_fleet.json
     python -m repro bench-surrogate --json BENCH_surrogate.json
+    python -m repro bench-serve --json BENCH_serve.json
+    python -m repro bench-serve --clients 1200 --full
     python -m repro surrogate --kb tuning.kb --system dbms
     python -m repro fleet --system dbms --tenants 4 --epochs 9 --chaos 0.1
     python -m repro fleet --system spark --kb fleet.kb --checkpoint fleet.ckpt
@@ -465,6 +471,34 @@ def _cmd_bench_surrogate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    from repro.bench.serve import run_serve_benchmark
+
+    report = run_serve_benchmark(
+        quick=not args.full, n_clients=args.clients, json_path=args.json
+    )
+    print(f"serve benchmark: {report['n_clients']} concurrent clients, "
+          f"{report['total_requests']} requests over "
+          f"{len(report['cells'])} cells in {report['wall_s']:.1f}s")
+    for cell in report["cells"]:
+        statuses = ", ".join(
+            f"{status}:{count}"
+            for status, count in cell["statuses"].items()
+        )
+        print(f"  {cell['cell']:9s} {cell['n_clients']:5d} clients  "
+              f"{cell['throughput_rps']:8.1f} req/s  [{statuses}]")
+        for endpoint, stats in cell["endpoints"].items():
+            print(f"    {endpoint:12s} n={stats['count']:<6d} "
+                  f"p50={stats['p50_ms']}ms p95={stats['p95_ms']}ms "
+                  f"p99={stats['p99_ms']}ms")
+    print(f"  dropped/malformed: {report['total_dropped']}  "
+          f"5xx: {report['total_5xx']}  "
+          f"shedding engaged: {report['shedding_engaged']}")
+    if args.json:
+        print(f"  report written to {args.json}")
+    return 0
+
+
 def _cmd_surrogate(args: argparse.Namespace) -> int:
     from repro import make_system
     from repro.kb import KnowledgeBase
@@ -552,10 +586,16 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.kb import KnowledgeBase
     from repro.kb.service import serve_forever
+    from repro.kb.serving import ServingConfig
 
+    config = ServingConfig(
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        surrogate_retrain_debounce_s=args.retrain_debounce,
+    )
     with KnowledgeBase(args.kb) as kb:
         serve_forever(kb, args.host, args.port,
-                      surrogate_dir=args.surrogate_dir)
+                      surrogate_dir=args.surrogate_dir, config=config)
     return 0
 
 
@@ -715,6 +755,19 @@ def main(argv: List[str] = None) -> int:
     bsur.add_argument("--full", action="store_true",
                       help="full budgets instead of quick mode")
 
+    bserve = sub.add_parser(
+        "bench-serve",
+        help="benchmark the recommendation service under 1000+ clients",
+    )
+    bserve.add_argument("--json", default=None, metavar="PATH",
+                        help="write the JSON report here, e.g. "
+                             "BENCH_serve.json")
+    bserve.add_argument("--clients", type=int, default=None,
+                        help="concurrent clients for the clean/chaos "
+                             "storms (default: 64 quick, 1000 full)")
+    bserve.add_argument("--full", action="store_true",
+                        help="1000-client storms instead of quick mode")
+
     surrogate = sub.add_parser(
         "surrogate",
         help="train KB surrogates and print knob-importance reports",
@@ -764,6 +817,16 @@ def main(argv: List[str] = None) -> int:
     serve.add_argument("--surrogate-dir", default=None, metavar="DIR",
                        help="disk-backed surrogate registry so trained "
                             "models survive restarts (default: in-memory)")
+    serve.add_argument("--workers", type=int, default=8,
+                       help="request worker pool size (default 8)")
+    serve.add_argument("--queue-limit", type=int, default=256,
+                       help="request queue depth before 429 load "
+                            "shedding (default 256)")
+    serve.add_argument("--retrain-debounce", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="min seconds between surrogate retrains per "
+                            "workload family under continuous ingest; "
+                            "0 retrains on every KB change (default 30)")
 
     sweep = sub.add_parser("sweep", help="one-at-a-time knob sweep")
     sweep.add_argument("--system", choices=["dbms", "hadoop", "spark"], required=True)
@@ -785,6 +848,7 @@ def main(argv: List[str] = None) -> int:
         "bench-vec": _cmd_bench_vec,
         "bench-fleet": _cmd_bench_fleet,
         "bench-surrogate": _cmd_bench_surrogate,
+        "bench-serve": _cmd_bench_serve,
         "surrogate": _cmd_surrogate,
         "fleet": _cmd_fleet,
         "serve": _cmd_serve,

@@ -14,6 +14,9 @@ that idea beyond the DBMS tuner:
   warm-start any surrogate-model tuner.
 * :mod:`repro.kb.service` — a JSON-over-HTTP recommendation service
   (``python -m repro serve``).
+* :mod:`repro.kb.serving` — the bounded-concurrency serving stack
+  behind it: request queue + worker pool with admission control and
+  coalescing, and the write-behind group-commit ingest queue.
 """
 
 from repro.kb.fingerprint import (
@@ -24,6 +27,12 @@ from repro.kb.fingerprint import (
     rank_similar,
 )
 from repro.kb.service import RecommendationService, make_server, serve_forever
+from repro.kb.serving import (
+    IngestWriter,
+    Overloaded,
+    RequestExecutor,
+    ServingConfig,
+)
 from repro.kb.store import KnowledgeBase, SessionRecord
 from repro.kb.warmstart import PriorObservation, TransferPrior, warm_start_prior
 
@@ -39,6 +48,10 @@ __all__ = [
     "TransferPrior",
     "warm_start_prior",
     "RecommendationService",
+    "ServingConfig",
+    "Overloaded",
+    "RequestExecutor",
+    "IngestWriter",
     "make_server",
     "serve_forever",
 ]

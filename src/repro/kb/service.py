@@ -1,13 +1,15 @@
 """Configuration recommendation service over the knowledge base.
 
-A thin JSON-over-HTTP layer (stdlib ``http.server``) so tuning clients
-that are not Python — or not colocated — can query accumulated tuning
+A JSON-over-HTTP layer (stdlib ``http.server``) so tuning clients that
+are not Python — or not colocated — can query accumulated tuning
 knowledge:
 
 * ``GET  /workloads``  — what the knowledge base has seen.
 * ``GET  /metrics``    — process-wide observability snapshot: the
   :func:`~repro.obs.global_metrics` counters/gauges/histograms
-  (request latencies included) plus evaluation-cache stats.
+  (per-endpoint latency percentiles included) plus cache stats.
+* ``GET  /healthz``    — serving health: request-queue depth and shed
+  counts, write-behind ingest lag, recent internal error ids.
 * ``GET  /surrogate/status`` — the surrogate registry: which
   (system, family) models exist, their KB-version freshness, holdout
   scores, and top knobs.
@@ -22,16 +24,23 @@ knowledge:
   Ingests bump the KB version, which invalidates both the fingerprint
   index and any surrogate models trained on the previous contents.
 
+Serving model (see :mod:`repro.kb.serving`): connection threads parse
+and validate the request, then hand the computation to a **bounded
+worker pool** behind an explicit queue.  Admission control sheds with
+HTTP 429 + ``Retry-After`` when the queue is full or the predicted
+wait passes a limit; concurrent ``/recommend`` calls with identical
+bodies coalesce into one computation.  ``POST /ingest`` goes through a
+**write-behind queue with group commit** — the 200 ack is released
+only after the batch transaction lands, so an acked session can never
+be lost, while index warming and surrogate invalidation run off the
+request path.
+
 Every response is *strict* RFC 8259 JSON: payloads pass through the
 knowledge base's inf-safe encoding (:func:`~repro.kb.store.json_safe`)
-and are serialized with ``allow_nan=False``, so a stored session whose
-best runtime is ``math.inf`` (an all-failed run) can never leak the
-non-standard ``Infinity`` literal onto the wire.
-
-The service is read-mostly: the fingerprint index is computed once per
-knowledge-base :meth:`~repro.kb.store.KnowledgeBase.version` and shared
-by all request threads, so concurrent ``/recommend`` calls after a
-warm-up touch SQLite only for the version probe.
+and are serialized with ``allow_nan=False``.  *Every* request gets a
+response: unexpected exceptions are caught and answered with a strict
+JSON 500 carrying an opaque ``error_id`` (surfaced on ``/healthz``),
+never a silently closed socket.
 """
 
 from __future__ import annotations
@@ -40,11 +49,19 @@ import json
 import math
 import threading
 import time
+import uuid
+from collections import deque
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.exceptions import SurrogateError
 from repro.kb.fingerprint import WorkloadFingerprint, rank_similar
+from repro.kb.serving import (
+    IngestWriter,
+    Overloaded,
+    RequestExecutor,
+    ServingConfig,
+)
 from repro.kb.store import KnowledgeBase, SessionRecord, dumps_strict
 from repro.obs.metrics import global_metrics
 from repro.surrogate import (
@@ -54,11 +71,37 @@ from repro.surrogate import (
     recommend_config,
 )
 
-__all__ = ["RecommendationService", "ServiceError", "make_server", "serve_forever"]
+__all__ = [
+    "RecommendationService",
+    "ServiceError",
+    "ServingHTTPServer",
+    "make_server",
+    "serve_forever",
+]
+
+#: Upper bound on ``k`` — a single request must not be able to demand
+#: an arbitrarily large (and arbitrarily expensive) response.
+_MAX_K = 1000
 
 
 class ServiceError(ValueError):
     """Client error in a service request (maps to HTTP 400)."""
+
+
+def _parse_k(request: Mapping[str, Any]) -> int:
+    """Validated ``k`` (bool is an int subclass — rejected explicitly)."""
+    raw = request.get("k", 3)
+    if isinstance(raw, bool) or not isinstance(raw, (int, float, str)):
+        raise ServiceError(f"k must be an integer, got {raw!r}")
+    try:
+        k = int(raw)
+    except (TypeError, ValueError):
+        raise ServiceError(f"k must be an integer, got {raw!r}") from None
+    if isinstance(raw, (float, str)) and float(raw) != k:
+        raise ServiceError(f"k must be an integer, got {raw!r}")
+    if not 0 < k <= _MAX_K:
+        raise ServiceError(f"k must be in [1, {_MAX_K}]")
+    return k
 
 
 class RecommendationService:
@@ -71,6 +114,9 @@ class RecommendationService:
         confidence_threshold: maximum relative posterior std for a
             surrogate answer to be served; above it the reply falls
             back to the similarity recommendation.
+        config: serving tunables (negative-cache TTL for unknown system
+            kinds, surrogate retrain debounce).  The default retrains
+            on every KB version bump, matching offline usage.
     """
 
     def __init__(
@@ -78,31 +124,62 @@ class RecommendationService:
         kb: KnowledgeBase,
         surrogate_store: Optional[SurrogateStore] = None,
         confidence_threshold: float = DEFAULT_CONFIDENCE,
+        config: Optional[ServingConfig] = None,
     ) -> None:
         self.kb = kb
         self.surrogates = surrogate_store or SurrogateStore()
         self.confidence_threshold = confidence_threshold
+        self.config = config or ServingConfig()
         self._index_lock = threading.Lock()
+        self._index_build_lock = threading.Lock()
         self._index_version: Optional[Tuple[int, int]] = None
         self._index: List[Tuple[SessionRecord, WorkloadFingerprint]] = []
-        self._surrogate_lock = threading.Lock()
-        self._spaces: Dict[str, Any] = {}
+        # one lock per (system kind, family): a cold surrogate training
+        # for one family must never stall requests for another
+        self._family_guard = threading.Lock()
+        self._family_locks: Dict[Tuple[str, str], threading.Lock] = {}
+        self._family_trained_at: Dict[Tuple[str, str], float] = {}
+        self._space_lock = threading.Lock()
+        # kind -> (space | None, negative-cache expiry); a transient
+        # failure must not poison the kind forever
+        self._spaces: Dict[str, Tuple[Any, float]] = {}
+        self.recent_errors: "deque[Dict[str, str]]" = deque(maxlen=16)
 
     # -- index -------------------------------------------------------------
     def _fingerprint_index(
         self,
     ) -> List[Tuple[SessionRecord, WorkloadFingerprint]]:
-        """(record, fingerprint) pairs, rebuilt only when the KB changed."""
+        """(record, fingerprint) pairs, rebuilt only when the KB changed.
+
+        The returned list is shared between threads and must be treated
+        as immutable.  Rebuilds run outside ``_index_lock`` — readers
+        of the current index never block behind a ``kb.sessions()``
+        scan — and are serialized on a dedicated build lock so a
+        thundering herd after an ingest does one scan, not hundreds.
+        """
         version = self.kb.version()
         with self._index_lock:
-            if version != self._index_version:
-                self._index = [
-                    (record, record.fingerprint)
-                    for record in self.kb.sessions()
-                    if record.fingerprint is not None
-                ]
+            if version == self._index_version:
+                return self._index
+        with self._index_build_lock:
+            version = self.kb.version()
+            with self._index_lock:
+                if version == self._index_version:
+                    return self._index  # rebuilt while we waited
+            index = [
+                (record, record.fingerprint)
+                for record in self.kb.sessions()
+                if record.fingerprint is not None
+            ]
+            with self._index_lock:
+                self._index = index
                 self._index_version = version
-            return list(self._index)
+            return index
+
+    def refresh_index(self) -> None:
+        """Warm the fingerprint index (the ingest writer's off-request
+        ``on_commit`` hook)."""
+        self._fingerprint_index()
 
     # -- endpoints ---------------------------------------------------------
     def workloads(self) -> Dict[str, Any]:
@@ -123,14 +200,21 @@ class RecommendationService:
                 optimizes the workload family's learned model instead,
                 falling back to the similarity answer when no model
                 applies or its confidence gate fails.
+
+        Every malformed field raises :class:`ServiceError` (HTTP 400);
+        nothing in the request body can reach the 500 path.
         """
+        if not isinstance(request, Mapping):
+            raise ServiceError("request body must be a JSON object")
         mode = request.get("mode", "similarity")
-        if mode not in ("similarity", "surrogate"):
+        if not isinstance(mode, str) or mode not in ("similarity", "surrogate"):
             raise ServiceError(f"unknown recommend mode {mode!r}")
-        k = int(request.get("k", 3))
-        if k <= 0:
-            raise ServiceError("k must be positive")
+        k = _parse_k(request)
         system_kind = request.get("system_kind")
+        if system_kind is not None and not isinstance(system_kind, str):
+            raise ServiceError(
+                f"system_kind must be a string, got {system_kind!r}"
+            )
         candidates = [
             (record, fp)
             for record, fp in self._fingerprint_index()
@@ -170,16 +254,65 @@ class RecommendationService:
 
     # -- surrogate mode ----------------------------------------------------
     def _space_for(self, system_kind: str) -> Optional[Any]:
-        """The system kind's configuration space (memoized; None if the
-        kind is not registered — surrogate mode then falls back)."""
-        if system_kind not in self._spaces:
-            from repro.core.registry import make_system
+        """The system kind's configuration space (memoized under a
+        lock).  Failures are cached *negatively with an expiry*: an
+        unknown kind answers cheaply for ``space_negative_ttl_s``, but
+        a transient failure (import hiccup, racing registration) is
+        retried after the TTL instead of poisoning the kind forever.
+        """
+        now = time.monotonic()
+        with self._space_lock:
+            entry = self._spaces.get(system_kind)
+            if entry is not None:
+                space, expires = entry
+                if space is not None or now < expires:
+                    return space
+        from repro.core.registry import make_system
 
-            try:
-                self._spaces[system_kind] = make_system(system_kind).config_space
-            except Exception:
-                self._spaces[system_kind] = None
-        return self._spaces[system_kind]
+        try:
+            space = make_system(system_kind).config_space
+            expires = math.inf
+        except Exception:
+            space = None
+            expires = now + self.config.space_negative_ttl_s
+        with self._space_lock:
+            self._spaces[system_kind] = (space, expires)
+        return space
+
+    def _family_lock(self, key: Tuple[str, str]) -> threading.Lock:
+        with self._family_guard:
+            lock = self._family_locks.get(key)
+            if lock is None:
+                lock = self._family_locks[key] = threading.Lock()
+            return lock
+
+    def _family_model(
+        self, kind: str, family: str, space: Any
+    ) -> Optional[Any]:
+        """A surrogate for (kind, family), retrain-debounced.
+
+        With ``surrogate_retrain_debounce_s > 0``, a family retrains at
+        most once per window even under continuous ingest; inside the
+        window the most recent (possibly stale) model keeps serving.
+        Callers hold the family's lock.
+        """
+        key = (kind, family)
+        debounce = self.config.surrogate_retrain_debounce_s
+        last = self._family_trained_at.get(key)
+        if (
+            debounce > 0
+            and last is not None
+            and time.monotonic() - last < debounce
+        ):
+            model = self.surrogates.get(
+                self.kb, kind, family, space, train=False
+            )
+            if model is None:
+                model = self.surrogates.load(kind, family)
+            return model
+        model = self.surrogates.get(self.kb, kind, family, space)
+        self._family_trained_at[key] = time.monotonic()
+        return model
 
     def _surrogate_overlay(
         self,
@@ -217,8 +350,8 @@ class RecommendationService:
         if space is None:
             return fallback(f"unknown-system-kind:{kind}")
         family = family_of(workload)
-        with self._surrogate_lock:
-            model = self.surrogates.get(self.kb, kind, family, space)
+        with self._family_lock((kind, family)):
+            model = self._family_model(kind, family, space)
         if model is None:
             return fallback("no-model")
         try:
@@ -244,8 +377,7 @@ class RecommendationService:
 
     def surrogate_status(self) -> Dict[str, Any]:
         """Registry snapshot (``GET /surrogate/status``)."""
-        with self._surrogate_lock:
-            return self.surrogates.status(self.kb)
+        return self.surrogates.status(self.kb)
 
     def _request_fingerprint(
         self,
@@ -256,18 +388,49 @@ class RecommendationService:
             payload = request["fingerprint"]
             if not isinstance(payload, Mapping):
                 raise ServiceError("fingerprint must be an object")
-            return WorkloadFingerprint.from_jsonable(payload)
+            try:
+                return WorkloadFingerprint.from_jsonable(payload)
+            except (KeyError, TypeError, ValueError, AttributeError) as exc:
+                raise ServiceError(
+                    f"bad fingerprint payload: {exc}"
+                ) from exc
         name = request.get("workload")
         if not name:
             raise ServiceError("request needs 'fingerprint' or 'workload'")
+        if not isinstance(name, str):
+            raise ServiceError(f"workload must be a string, got {name!r}")
         for record, fp in candidates:  # newest first (sessions() ordering)
             if record.workload_name == name:
                 return fp
         raise ServiceError(f"unknown workload {name!r}")
 
     def ingest(self, payload: Mapping[str, Any]) -> Dict[str, Any]:
+        """Synchronous ingest (in-process callers; bypasses the queue)."""
+        if not isinstance(payload, Mapping):
+            raise ServiceError("request body must be a JSON object")
         try:
             session_id = self.kb.ingest_payload(payload)
+        except (KeyError, ValueError, TypeError) as exc:
+            raise ServiceError(f"bad kb_session payload: {exc}") from exc
+        return {"session_id": session_id, "n_sessions": len(self.kb)}
+
+    def ingest_async(
+        self, writer: IngestWriter, payload: Mapping[str, Any]
+    ) -> Dict[str, Any]:
+        """Write-behind ingest (the HTTP path): enqueue, await commit.
+
+        The returned ack is durable — the writer releases it only after
+        the payload's group-commit transaction returned.
+        """
+        if not isinstance(payload, Mapping):
+            raise ServiceError("request body must be a JSON object")
+        if payload.get("kind") != "kb_session":
+            raise ServiceError(
+                "bad kb_session payload: payload is not a kb_session document"
+            )
+        ack = writer.submit(payload)  # may raise Overloaded (429)
+        try:
+            session_id = ack.wait(self.config.ingest_ack_timeout_s)
         except (KeyError, ValueError, TypeError) as exc:
             raise ServiceError(f"bad kb_session payload: {exc}") from exc
         return {"session_id": session_id, "n_sessions": len(self.kb)}
@@ -287,65 +450,262 @@ class RecommendationService:
             payload["eval_cache"] = cache.stats()
         return payload
 
+    def note_internal_error(
+        self, endpoint: str, error_id: str, exc: BaseException
+    ) -> None:
+        """Record a 500 for /healthz (opaque id on the wire, type here)."""
+        global_metrics().inc("kb.serve.errors.internal")
+        self.recent_errors.append({
+            "error_id": error_id,
+            "endpoint": endpoint,
+            "type": type(exc).__name__,
+        })
+
+
+class ServingHTTPServer(ThreadingHTTPServer):
+    """Threaded connection front end over the bounded serving stack.
+
+    Connection threads only parse/validate and then block on the
+    request queue or the ingest ack; all computation runs on the
+    executor's fixed worker pool.  ``server_close`` drains the
+    write-behind ingest queue (flush-on-shutdown) before releasing the
+    socket.
+    """
+
+    daemon_threads = True
+    #: Pending-connection backlog.  The socketserver default (5) drops
+    #: connects under a 1000-client stampede before accept() runs.
+    request_queue_size = 1024
+
+    service: RecommendationService
+    executor: RequestExecutor
+    ingest_writer: IngestWriter
+    config: ServingConfig
+
+    def server_close(self) -> None:  # noqa: D102 (inherited semantics)
+        try:
+            writer = getattr(self, "ingest_writer", None)
+            if writer is not None:
+                writer.close()
+            executor = getattr(self, "executor", None)
+            if executor is not None:
+                executor.close()
+        finally:
+            super().server_close()
+
 
 class _Handler(BaseHTTPRequestHandler):
-    """Routes HTTP requests onto the shared RecommendationService."""
+    """Routes HTTP requests onto the shared serving stack."""
 
-    service: RecommendationService  # set on the subclass by make_server
+    #: Keep-alive: connection threads are reused across a client's
+    #: sequential requests instead of being respawned per request.
+    protocol_version = "HTTP/1.1"
+    #: Socket timeout — a stalled client cannot pin a connection
+    #: thread (or an rfile.read) forever.
+    timeout = 60
+
+    server: ServingHTTPServer
+
+    @property
+    def service(self) -> RecommendationService:
+        return self.server.service
 
     def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        executor = self.server.executor
+        service = self.service
         path = self.path.rstrip("/")
         if path == "/workloads":
-            self._handle("workloads", lambda: self.service.workloads())
+            self._handle(
+                "workloads",
+                lambda: executor.submit(service.workloads, key="GET:/workloads"),
+            )
         elif path == "/metrics":
-            self._handle("metrics", lambda: self.service.metrics())
+            # deliberately not queued: observability must answer even
+            # when the request queue is saturated
+            self._handle("metrics", service.metrics)
+        elif path == "/healthz":
+            self._handle("healthz", self._healthz)
         elif path == "/surrogate/status":
             self._handle(
-                "surrogate_status", lambda: self.service.surrogate_status()
+                "surrogate_status",
+                lambda: executor.submit(
+                    service.surrogate_status, key="GET:/surrogate/status"
+                ),
             )
         else:
             self._reply(404, {"error": f"unknown path {self.path}"})
 
     def do_POST(self) -> None:  # noqa: N802
-        try:
-            length = int(self.headers.get("Content-Length", 0))
-            body = json.loads(self.rfile.read(length) or b"{}")
-        except (ValueError, json.JSONDecodeError):
-            self._reply(400, {"error": "request body is not valid JSON"})
-            return
         path = self.path.rstrip("/")
-        if path == "/recommend":
-            self._handle("recommend", lambda: self.service.recommend(body))
-        elif path == "/ingest":
-            self._handle("ingest", lambda: self.service.ingest(body))
-        else:
+        endpoint = {"/recommend": "recommend", "/ingest": "ingest"}.get(path)
+        if endpoint is None:
             self._reply(404, {"error": f"unknown path {self.path}"})
+            return
+        body = self._read_json_body(endpoint)
+        if body is None:
+            return  # already replied (400/413)
+        executor = self.server.executor
+        service = self.service
+        if endpoint == "recommend":
+            # coalescing key: the canonical body — identical
+            # (fingerprint/workload, system_kind, mode, k) requests
+            # share one computation
+            key = "recommend:" + json.dumps(
+                body, sort_keys=True, separators=(",", ":"), default=repr
+            )
+            self._handle(
+                "recommend",
+                lambda: executor.submit(
+                    lambda: service.recommend(body), key=key
+                ),
+            )
+        else:
+            self._handle(
+                "ingest",
+                lambda: service.ingest_async(self.server.ingest_writer, body),
+            )
+
+    # -- request plumbing ---------------------------------------------------
+    def _read_json_body(self, endpoint: str) -> Optional[Dict[str, Any]]:
+        """Read and parse the request body, enforcing the size cap.
+
+        Replies (and returns ``None``) on any violation: missing,
+        non-integer or negative ``Content-Length`` → 400; a declared
+        length over ``max_body_bytes`` → 413 *without reading the
+        body* (the connection is closed — the unread body would
+        desynchronize keep-alive framing); short reads and invalid
+        JSON → 400; non-object top-level values → 400.
+        """
+        metrics = global_metrics()
+
+        def refuse(status: int, message: str) -> None:
+            metrics.inc(f"kb.http.{endpoint}.{status}")
+            self._reply(status, {"error": message}, close=True)
+
+        raw = self.headers.get("Content-Length")
+        if raw is None:
+            refuse(400, "missing Content-Length")
+            return None
+        try:
+            length = int(raw)
+        except (TypeError, ValueError):
+            refuse(400, f"invalid Content-Length {raw!r}")
+            return None
+        if length < 0:
+            refuse(400, f"invalid Content-Length {raw!r}")
+            return None
+        limit = self.server.config.max_body_bytes
+        if length > limit:
+            metrics.inc("kb.serve.body_too_large")
+            refuse(
+                413,
+                f"request body of {length} bytes exceeds the "
+                f"{limit}-byte limit",
+            )
+            return None
+        try:
+            data = self.rfile.read(length)
+        except (TimeoutError, OSError):
+            self.close_connection = True
+            return None
+        if len(data) != length:
+            refuse(400, "truncated request body")
+            return None
+        try:
+            body = json.loads(data.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            refuse(400, "request body is not valid JSON")
+            return None
+        if not isinstance(body, dict):
+            refuse(400, "request body must be a JSON object")
+            return None
+        return body
+
+    def _healthz(self) -> Dict[str, Any]:
+        """Serving health (never queued — must answer under overload)."""
+        executor = self.server.executor.stats()
+        ingest = self.server.ingest_writer.stats()
+        kb = self.service.kb
+        overloaded = executor["queued"] >= executor["queue_limit"]
+        return {
+            "status": "overloaded" if overloaded else "ok",
+            "kb": {
+                "path": kb.path,
+                "n_sessions": len(kb),
+                "version": list(kb.version()),
+            },
+            "executor": executor,
+            "ingest": ingest,
+            "recent_errors": list(self.service.recent_errors),
+        }
 
     def _handle(
         self, endpoint: str, thunk: Callable[[], Dict[str, Any]]
     ) -> None:
-        """Run one endpoint with latency/status accounting."""
+        """Run one endpoint with latency/status accounting.
+
+        Maps :class:`ServiceError` → 400, :class:`Overloaded` → 429
+        with ``Retry-After``, and — crucially — *any* other exception
+        to a strict-JSON 500 with an opaque error id.  No request ever
+        ends in a silently closed socket and a server-side traceback.
+        """
         metrics = global_metrics()
         start = time.perf_counter()
+        headers: Dict[str, str] = {}
         try:
             status, payload = 200, thunk()
         except ServiceError as exc:
             status, payload = 400, {"error": str(exc)}
+        except Overloaded as exc:
+            status = 429
+            retry_after = max(1, math.ceil(exc.retry_after_s))
+            headers["Retry-After"] = str(retry_after)
+            payload = {
+                "error": str(exc),
+                "reason": exc.reason,
+                "retry_after_s": retry_after,
+            }
+        except Exception as exc:  # noqa: BLE001 — the 500 safety net
+            status = 500
+            error_id = f"e-{uuid.uuid4().hex[:12]}"
+            self.service.note_internal_error(endpoint, error_id, exc)
+            payload = {"error": "internal server error", "error_id": error_id}
         metrics.observe(f"kb.http.{endpoint}.seconds",
                         time.perf_counter() - start)
         metrics.inc(f"kb.http.{endpoint}.{status}")
-        self._reply(status, payload)
+        self._reply(status, payload, headers=headers)
 
-    def _reply(self, status: int, payload: Dict[str, Any]) -> None:
+    def _reply(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        headers: Optional[Dict[str, str]] = None,
+        close: bool = False,
+    ) -> None:
         # Strict JSON on the wire: the KB's inf-safe encoding plus
         # allow_nan=False, so math.inf in a stored record (all-failed
         # sessions) serializes as "inf" instead of the invalid Infinity.
-        data = dumps_strict(payload).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(data)))
-        self.end_headers()
-        self.wfile.write(data)
+        try:
+            data = dumps_strict(payload).encode("utf-8")
+        except (TypeError, ValueError):
+            global_metrics().inc("kb.serve.errors.serialization")
+            status = 500
+            data = b'{"error": "unserializable response"}'
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(data)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
+            if close:
+                self.send_header("Connection", "close")
+                self.close_connection = True
+            self.end_headers()
+            self.wfile.write(data)
+        except (BrokenPipeError, ConnectionResetError, TimeoutError, OSError):
+            # the client went away mid-reply; nothing to answer anymore
+            global_metrics().inc("kb.serve.client_disconnects")
+            self.close_connection = True
 
     def log_message(self, fmt: str, *args: Any) -> None:  # pragma: no cover
         pass  # keep test/CLI output clean; HTTP access logs are noise here
@@ -356,20 +716,34 @@ def make_server(
     host: str = "127.0.0.1",
     port: int = 0,
     surrogate_dir: Optional[str] = None,
-) -> ThreadingHTTPServer:
-    """Build a threading HTTP server bound to (host, port).
+    config: Optional[ServingConfig] = None,
+    service: Optional[RecommendationService] = None,
+) -> ServingHTTPServer:
+    """Build the serving stack bound to (host, port).
 
     ``port=0`` picks a free port (tests); the bound address is available
     as ``server.server_address``.  Call ``serve_forever()`` on it (or
     use :func:`serve_forever` for the CLI loop).  ``surrogate_dir``
     makes the surrogate registry disk-backed so trained models survive
-    restarts.
+    restarts.  ``config`` sizes the worker pool, queues, and shedding
+    thresholds; ``service`` injects a pre-built (possibly subclassed)
+    query engine — benches use it to model slow backends.
     """
-    store = SurrogateStore(surrogate_dir) if surrogate_dir else None
-    service = RecommendationService(kb, surrogate_store=store)
-    handler = type("KBHandler", (_Handler,), {"service": service})
-    server = ThreadingHTTPServer((host, port), handler)
-    server.daemon_threads = True
+    config = config or ServingConfig()
+    if service is None:
+        store = SurrogateStore(surrogate_dir) if surrogate_dir else None
+        service = RecommendationService(
+            kb, surrogate_store=store, config=config
+        )
+    server = ServingHTTPServer((host, port), _Handler)
+    server.config = config
+    server.service = service
+    server.executor = RequestExecutor(config)
+    # index warming and surrogate invalidation happen here, off the
+    # request path, after each group commit
+    server.ingest_writer = IngestWriter(
+        kb, config, on_commit=service.refresh_index
+    )
     return server
 
 
@@ -378,17 +752,21 @@ def serve_forever(
     host: str,
     port: int,
     surrogate_dir: Optional[str] = None,
+    config: Optional[ServingConfig] = None,
 ) -> None:
-    """Blocking CLI entry point (Ctrl-C to stop)."""
-    server = make_server(kb, host, port, surrogate_dir=surrogate_dir)
+    """Blocking CLI entry point (Ctrl-C to stop; flushes ingests)."""
+    server = make_server(kb, host, port, surrogate_dir=surrogate_dir,
+                         config=config)
     bound_host, bound_port = server.server_address[:2]
     print(f"kb service on http://{bound_host}:{bound_port} "
-          f"({len(kb)} stored sessions; endpoints: "
-          f"GET /workloads, GET /metrics, GET /surrogate/status, "
-          f"POST /recommend, POST /ingest)")
+          f"({len(kb)} stored sessions, "
+          f"{server.config.workers} workers, "
+          f"queue limit {server.config.queue_limit}; endpoints: "
+          f"GET /workloads, GET /metrics, GET /healthz, "
+          f"GET /surrogate/status, POST /recommend, POST /ingest)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover
         pass
     finally:
-        server.server_close()
+        server.server_close()  # drains the write-behind ingest queue

@@ -300,46 +300,77 @@ class KnowledgeBase:
 
     def ingest_payload(self, payload: Mapping[str, Any]) -> int:
         """Insert a ``kb_session`` document (local call or ``/ingest``)."""
+        with self._lock:
+            session_id = self._insert_payload(payload)
+            self._conn.commit()
+            return session_id
+
+    def ingest_many(
+        self, payloads: Sequence[Mapping[str, Any]]
+    ) -> List[Any]:
+        """Group-commit several ``kb_session`` documents at once.
+
+        All valid payloads in the batch are inserted and committed in
+        **one** transaction — the write-behind ingest queue's group
+        commit, which amortizes the fsync across the batch.  The return
+        list is positional: a session id for each stored payload, or
+        the exception (``KeyError``/``ValueError``/``TypeError``) a
+        malformed payload raised.  One bad payload never poisons its
+        batchmates.
+        """
+        outcomes: List[Any] = []
+        with self._lock:
+            for payload in payloads:
+                try:
+                    outcomes.append(self._insert_payload(payload))
+                except (KeyError, ValueError, TypeError) as exc:
+                    outcomes.append(exc)
+            self._conn.commit()
+        return outcomes
+
+    def _insert_payload(self, payload: Mapping[str, Any]) -> int:
+        """Validate + insert one document; caller holds the lock and
+        commits."""
+        if not isinstance(payload, Mapping):
+            raise TypeError("payload must be a JSON object")
         if payload.get("kind") != "kb_session":
             raise ValueError("payload is not a kb_session document")
         best_runtime = payload["best_runtime_s"]
         best_runtime = math.inf if best_runtime == "inf" else float(best_runtime)
-        with self._lock:
-            cursor = self._conn.execute(
-                """
-                INSERT INTO kb_sessions (
-                    created_seq, system_kind, system_name, workload_name,
-                    tuner_name, seed, n_runs, best_runtime_s, best_config,
-                    space_names, metric_names, fingerprint, history, extras,
-                    format_version
-                ) VALUES (
-                    (SELECT COALESCE(MAX(created_seq), 0) + 1 FROM kb_sessions),
-                    ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?
-                )
-                """,
-                (
-                    payload["system_kind"],
-                    payload["system_name"],
-                    payload["workload"],
-                    payload["tuner"],
-                    payload.get("seed"),
-                    int(payload["n_runs"]),
-                    _encode_best_runtime(best_runtime),
-                    json.dumps(payload["best_config"]),
-                    json.dumps(list(payload["space_names"])),
-                    json.dumps(list(payload["metric_names"])),
-                    (
-                        json.dumps(payload["fingerprint"])
-                        if payload.get("fingerprint")
-                        else None
-                    ),
-                    json.dumps(payload["history"]),
-                    json.dumps(payload.get("extras", {})),
-                    int(payload.get("version", FORMAT_VERSION)),
-                ),
+        cursor = self._conn.execute(
+            """
+            INSERT INTO kb_sessions (
+                created_seq, system_kind, system_name, workload_name,
+                tuner_name, seed, n_runs, best_runtime_s, best_config,
+                space_names, metric_names, fingerprint, history, extras,
+                format_version
+            ) VALUES (
+                (SELECT COALESCE(MAX(created_seq), 0) + 1 FROM kb_sessions),
+                ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?
             )
-            self._conn.commit()
-            return int(cursor.lastrowid)
+            """,
+            (
+                payload["system_kind"],
+                payload["system_name"],
+                payload["workload"],
+                payload["tuner"],
+                payload.get("seed"),
+                int(payload["n_runs"]),
+                _encode_best_runtime(best_runtime),
+                json.dumps(payload["best_config"]),
+                json.dumps(list(payload["space_names"])),
+                json.dumps(list(payload["metric_names"])),
+                (
+                    json.dumps(payload["fingerprint"])
+                    if payload.get("fingerprint")
+                    else None
+                ),
+                json.dumps(payload["history"]),
+                json.dumps(payload.get("extras", {})),
+                int(payload.get("version", FORMAT_VERSION)),
+            ),
+        )
+        return int(cursor.lastrowid)
 
     # -- reading -----------------------------------------------------------
     def sessions(

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import json
 import re
+import threading
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -40,6 +41,11 @@ class SurrogateStore:
         if self.path is not None:
             self.path.mkdir(parents=True, exist_ok=True)
         self._cache: Dict[Tuple[str, str], TrainedSurrogate] = {}
+        #: Guards ``_cache``/``trains`` — the service calls into the
+        #: registry from many worker threads at once.  Training itself
+        #: runs *outside* this lock (serialized per family by the
+        #: service), so one cold family never blocks registry reads.
+        self._lock = threading.Lock()
         #: How many times :meth:`get` retrained (cache misses + stale
         #: hits).  Invalidation tests pin this counter.
         self.trains = 0
@@ -53,7 +59,8 @@ class SurrogateStore:
 
     def save(self, trained: TrainedSurrogate) -> None:
         """Cache (and persist, when disk-backed) one trained model."""
-        self._cache[(trained.system_kind, trained.family)] = trained
+        with self._lock:
+            self._cache[(trained.system_kind, trained.family)] = trained
         file = self._file(trained.system_kind, trained.family)
         if file is not None:
             tmp = file.with_suffix(".json.tmp")
@@ -62,7 +69,8 @@ class SurrogateStore:
 
     def load(self, system_kind: str, family: str) -> Optional[TrainedSurrogate]:
         """Stored model regardless of freshness; ``None`` if absent."""
-        cached = self._cache.get((system_kind, family))
+        with self._lock:
+            cached = self._cache.get((system_kind, family))
         if cached is not None:
             return cached
         file = self._file(system_kind, family)
@@ -74,7 +82,8 @@ class SurrogateStore:
             )
         except Exception:
             return None
-        self._cache[(system_kind, family)] = trained
+        with self._lock:
+            self._cache[(system_kind, family)] = trained
         return trained
 
     # -- version-checked access --------------------------------------------
@@ -117,7 +126,8 @@ class SurrogateStore:
             trained = train_surrogate(matrix, kb_version=version, **train_kwargs)
         except SurrogateError:
             return None
-        self.trains += 1
+        with self._lock:
+            self.trains += 1
         self.save(trained)
         return trained
 
@@ -152,10 +162,12 @@ class SurrogateStore:
                     )
                 except Exception:
                     continue
-                self._cache.setdefault(
-                    (trained.system_kind, trained.family), trained
-                )
-        return [self._cache[key] for key in sorted(self._cache)]
+                with self._lock:
+                    self._cache.setdefault(
+                        (trained.system_kind, trained.family), trained
+                    )
+        with self._lock:
+            return [self._cache[key] for key in sorted(self._cache)]
 
     def status(self, kb: Optional[KnowledgeBase] = None) -> Dict[str, Any]:
         """JSON-safe registry summary (the ``/surrogate/status`` body)."""
