@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import json
 import math
+import sqlite3
 import threading
 import time
 import uuid
@@ -88,6 +89,24 @@ class ServiceError(ValueError):
     """Client error in a service request (maps to HTTP 400)."""
 
 
+#: Ingest failures the *payload* caused, mapped to 400.  Binding errors
+#: (``InterfaceError``: a non-scalar ``seed``), constraint/data errors,
+#: and statement misuse are all functions of the client's document;
+#: environmental sqlite errors (``OperationalError``: locked, disk
+#: full) stay on the 500 path because retrying the same payload can
+#: legitimately succeed.
+_PAYLOAD_ERRORS = (
+    KeyError,
+    ValueError,
+    TypeError,
+    OverflowError,
+    sqlite3.InterfaceError,
+    sqlite3.IntegrityError,
+    sqlite3.ProgrammingError,
+    sqlite3.DataError,
+)
+
+
 def _parse_k(request: Mapping[str, Any]) -> int:
     """Validated ``k`` (bool is an int subclass — rejected explicitly)."""
     raw = request.get("k", 3)
@@ -95,7 +114,9 @@ def _parse_k(request: Mapping[str, Any]) -> int:
         raise ServiceError(f"k must be an integer, got {raw!r}")
     try:
         k = int(raw)
-    except (TypeError, ValueError):
+    except (TypeError, ValueError, OverflowError):
+        # OverflowError: json.loads accepts Infinity, and int(inf) must
+        # map to a 400 like every other malformed k, never a 500
         raise ServiceError(f"k must be an integer, got {raw!r}") from None
     if isinstance(raw, (float, str)) and float(raw) != k:
         raise ServiceError(f"k must be an integer, got {raw!r}")
@@ -410,7 +431,7 @@ class RecommendationService:
             raise ServiceError("request body must be a JSON object")
         try:
             session_id = self.kb.ingest_payload(payload)
-        except (KeyError, ValueError, TypeError) as exc:
+        except _PAYLOAD_ERRORS as exc:
             raise ServiceError(f"bad kb_session payload: {exc}") from exc
         return {"session_id": session_id, "n_sessions": len(self.kb)}
 
@@ -431,7 +452,9 @@ class RecommendationService:
         ack = writer.submit(payload)  # may raise Overloaded (429)
         try:
             session_id = ack.wait(self.config.ingest_ack_timeout_s)
-        except (KeyError, ValueError, TypeError) as exc:
+        except Overloaded:
+            raise
+        except _PAYLOAD_ERRORS as exc:
             raise ServiceError(f"bad kb_session payload: {exc}") from exc
         return {"session_id": session_id, "n_sessions": len(self.kb)}
 

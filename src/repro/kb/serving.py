@@ -283,26 +283,83 @@ class RequestExecutor:
             }
 
 
-class IngestAck:
-    """Commit acknowledgement for one write-behind ingest payload."""
+#: Extra time a timed-out ingest waits when the writer has already
+#: claimed its payload — the commit is in flight, and shedding a
+#: session that is about to become durable would hand the client a 429
+#: for a payload that gets stored anyway (duplicate on retry).
+_COMMIT_GRACE_S = 1.0
 
-    __slots__ = ("event", "session_id", "error", "enqueued_at")
+
+class IngestAck:
+    """Commit acknowledgement for one write-behind ingest payload.
+
+    The ack doubles as a cancellation token: a client that gives up
+    waiting *cancels* the payload, and the writer skips cancelled
+    payloads when it builds a batch.  The claim/cancel handshake is
+    atomic, so every payload ends in exactly one of two states —
+    committed (ack released) or never written (429, safe to retry
+    without creating a duplicate session).
+    """
+
+    __slots__ = (
+        "event",
+        "session_id",
+        "error",
+        "enqueued_at",
+        "_state_lock",
+        "_claimed",
+        "_cancelled",
+    )
 
     def __init__(self) -> None:
         self.event = threading.Event()
         self.session_id: Optional[int] = None
         self.error: Optional[BaseException] = None
         self.enqueued_at = time.monotonic()
+        self._state_lock = threading.Lock()
+        self._claimed = False
+        self._cancelled = False
+
+    def claim(self) -> bool:
+        """Writer side: take ownership before committing the payload.
+
+        Returns ``False`` when the client already cancelled — the
+        writer must then drop the payload without writing it.
+        """
+        with self._state_lock:
+            if self._cancelled:
+                return False
+            self._claimed = True
+            return True
+
+    def cancel(self) -> bool:
+        """Client side: withdraw the payload after an ack timeout.
+
+        Returns ``True`` when the writer had not claimed it yet — the
+        payload will never be committed, so the client may safely
+        retry.  ``False`` means the commit is already in flight.
+        """
+        with self._state_lock:
+            if self._claimed:
+                return False
+            self._cancelled = True
+            return True
 
     def wait(self, timeout: float) -> int:
         """Block until the payload's batch committed; return its id.
 
         Raises the payload's validation error, or :class:`Overloaded`
         (``ingest-slow``) if the commit did not land within ``timeout``.
+        On timeout the payload is cancelled so the writer skips it — a
+        shed ingest is not silently committed behind the client's back.
+        If the writer already claimed it, a short grace wait lets the
+        in-flight commit land; only if that also elapses does the 429
+        escape (the one narrow window with at-least-once semantics).
         """
         if not self.event.wait(timeout):
-            global_metrics().inc("kb.serve.shed.ingest-slow")
-            raise Overloaded("ingest-slow", retry_after_s=1.0)
+            if self.cancel() or not self.event.wait(_COMMIT_GRACE_S):
+                global_metrics().inc("kb.serve.shed.ingest-slow")
+                raise Overloaded("ingest-slow", retry_after_s=1.0)
         if self.error is not None:
             raise self.error
         assert self.session_id is not None
@@ -338,6 +395,7 @@ class IngestWriter:
         self._lock = threading.Lock()
         self.committed = 0
         self.failed = 0
+        self.cancelled = 0
         self.batches = 0
         self.max_batch = 0
         self.last_commit_lag_s = 0.0
@@ -377,8 +435,8 @@ class IngestWriter:
             if item is None:
                 self._queue.task_done()
                 return
-            batch: List[Tuple[Any, IngestAck]] = [item]
-            while len(batch) < self.config.ingest_batch_max:
+            pending: List[Tuple[Any, IngestAck]] = [item]
+            while len(pending) < self.config.ingest_batch_max:
                 try:
                     extra = self._queue.get_nowait()
                 except queue.Empty:
@@ -388,11 +446,30 @@ class IngestWriter:
                     self._queue.task_done()
                     self._queue.put(None)
                     break
-                batch.append(extra)
+                pending.append(extra)
+            # claim each payload before writing: a client that timed out
+            # has cancelled its ack, and committing it anyway would store
+            # a session the client was told to retry (duplicate on retry)
+            batch: List[Tuple[Any, IngestAck]] = []
+            for pair in pending:
+                if pair[1].claim():
+                    batch.append(pair)
+                else:
+                    with self._lock:
+                        self.cancelled += 1
+                    metrics.inc("kb.serve.ingest.cancelled")
+                    self._queue.task_done()
+            if not batch:
+                continue
             payloads = [payload for payload, _ in batch]
             try:
                 results = self.kb.ingest_many(payloads)
             except BaseException as exc:  # noqa: BLE001 — ferried to acks
+                # last-resort safety net only: ingest_many isolates
+                # per-payload errors (validation *and* sqlite) itself
+                # and rolls back on commit failure, so reaching here
+                # means the whole batch is genuinely unwritten and the
+                # shared outcome is accurate for every batchmate
                 results = [exc] * len(batch)
             now = time.monotonic()
             with self._lock:
@@ -449,6 +526,7 @@ class IngestWriter:
                 "queue_limit": self.config.ingest_queue_limit,
                 "committed": self.committed,
                 "failed": self.failed,
+                "cancelled": self.cancelled,
                 "batches": self.batches,
                 "max_batch": self.max_batch,
                 "last_commit_lag_ms": round(

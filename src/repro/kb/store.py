@@ -299,10 +299,19 @@ class KnowledgeBase:
         return self.ingest_payload(payload)
 
     def ingest_payload(self, payload: Mapping[str, Any]) -> int:
-        """Insert a ``kb_session`` document (local call or ``/ingest``)."""
+        """Insert a ``kb_session`` document (local call or ``/ingest``).
+
+        On any failure the open transaction is rolled back before the
+        error propagates, so a bad payload never leaves a pending row
+        that a *later* caller's commit would silently make durable.
+        """
         with self._lock:
-            session_id = self._insert_payload(payload)
-            self._conn.commit()
+            try:
+                session_id = self._insert_payload(payload)
+                self._conn.commit()
+            except BaseException:
+                self._conn.rollback()
+                raise
             return session_id
 
     def ingest_many(
@@ -314,18 +323,32 @@ class KnowledgeBase:
         **one** transaction — the write-behind ingest queue's group
         commit, which amortizes the fsync across the batch.  The return
         list is positional: a session id for each stored payload, or
-        the exception (``KeyError``/``ValueError``/``TypeError``) a
-        malformed payload raised.  One bad payload never poisons its
-        batchmates.
+        the exception a malformed payload raised — validation errors
+        *and* sqlite binding/operational errors (e.g. a non-scalar
+        ``seed``), so one bad payload never poisons its batchmates.
+        If the commit itself fails, the transaction is rolled back
+        before the error propagates: the batch is all-or-nothing, and
+        its pending rows can never be leaked into (and durably
+        committed by) a later batch's transaction.
         """
         outcomes: List[Any] = []
         with self._lock:
-            for payload in payloads:
-                try:
-                    outcomes.append(self._insert_payload(payload))
-                except (KeyError, ValueError, TypeError) as exc:
-                    outcomes.append(exc)
-            self._conn.commit()
+            try:
+                for payload in payloads:
+                    try:
+                        outcomes.append(self._insert_payload(payload))
+                    except (
+                        KeyError,
+                        ValueError,
+                        TypeError,
+                        OverflowError,
+                        sqlite3.Error,
+                    ) as exc:
+                        outcomes.append(exc)
+                self._conn.commit()
+            except BaseException:
+                self._conn.rollback()
+                raise
         return outcomes
 
     def _insert_payload(self, payload: Mapping[str, Any]) -> int:

@@ -92,7 +92,8 @@ def server(kb):
 # -- satellite: type-validated k / mode / bodies ------------------------------
 class TestRequestValidation:
     @pytest.mark.parametrize("bad_k", ["abc", "2.5", 2.5, True, None, [3], 0,
-                                       -1, 10**6])
+                                       -1, 10**6, float("inf"),
+                                       float("nan")])
     def test_bad_k_is_400(self, server, bad_k):
         status, body, _ = _request(
             server, "POST", "/recommend",
@@ -103,7 +104,7 @@ class TestRequestValidation:
 
     def test_bad_k_in_process_raises_service_error(self, kb):
         service = RecommendationService(kb)
-        for bad in ("abc", True, 2.5, [1]):
+        for bad in ("abc", True, 2.5, [1], float("inf"), float("nan")):
             with pytest.raises(ServiceError):
                 service.recommend(
                     {"workload": olap_analytics().name, "k": bad}
@@ -357,11 +358,13 @@ class _StalledKB:
     def __init__(self, inner):
         self._inner = inner
         self.gate = threading.Event()
+        self.entered = threading.Event()
 
     def __getattr__(self, name):
         return getattr(self._inner, name)
 
     def ingest_many(self, payloads):
+        self.entered.set()
         self.gate.wait()
         return self._inner.ingest_many(payloads)
 
@@ -386,8 +389,10 @@ class TestIngestWriter:
             writer = IngestWriter(stalled, ServingConfig())
             try:
                 ack = writer.submit(dict(session_payload))
-                # the commit is stuck: the client times out *unacked* —
-                # and the KB holds nothing it could have been told about
+                # the writer has claimed the payload and is stuck in the
+                # commit: the client times out *unacked* — and the KB
+                # holds nothing it could have been told about
+                assert stalled.entered.wait(5.0)
                 with pytest.raises(Overloaded) as err:
                     ack.wait(0.2)
                 assert err.value.reason == "ingest-slow"
@@ -430,6 +435,34 @@ class TestIngestWriter:
             # at least one commit carried multiple payloads
             assert writer.stats()["max_batch"] > 1
 
+    def test_ack_timeout_cancels_queued_payload_no_duplicate(
+        self, session_payload
+    ):
+        with KnowledgeBase(":memory:") as kb:
+            stalled = _StalledKB(kb)
+            writer = IngestWriter(stalled, ServingConfig())
+            try:
+                first = writer.submit(dict(session_payload))
+                assert stalled.entered.wait(5.0)  # writer stuck mid-commit
+                queued = writer.submit(dict(session_payload))
+                # the queued payload's client gives up: the shed must
+                # *withdraw* the payload, or an honest Retry-After retry
+                # would store the session twice and skew the KB
+                with pytest.raises(Overloaded) as err:
+                    queued.wait(0.2)
+                assert err.value.reason == "ingest-slow"
+                retry = writer.submit(dict(session_payload))
+                stalled.gate.set()
+                writer.flush()
+                # first + retry committed; the cancelled original never was
+                assert len(kb) == 2
+                assert first.wait(5.0) and retry.wait(5.0)
+                assert not queued.event.is_set()
+                assert writer.stats()["cancelled"] == 1
+            finally:
+                stalled.gate.set()
+                writer.close()
+
     def test_submit_after_close_is_shed(self, session_payload):
         with KnowledgeBase(":memory:") as kb:
             writer = IngestWriter(kb, ServingConfig())
@@ -450,10 +483,64 @@ class TestIngestWriter:
                     server, "POST", "/ingest", {"kind": "nope"}
                 )
                 assert status == 400
+                # sqlite binding errors are payload-caused too: 400, not
+                # an opaque 500, and nothing stored
+                hostile = dict(session_payload)
+                hostile["seed"] = []
+                status, bad, _ = _request(
+                    server, "POST", "/ingest", hostile
+                )
+                assert status == 400
+                assert "payload" in bad["error"]
                 server.ingest_writer.flush()
                 assert len(private) == 5
             finally:
                 _stop(server, thread)
+
+
+# -- review fix: per-payload sqlite error isolation + rollback ----------------
+class TestIngestManyIsolation:
+    def test_sqlite_binding_error_never_poisons_batchmates(
+        self, session_payload
+    ):
+        # "seed": [] passes the service's kind-only validation but dies
+        # at sqlite parameter binding — it must get its own outcome
+        bad = dict(session_payload)
+        bad["seed"] = []
+        with KnowledgeBase(":memory:") as kb:
+            outcomes = kb.ingest_many(
+                [dict(session_payload), bad, dict(session_payload)]
+            )
+            assert isinstance(outcomes[0], int)
+            assert isinstance(outcomes[1], Exception)
+            assert isinstance(outcomes[2], int)
+            assert len(kb) == 2
+
+    def test_failed_batch_leaves_no_pending_rows_for_next_commit(
+        self, session_payload
+    ):
+        # review repro: a payload raising mid-batch used to skip the
+        # commit with no rollback, leaving its batchmates *pending* —
+        # the NEXT batch's commit then durably stored sessions whose
+        # clients were never acked (duplicates on their retries)
+        bad = dict(session_payload)
+        bad["seed"] = []
+        with KnowledgeBase(":memory:") as kb:
+            outcomes = kb.ingest_many(
+                [dict(session_payload), bad, dict(session_payload)]
+            )
+            kb.ingest_many([dict(session_payload)])
+            acked = sum(1 for o in outcomes if isinstance(o, int)) + 1
+            assert len(kb) == acked == 3
+
+    def test_ingest_payload_rolls_back_on_failure(self, session_payload):
+        bad = dict(session_payload)
+        bad["seed"] = []
+        with KnowledgeBase(":memory:") as kb:
+            with pytest.raises(Exception):
+                kb.ingest_payload(bad)
+            assert kb.ingest_payload(dict(session_payload)) >= 1
+            assert len(kb) == 1
 
 
 # -- satellite: _space_for negative cache + per-family surrogate locks --------
