@@ -25,12 +25,15 @@ from repro.core import (
     Candidate,
     Configuration,
     ConfigurationSpace,
+    Fidelity,
     InstrumentedSystem,
     Measurement,
+    PromotionScheduler,
     SearchTuner,
     SystemUnderTune,
     Tuner,
     TuningResult,
+    with_fidelity,
 )
 from repro.chaos import ChaosSystem, standard_policies
 from repro.core.registry import (
@@ -53,9 +56,11 @@ __all__ = [
     "Configuration",
     "ConfigurationSpace",
     "ExecutionPolicy",
+    "Fidelity",
     "InstrumentedSystem",
     "KnowledgeBase",
     "Measurement",
+    "PromotionScheduler",
     "ReproError",
     "SearchTuner",
     "SystemUnderTune",
@@ -70,4 +75,5 @@ __all__ = [
     "tuner_names",
     "tuners_in_category",
     "warm_start_prior",
+    "with_fidelity",
 ]

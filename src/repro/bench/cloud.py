@@ -11,10 +11,7 @@ latency-optimal, cost-optimal, and deadline-constrained choices.
 
 from __future__ import annotations
 
-import math
 from typing import List, Optional
-
-import numpy as np
 
 from repro.analysis.pareto import knee_point, pareto_front
 from repro.bench.harness import ExperimentResult, tuned_result

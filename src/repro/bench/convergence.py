@@ -9,7 +9,6 @@ approaches climb with budget; random search climbs slowest.
 
 from __future__ import annotations
 
-import math
 from typing import Dict, List
 
 import numpy as np
@@ -24,7 +23,6 @@ from repro.bench.harness import (
 from repro.core import Budget
 from repro.systems.dbms import DbmsSimulator, adhoc_query, htap_mixed, olap_analytics, oltp_orders
 from repro.tuners import (
-    BayesOptTuner,
     CostModelTuner,
     ITunedTuner,
     OtterTuneTuner,

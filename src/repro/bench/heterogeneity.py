@@ -13,7 +13,6 @@ from __future__ import annotations
 
 from typing import List
 
-import numpy as np
 
 from repro.bench.harness import (
     ExperimentResult,

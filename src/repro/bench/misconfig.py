@@ -10,7 +10,6 @@ table.
 
 from __future__ import annotations
 
-import math
 from typing import List
 
 import numpy as np

@@ -18,7 +18,6 @@ from repro.analysis.ranking import (
     forest_importance,
     lasso_importance,
     rank_correlation,
-    sweep_importance,
     top_k_overlap,
 )
 from repro.bench.harness import ExperimentResult, standard_cluster

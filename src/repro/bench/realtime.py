@@ -15,10 +15,8 @@ higher ingest rates and cuts latency at every stable rate — the
 
 from __future__ import annotations
 
-import math
 from typing import List
 
-import numpy as np
 
 from repro.bench.harness import ExperimentResult, standard_cluster, tuned_result
 from repro.core import Budget

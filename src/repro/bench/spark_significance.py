@@ -11,8 +11,6 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-import numpy as np
-
 from repro.analysis.ranking import sweep_importance
 from repro.bench.harness import ExperimentResult, standard_cluster
 from repro.systems.spark import (

@@ -19,7 +19,7 @@ plateau; adaptive dominates the shift column.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List
 
 import numpy as np
 

@@ -60,7 +60,6 @@ from repro.tuners import (
     SardRanker,
     SpexValidator,
     StmmMemoryTuner,
-    TraceSimulationTuner,
     build_repository,
 )
 from repro.tuners.simulation import trace_replay_predict

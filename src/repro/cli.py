@@ -16,6 +16,10 @@ Commands:
                              observe identical histories)
     bench-transfer         — cold-start vs knowledge-base warm-start
                              evaluations-to-threshold and a JSON report
+    bench-mf               — multi-fidelity successive-halving screening
+                             vs single-fidelity tuning: charged budget
+                             to within-5%-of-best per cell, with
+                             serial==parallel digest asserts
     bench-obs              — observability smoke: span parity across
                              execution modes, <5% tracing overhead,
                              strict-JSON /metrics under concurrency
@@ -57,6 +61,9 @@ Examples::
     python -m repro bench-chaos --json BENCH_chaos.json
     python -m repro bench-driver --json BENCH_driver.json --jobs 4
     python -m repro bench-transfer --json BENCH_transfer.json
+    python -m repro bench-mf --json BENCH_mf.json
+    python -m repro tune --system dbms --workload htap --tuner cem \
+        --fidelity-rungs 3 --fidelity-min 0.25
     python -m repro bench-obs --json BENCH_obs.json
     python -m repro bench-vec --json BENCH_vec.json
     python -m repro bench-fleet --json BENCH_fleet.json
@@ -73,7 +80,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -139,11 +146,17 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _make_tuner_for(name: str, system, warm_start: bool = False) -> object:
+def _make_tuner_for(
+    name: str,
+    system,
+    warm_start: bool = False,
+    fidelity: Optional[dict] = None,
+) -> object:
     """Instantiate a tuner, satisfying special constructor needs."""
     from repro import make_tuner
 
     kwargs = {"warm_start": True} if warm_start else {}
+    kwargs.update(fidelity or {})
     if name == "ottertune":
         from repro.systems.dbms import adhoc_query
         from repro.tuners import build_repository
@@ -160,11 +173,11 @@ def _make_tuner_for(name: str, system, warm_start: bool = False) -> object:
         if warm_start:
             print(f"note: {name} does not support warm starts; "
                   "the prior will be ignored", file=sys.stderr)
-        return make_tuner(name)
+        return make_tuner(name, **(fidelity or {}))
 
 
 def _cmd_tune(args: argparse.Namespace) -> int:
-    from repro import Budget, make_system
+    from repro import Budget, ReproError, make_system
 
     system = make_system(args.system)
     catalog = _workload_catalog()[args.system]
@@ -189,7 +202,21 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         print(f"warm start: {len(prior)} prior observations from {matched} "
               f"({args.warm_start})")
 
-    tuner = _make_tuner_for(args.tuner, system, warm_start=prior is not None)
+    fidelity = {}
+    if args.fidelity_rungs is not None:
+        fidelity["fidelity_rungs"] = args.fidelity_rungs
+    if args.fidelity_min is not None:
+        fidelity["fidelity_min"] = args.fidelity_min
+    if fidelity:
+        fidelity["multi_fidelity"] = True
+    try:
+        tuner = _make_tuner_for(
+            args.tuner, system, warm_start=prior is not None,
+            fidelity=fidelity,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     from repro.obs.trace import Tracer, set_tracer, span
 
     tracer = None
@@ -214,6 +241,19 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     print(f"{args.tuner}: best {result.best_runtime_s:.1f}s "
           f"(speedup {speedup:.2f}x) in {result.n_real_runs} runs "
           f"({result.experiment_time_s:.0f}s of experiments)")
+    mf = result.extras.get("multi_fidelity")
+    if mf:
+        charged = result.extras.get("resilience", {}).get("charged_runs")
+        ladder = "/".join(f"{f:g}" for f in mf["ladder"])
+        rate = (mf["rung_promotions"] / mf["rung_evals"]
+                if mf["rung_evals"] else 0.0)
+        print(f"multi-fidelity: ladder {ladder}, "
+              f"{mf['rung_evals']} screening runs across "
+              f"{mf['screened_asks']} asks "
+              f"(promotion rate {rate:.0%}), "
+              f"{mf['full_evals']} promoted to full fidelity"
+              + (f"; charged {charged:g}/{args.runs} runs"
+                 if charged is not None else ""))
     if args.save:
         from repro.kb import KnowledgeBase
 
@@ -357,6 +397,40 @@ def _cmd_bench_transfer(args: argparse.Namespace) -> int:
               f"{we if we is not None else '-':>7} {savings_col}")
     print(f"  {report['n_cells_meeting_savings']} cell(s) met the "
           f">={report['required_savings']:.0%}-fewer-evaluations bar")
+    if args.json:
+        print(f"  report written to {args.json}")
+    return 0
+
+
+def _cmd_bench_mf(args: argparse.Namespace) -> int:
+    from repro.bench.mf import run_mf_benchmark
+
+    report = run_mf_benchmark(
+        quick=not args.full, jobs=args.jobs, json_path=args.json
+    )
+    print(f"multi-fidelity benchmark: {report['n_cells']} cells, "
+          f"jobs={report['jobs']}, "
+          f"threshold = single-fidelity best × {report['threshold_factor']}")
+    print(f"  serial   {report['serial_wall_s']:8.2f}s")
+    if report["parallel_wall_s"] is not None:
+        print(f"  parallel {report['parallel_wall_s']:8.2f}s "
+              "(results identical)")
+    print(f"  {'system':6s} {'tuner':8s} {'sf_best':>8s} {'mf_best':>8s} "
+          f"{'sf_chg':>7s} {'mf_chg':>7s} {'savings':>8s} {'within5%':>8s}")
+    for cell in report["cells"]:
+        savings = cell["charged_savings"]
+        savings_col = f"{savings:7.1%}" if savings is not None else f"{'-':>8s}"
+        sf_c = cell["sf_charged_to_threshold"]
+        mf_c = cell["mf_charged_to_threshold"]
+        print(f"  {cell['system']:6s} {cell['tuner']:8s} "
+              f"{cell['sf_best_s']:8.2f} {cell['mf_best_s']:8.2f} "
+              f"{sf_c if sf_c is not None else '-':>7} "
+              f"{mf_c if mf_c is not None else '-':>7} "
+              f"{savings_col} "
+              f"{'yes' if cell['mf_within_threshold'] else 'NO':>8s}")
+    print(f"  {report['n_cells_meeting_savings']}/{report['n_cells']} "
+          f"cell(s) met the >={report['required_savings']:.0%}-less-"
+          "charged-budget bar at within-5%-of-best")
     if args.json:
         print(f"  report written to {args.json}")
     return 0
@@ -649,6 +723,16 @@ def main(argv: List[str] = None) -> int:
                       help="record a hierarchical span trace of the session "
                            "(batches, evaluations, retries, faults) and "
                            "write it as JSON Lines to this path")
+    tune.add_argument("--fidelity-rungs", type=int, default=None,
+                      metavar="R",
+                      help="enable multi-fidelity screening with R "
+                           "successive-halving rungs (ask/tell tuners "
+                           "only; default: screening off)")
+    tune.add_argument("--fidelity-min", type=float, default=None,
+                      metavar="F",
+                      help="fidelity of the cheapest screening rung, in "
+                           "(0, 1); implies multi-fidelity screening "
+                           "(default 0.25 when screening is on)")
 
     experiment = sub.add_parser("experiment", help="run a benchmark experiment")
     experiment.add_argument("id", help="experiment id, e.g. E3, or 'all'")
@@ -705,6 +789,19 @@ def main(argv: List[str] = None) -> int:
                                "(default 2; <=1 skips it)")
     transfer.add_argument("--full", action="store_true",
                           help="full budgets instead of quick mode")
+
+    mf = sub.add_parser(
+        "bench-mf",
+        help="multi-fidelity screening vs single-fidelity tuning "
+             "(charged budget to within-5%-of-best per cell)",
+    )
+    mf.add_argument("--json", default=None, metavar="PATH",
+                    help="write the JSON report here, e.g. BENCH_mf.json")
+    mf.add_argument("--jobs", type=_jobs_arg, default=None,
+                    help="workers for the parallel verification pass "
+                         "(default 2; <=1 skips it)")
+    mf.add_argument("--full", action="store_true",
+                    help="full budgets instead of quick mode")
 
     obs = sub.add_parser(
         "bench-obs",
@@ -844,6 +941,7 @@ def main(argv: List[str] = None) -> int:
         "bench-chaos": _cmd_bench_chaos,
         "bench-driver": _cmd_bench_driver,
         "bench-transfer": _cmd_bench_transfer,
+        "bench-mf": _cmd_bench_mf,
         "bench-obs": _cmd_bench_obs,
         "bench-vec": _cmd_bench_vec,
         "bench-fleet": _cmd_bench_fleet,

@@ -1,5 +1,6 @@
 """Core abstractions: parameters, configurations, systems, tuners."""
 
+from repro.core.fidelity import Fidelity, FidelitySystem, with_fidelity
 from repro.core.measurement import (
     Measurement,
     Observation,
@@ -36,7 +37,13 @@ from repro.core.tuner import (
 from repro.core.workload import StreamPhase, Workload, WorkloadStream
 
 # Imported last: the driver builds on tuner + session.
-from repro.core.driver import Candidate, SearchDriver, SearchState, SearchTuner
+from repro.core.driver import (
+    Candidate,
+    PromotionScheduler,
+    SearchDriver,
+    SearchState,
+    SearchTuner,
+)
 
 __all__ = [
     "BooleanParameter",
@@ -47,7 +54,10 @@ __all__ = [
     "Configuration",
     "ConfigurationSpace",
     "Constraint",
+    "Fidelity",
+    "FidelitySystem",
     "InstrumentedSystem",
+    "PromotionScheduler",
     "SubspaceSystem",
     "Measurement",
     "NumericParameter",
@@ -73,4 +83,5 @@ __all__ = [
     "history_from_jsonable",
     "make_constraint",
     "to_jsonable",
+    "with_fidelity",
 ]

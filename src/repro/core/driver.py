@@ -38,7 +38,16 @@ Two execution guarantees strategies can rely on:
    candidate, in proposal order (retry attempts are recorded in the
    history but not re-told).
 2. If ``tell`` receives fewer observations than the strategy asked for,
-   the budget is spent and ``ask`` will not be called again.
+   the budget is spent and ``ask`` will not be called again — unless a
+   guard or the multi-fidelity scheduler filtered the batch, in which
+   case the search continues with the admitted/promoted subset.
+
+Multi-fidelity screening (MFTune-style): strategies that set
+``multi_fidelity = True`` get a :class:`PromotionScheduler` that runs
+each large-enough ask through successive-halving rungs of cheap
+approximate evaluations (``rung-{r}`` tags, fidelity-weighted budget
+charges) and only executes — and tells — the survivors at full
+fidelity.
 
 Wall-clock caps and batches: a serial loop stops the moment
 ``max_experiment_time_s`` is crossed, while an atomic batch charges
@@ -50,6 +59,7 @@ the whole batch before seeing any result).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Union
 
@@ -60,9 +70,16 @@ from repro.core.parameters import Configuration, ConfigurationSpace
 from repro.core.session import TuningSession
 from repro.core.tuner import Tuner
 from repro.obs.metrics import global_metrics
+from repro.obs.trace import event as obs_event
 from repro.obs.trace import span as obs_span
 
-__all__ = ["Candidate", "SearchState", "SearchDriver", "SearchTuner"]
+__all__ = [
+    "Candidate",
+    "PromotionScheduler",
+    "SearchState",
+    "SearchDriver",
+    "SearchTuner",
+]
 
 
 @dataclass
@@ -78,12 +95,17 @@ class Candidate:
             strategy's surrogate estimate, kept out of budget
             accounting.
         predict_tag: label for that prediction (defaults to ``tag``).
+        fidelity: evaluation fidelity for this candidate (1.0 = a full
+            run).  Strategies normally leave this at 1.0 and let the
+            driver's :class:`PromotionScheduler` decide what to screen;
+            a strategy may pin it explicitly to request a cheap run.
     """
 
     config: Configuration
     tag: str = ""
     predicted_runtime_s: Optional[float] = None
     predict_tag: Optional[str] = None
+    fidelity: float = 1.0
 
 
 #: What :meth:`SearchTuner.ask` may return: bare configurations are
@@ -165,6 +187,65 @@ class SearchState:
         return self._session.prior_best_configs(k=k)
 
 
+@dataclass(frozen=True)
+class PromotionScheduler:
+    """Successive-halving rung schedule for one ask batch.
+
+    MFTune-style screening: evaluate the whole batch at the cheapest
+    fidelity, promote the best ``1/eta`` fraction to the next rung,
+    repeat until the survivors run at full fidelity.  The ladder is
+    geometric — with ``rungs=3`` and ``min_fidelity=0.25`` it reads
+    ``[0.25, 0.5, 1.0]`` — so each rung costs roughly the same total
+    charge while the field shrinks.
+
+    Attributes:
+        rungs: number of fidelity levels including the final full run.
+        min_fidelity: fidelity of the cheapest (first) rung.
+        eta: halving rate; rung ``r`` keeps ``ceil(n / eta**(r+1))``
+            of the original batch.
+        min_batch: asks smaller than this skip screening entirely —
+            halving a two-candidate batch just burns charge.
+    """
+
+    rungs: int = 3
+    min_fidelity: float = 0.25
+    eta: float = 2.0
+    min_batch: int = 4
+
+    def __post_init__(self) -> None:
+        if self.rungs < 2:
+            raise ValueError("rungs must be >= 2 (screen + full run)")
+        if not (0.0 < self.min_fidelity < 1.0):
+            raise ValueError(
+                f"min_fidelity must be in (0, 1), got {self.min_fidelity!r}"
+            )
+        if self.eta <= 1.0:
+            raise ValueError("eta must be > 1")
+        if self.min_batch < 2:
+            raise ValueError("min_batch must be >= 2")
+
+    def ladder(self) -> List[float]:
+        """Fidelity per rung, cheapest first, ending at exactly 1.0."""
+        span = self.rungs - 1
+        return [
+            self.min_fidelity ** ((span - r) / span) for r in range(self.rungs)
+        ]
+
+    def survivors(self, batch_size: int, rung: int) -> int:
+        """How many of an original ``batch_size`` survive rung ``rung``."""
+        return max(1, int(math.ceil(batch_size / self.eta ** (rung + 1))))
+
+    @classmethod
+    def for_strategy(cls, strategy: "SearchTuner") -> "PromotionScheduler":
+        """Build a schedule from a strategy's ``fidelity_*`` attributes."""
+        return cls(
+            rungs=int(getattr(strategy, "fidelity_rungs", 3)),
+            min_fidelity=float(getattr(strategy, "fidelity_min", 0.25)),
+            eta=float(getattr(strategy, "fidelity_eta", 2.0)),
+            min_batch=int(getattr(strategy, "fidelity_min_batch", 4)),
+        )
+
+
 class SearchTuner(Tuner):
     """Base class for tuners written against the ask/tell contract.
 
@@ -194,6 +275,20 @@ class SearchTuner(Tuner):
     #: wall-clock cap is crossed mid-batch (iTuned §5 semantics).
     #: Leave False to preserve serial stop-at-the-cap behaviour.
     atomic_batches: bool = False
+    #: Opt into multi-fidelity screening: the driver builds a
+    #: :class:`PromotionScheduler` and screens every large-enough ask
+    #: at low fidelity, only telling the strategy full-fidelity
+    #: survivors.  Off by default — enabling it changes which runs
+    #: execute, so every existing digest stays untouched.
+    multi_fidelity: bool = False
+    #: Rung count for the scheduler (only read when ``multi_fidelity``).
+    fidelity_rungs: int = 3
+    #: Cheapest rung's fidelity.
+    fidelity_min: float = 0.25
+    #: Halving rate between rungs.
+    fidelity_eta: float = 2.0
+    #: Smallest ask worth screening.
+    fidelity_min_batch: int = 4
 
     def setup(self, state: SearchState) -> None:
         """Initialize per-run state before any evaluation."""
@@ -247,13 +342,24 @@ class SearchDriver:
             the driver ends the search (graceful degradation to the
             incumbent) instead of spinning on a strategy whose every
             proposal the guard rejects.
+        scheduler: optional :class:`PromotionScheduler` for
+            multi-fidelity screening.  When ``None`` (the default) one
+            is built from the strategy's ``fidelity_*`` attributes iff
+            the strategy sets ``multi_fidelity=True``; otherwise every
+            candidate runs at full fidelity exactly as before.
     """
 
-    def __init__(self, guard: Optional[Any] = None, max_fruitless_asks: int = 5):
+    def __init__(
+        self,
+        guard: Optional[Any] = None,
+        max_fruitless_asks: int = 5,
+        scheduler: Optional[PromotionScheduler] = None,
+    ):
         if max_fruitless_asks < 1:
             raise ValueError("max_fruitless_asks must be >= 1")
         self.guard = guard
         self.max_fruitless_asks = max_fruitless_asks
+        self.scheduler = scheduler
 
     def run(
         self, strategy: SearchTuner, session: TuningSession
@@ -262,6 +368,9 @@ class SearchDriver:
         strategy itself ends the search; returns its recommendation."""
         state = SearchState(session)
         metrics = global_metrics()
+        scheduler = self.scheduler
+        if scheduler is None and getattr(strategy, "multi_fidelity", False):
+            scheduler = PromotionScheduler.for_strategy(strategy)
         with obs_span("driver", tuner=getattr(strategy, "name", "strategy")):
             strategy.setup(state)
             if strategy.evaluate_default_first and session.can_run():
@@ -298,9 +407,17 @@ class SearchDriver:
                             c.predicted_runtime_s,
                             tag=c.predict_tag or c.tag,
                         )
-                strategy.tell(
-                    state, self._execute(strategy, session, candidates)
-                )
+                if (
+                    scheduler is not None
+                    and len(candidates) >= scheduler.min_batch
+                    and all(c.fidelity >= 1.0 for c in candidates)
+                ):
+                    results = self._execute_screened(
+                        strategy, session, candidates, scheduler
+                    )
+                else:
+                    results = self._execute(strategy, session, candidates)
+                strategy.tell(state, results)
             strategy.finish(state)
             return strategy.recommend(state)
 
@@ -316,28 +433,116 @@ class SearchDriver:
             # The sequential path: retries, backoff, and quarantine
             # handling apply per the session's execution policy.
             mark = len(session.history)
-            session.evaluate(candidates[0].config, tag=candidates[0].tag)
+            session.evaluate(
+                candidates[0].config,
+                tag=candidates[0].tag,
+                fidelity=candidates[0].fidelity,
+            )
             return self._finals(session, mark, single=True)
-        if (
+        mixed = len({c.fidelity for c in candidates}) > 1
+        if mixed or (
             session.budget.max_experiment_time_s is not None
             and not strategy.atomic_batches
         ):
             # A serial loop stops the moment the wall-clock cap is
             # crossed; split the batch so the cap keeps that meaning.
+            # Mixed-fidelity asks also split: a session batch executes
+            # at one fidelity.
             finals: List[Observation] = []
             for c in candidates:
                 if not session.can_run():
                     break
                 mark = len(session.history)
-                session.evaluate(c.config, tag=c.tag)
+                session.evaluate(c.config, tag=c.tag, fidelity=c.fidelity)
                 finals.extend(self._finals(session, mark, single=True))
             return finals
         mark = len(session.history)
         session.evaluate_batch(
             [c.config for c in candidates],
             tags=[c.tag for c in candidates],
+            fidelity=candidates[0].fidelity,
         )
         return self._finals(session, mark, single=False)
+
+    def _execute_screened(
+        self,
+        strategy: SearchTuner,
+        session: TuningSession,
+        candidates: List[Candidate],
+        scheduler: PromotionScheduler,
+    ) -> List[Observation]:
+        """Successive-halving execution of one ask batch.
+
+        Every sub-full rung evaluates the surviving field at that
+        rung's fidelity (observations tagged ``rung-{r}``, recorded in
+        the history but *not* told — they are screens, on a scaled
+        runtime axis) and promotes the best ``1/eta`` fraction.  The
+        final survivors execute through the normal full-fidelity path
+        and their observations are what the strategy's ``tell``
+        receives — so with screening on, a tell covers fewer
+        observations than the ask proposed, exactly like the guard
+        path.
+        """
+        metrics = global_metrics()
+        ladder = scheduler.ladder()
+        batch_size = len(candidates)
+        alive = list(candidates)
+        summary = session.extras.setdefault(
+            "multi_fidelity",
+            {
+                "ladder": [round(f, 6) for f in ladder],
+                "screened_asks": 0,
+                "rung_evals": 0,
+                "rung_promotions": 0,
+                "full_evals": 0,
+            },
+        )
+        summary["screened_asks"] += 1
+        for rung, fidelity in enumerate(ladder[:-1]):
+            keep = scheduler.survivors(batch_size, rung)
+            if len(alive) <= keep:
+                # Nothing this rung could screen out; skip its spend.
+                continue
+            if not session.can_run():
+                return []
+            tags = [
+                f"{c.tag}+rung-{rung}" if c.tag else f"rung-{rung}"
+                for c in alive
+            ]
+            measured = session.evaluate_batch(
+                [c.config for c in alive], tags=tags, fidelity=fidelity
+            )
+            # Rank the measured prefix (budget truncation may have cut
+            # the batch); failures and quarantine skips read as inf and
+            # never promote.  Ties break on proposal order.
+            ranked = sorted(
+                (m.runtime_s if m.ok else math.inf, i)
+                for i, m in enumerate(measured)
+            )
+            chosen = sorted(
+                i for runtime, i in ranked[:keep] if math.isfinite(runtime)
+            )
+            promoted = [alive[i] for i in chosen]
+            metrics.inc("driver.mf.rung_evals", len(measured))
+            metrics.inc("driver.mf.promotions", len(promoted))
+            metrics.observe(
+                "driver.mf.promotion_rate",
+                len(promoted) / len(measured) if measured else 0.0,
+            )
+            obs_event(
+                "mf_rung", rung=rung, fidelity=round(fidelity, 6),
+                evaluated=len(measured), promoted=len(promoted),
+            )
+            summary["rung_evals"] += len(measured)
+            summary["rung_promotions"] += len(promoted)
+            if not promoted:
+                return []
+            alive = promoted
+        if not session.can_run():
+            return []
+        summary["full_evals"] += len(alive)
+        metrics.inc("driver.mf.full_evals", len(alive))
+        return self._execute(strategy, session, alive)
 
     @staticmethod
     def _finals(

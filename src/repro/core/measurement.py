@@ -78,6 +78,11 @@ class Observation:
             "ei-step-3") for post-hoc analysis of search behaviour.
         workload: name of the workload executed; distinguishes probe
             runs on sampled/alternate workloads from the session's own.
+        fidelity: fraction of the real workload this run measured
+            (1.0 = a full run).  Sub-fidelity screening observations
+            carry their fraction so budget replays charge them
+            correctly; they are excluded from incumbent selection and
+            training data (:meth:`TuningHistory.successful`).
     """
 
     config: Configuration
@@ -85,6 +90,7 @@ class Observation:
     source: str = REAL
     tag: str = ""
     workload: str = ""
+    fidelity: float = 1.0
 
     @property
     def runtime_s(self) -> float:
@@ -93,6 +99,10 @@ class Observation:
     @property
     def ok(self) -> bool:
         return self.measurement.ok
+
+    @property
+    def full_fidelity(self) -> bool:
+        return self.fidelity >= 1.0
 
 
 class TuningHistory:
@@ -125,7 +135,18 @@ class TuningHistory:
         return [o for o in self._observations if o.source == REAL]
 
     def successful(self) -> List[Observation]:
-        return [o for o in self._observations if o.source == REAL and o.ok]
+        """Successful *full-fidelity* real observations.
+
+        Low-fidelity screening runs measure a scaled approximation of
+        the workload; their runtimes live on a different scale and must
+        never become incumbents or training data.  Raw access
+        (including screens) stays available via
+        :meth:`real_observations`.
+        """
+        return [
+            o for o in self._observations
+            if o.source == REAL and o.ok and o.full_fidelity
+        ]
 
     def finite_successful(self) -> List[Observation]:
         """Successful real observations with *finite* runtimes.
@@ -159,9 +180,31 @@ class TuningHistory:
             if obs.source != REAL:
                 continue
             idx += 1
-            if obs.ok and obs.runtime_s < best:
+            if obs.ok and obs.full_fidelity and obs.runtime_s < best:
                 best = obs.runtime_s
             trajectory.append((idx, best))
+        return trajectory
+
+    def charged_trajectory(self) -> List[Tuple[float, float]]:
+        """(charged-budget-so-far, best-runtime-so-far) pairs.
+
+        The fidelity-aware sibling of :meth:`incumbent_trajectory`:
+        every real observation advances the charge axis by its fidelity
+        (a 25% screen costs 0.25 runs), while only full-fidelity
+        successes can improve the incumbent.  This is the curve
+        multi-fidelity benches score — evals-to-threshold measured in
+        *charged* budget, not run count.
+        """
+        trajectory: List[Tuple[float, float]] = []
+        best = math.inf
+        charged = 0.0
+        for obs in self._observations:
+            if obs.source != REAL:
+                continue
+            charged += obs.fidelity
+            if obs.ok and obs.full_fidelity and obs.runtime_s < best:
+                best = obs.runtime_s
+            trajectory.append((charged, best))
         return trajectory
 
     def total_cost_units(self) -> float:
@@ -229,6 +272,12 @@ def history_digest(history: "TuningHistory") -> str:
         h.update(b"\x00")
         h.update(obs.workload.encode())
         h.update(b"\x00")
+        if obs.fidelity != 1.0:
+            # Hashed only for sub-fidelity rows so every pre-fidelity
+            # digest (and the fidelity=1.0 path today) stays unchanged.
+            h.update(b"f")
+            h.update(repr(float(obs.fidelity)).encode())
+            h.update(b"\x00")
         h.update(np.asarray(obs.config.to_array(), dtype=float).tobytes())
         h.update(repr(obs.measurement.runtime_s).encode())
         h.update(b"\x01" if obs.measurement.failed else b"\x00")

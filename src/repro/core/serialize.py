@@ -55,7 +55,7 @@ def to_jsonable(obj: Any) -> Dict[str, Any]:
             "metrics": dict(obj.metrics),
         }
     if isinstance(obj, Observation):
-        return {
+        payload = {
             "version": FORMAT_VERSION,
             "kind": "observation",
             "config": dict(obj.config.to_dict()),
@@ -64,6 +64,11 @@ def to_jsonable(obj: Any) -> Dict[str, Any]:
             "tag": obj.tag,
             "workload": obj.workload,
         }
+        if obj.fidelity != 1.0:
+            # Full-fidelity rows omit the key so pre-fidelity payloads
+            # (and their byte-level diffs) are unchanged.
+            payload["fidelity"] = obj.fidelity
+        return payload
     if isinstance(obj, TuningHistory):
         return {
             "version": FORMAT_VERSION,
@@ -149,13 +154,18 @@ def measurement_from_jsonable(payload: Mapping[str, Any]) -> Measurement:
 def observation_from_jsonable(
     space: ConfigurationSpace, payload: Mapping[str, Any]
 ) -> Observation:
-    """Rebuild one observation against ``space`` (values re-validated)."""
+    """Rebuild one observation against ``space`` (values re-validated).
+
+    Pre-fidelity payloads (and full-fidelity rows, which omit the key)
+    load with the 1.0 default — older KBs round-trip unchanged.
+    """
     return Observation(
         config=space.configuration(payload["config"]),
         measurement=measurement_from_jsonable(payload["measurement"]),
         source=payload["source"],
         tag=payload["tag"],
         workload=payload.get("workload", ""),
+        fidelity=float(payload.get("fidelity", 1.0)),
     )
 
 

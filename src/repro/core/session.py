@@ -81,7 +81,12 @@ class TuningSession:
         self.history = TuningHistory()
         self.extras: Dict[str, Any] = {}
         self.real_runs = 0
+        #: Fidelity-weighted budget spend: a full run charges 1.0, a
+        #: 25% screening run charges 0.25.  Equals ``real_runs`` until
+        #: the first sub-fidelity evaluation.
+        self.charged_runs = 0.0
         self.experiment_time_s = 0.0
+        self._fidelity_views: Dict[float, SystemUnderTune] = {}
         # -- resilience accounting ----------------------------------------
         self.failed_runs = 0
         self.retries = 0
@@ -92,18 +97,39 @@ class TuningSession:
     # -- budget ----------------------------------------------------------
     @property
     def remaining_runs(self) -> int:
-        return max(0, self.budget.max_runs - self.real_runs)
+        """Whole full-fidelity runs the budget still affords.
+
+        Charged spend is fidelity-weighted; partial charges round *up*
+        against the budget (half a run spent means one fewer full run
+        is guaranteed to fit).  With only full-fidelity runs this is
+        exactly ``max_runs - real_runs``, as it always was.
+        """
+        spent = int(math.ceil(self.charged_runs - 1e-9))
+        return max(0, self.budget.max_runs - spent)
 
     def can_run(self) -> bool:
-        if self.remaining_runs <= 0:
+        # Any unspent charge affords at least one more (possibly
+        # partial) evaluation; with integer charges this is the
+        # historical "remaining_runs > 0" check.
+        if self.budget.max_runs - self.charged_runs <= 1e-9:
             return False
         cap = self.budget.max_experiment_time_s
         if cap is not None and self.experiment_time_s >= cap:
             return False
         return True
 
-    def _charge(self, measurement: Measurement, extra_time_s: float = 0.0) -> None:
+    def _charge(
+        self,
+        measurement: Measurement,
+        extra_time_s: float = 0.0,
+        fidelity: float = 1.0,
+    ) -> None:
         """Account one real execution (plus optional retry backoff).
+
+        A fidelity-``f`` run charges ``f`` of a run — the whole point
+        of low-fidelity screening is that a 10% run costs ~10% budget.
+        Its (already scaled) measured runtime feeds the wall-clock
+        budget as-is.
 
         Infinite or NaN runtimes never reach the time budget: a run
         that did not finish cleanly is charged its recorded
@@ -111,6 +137,7 @@ class TuningSession:
         so one hang cannot exhaust ``max_experiment_time_s`` forever.
         """
         self.real_runs += 1
+        self.charged_runs += fidelity
         if measurement.ok and math.isfinite(measurement.runtime_s):
             self.experiment_time_s += measurement.runtime_s
         else:
@@ -175,21 +202,48 @@ class TuningSession:
             runtime_s=math.inf, metrics=metrics, failed=True, cost_units=cost,
         )
 
-    def _run_once(self, workload: Workload, config: Configuration) -> Measurement:
+    def _run_once(
+        self,
+        workload: Workload,
+        config: Configuration,
+        system: Optional[SystemUnderTune] = None,
+    ) -> Measurement:
         """One real execution, normalized through the resilience layer."""
+        target = self.system if system is None else system
         try:
-            measurement = self.system.run(workload, config)
+            measurement = target.run(workload, config)
         except FaultInjected as exc:
             measurement = exc.measurement or Measurement.failure()
         return self._enforce_deadline(self._sanitize(measurement))
 
-    def _quarantined(self, config: Configuration, tag: str) -> Measurement:
+    def _fidelity_view(self, fidelity: float) -> SystemUnderTune:
+        """The session system pinned at ``fidelity`` (cached per level).
+
+        The view wraps *outside* the instrumented system, so noise
+        draws, run counters, and the evaluation cache all stay on the
+        one shared instance — cached inner values are
+        fidelity-independent, and the RNG advances exactly as a
+        full-fidelity run would.
+        """
+        view = self._fidelity_views.get(fidelity)
+        if view is None:
+            from repro.core.fidelity import with_fidelity
+
+            view = with_fidelity(self.system, fidelity)
+            self._fidelity_views[fidelity] = view
+        return view
+
+    def _quarantined(
+        self, config: Configuration, tag: str, fidelity: float = 1.0
+    ) -> Measurement:
         """Handle a proposal into a circuit-open region.
 
         ``skip`` mode charges one run (no wall-clock) and records a
         synthetic failure, so search loops always terminate and models
         still learn to avoid the region; ``raise`` mode surfaces
-        :class:`~repro.exceptions.CircuitOpen` to the caller.
+        :class:`~repro.exceptions.CircuitOpen` to the caller.  A
+        quarantined low-fidelity screen charges only its fidelity
+        fraction — the run it skipped would have been cheap too.
         """
         if self.execution.on_quarantine == "raise":
             raise CircuitOpen(region=self.breaker.region(config))
@@ -201,11 +255,12 @@ class TuningSession:
             metrics={"quarantined": 1.0, "elapsed_before_failure_s": 0.0},
             failed=True,
         )
-        self._charge(measurement)
+        self._charge(measurement, fidelity=fidelity)
         self._obs_account(measurement)
         self.history.record(Observation(
             config, measurement, source=REAL,
             tag=tag or "quarantined", workload=self.workload.name,
+            fidelity=fidelity,
         ))
         return measurement
 
@@ -226,8 +281,16 @@ class TuningSession:
             metrics.inc("session.failed_evaluations")
 
     # -- experiment execution ---------------------------------------------
-    def evaluate(self, config: Configuration, tag: str = "") -> Measurement:
+    def evaluate(
+        self, config: Configuration, tag: str = "", fidelity: float = 1.0
+    ) -> Measurement:
         """Run the session workload under ``config`` for real.
+
+        ``fidelity`` below 1.0 executes the cheap approximation
+        (:func:`repro.core.fidelity.with_fidelity`) and charges only
+        that fraction of a run; retries charge each attempt at the
+        run's fidelity.  The default 1.0 is byte-identical to the
+        pre-fidelity session.
 
         Raises:
             BudgetExhausted: before running, if no budget remains.
@@ -240,11 +303,12 @@ class TuningSession:
                 f"{self.experiment_time_s:.1f}s measured"
             )
         if self.breaker is not None and self.breaker.is_open(config):
-            return self._quarantined(config, tag)
+            return self._quarantined(config, tag, fidelity=fidelity)
+        system = None if fidelity >= 1.0 else self._fidelity_view(fidelity)
         with obs_span("evaluation", tag=tag) as sp:
             attempt = 0
             while True:
-                measurement = self._run_once(self.workload, config)
+                measurement = self._run_once(self.workload, config, system=system)
                 if (
                     not self._retryable(measurement)
                     or attempt >= self.execution.max_retries
@@ -257,20 +321,21 @@ class TuningSession:
                 obs_event("retry", attempt=attempt,
                           backoff_s=self.execution.backoff_s(attempt))
                 self._charge(
-                    measurement, extra_time_s=self.execution.backoff_s(attempt)
+                    measurement, extra_time_s=self.execution.backoff_s(attempt),
+                    fidelity=fidelity,
                 )
                 self._obs_account(measurement)
                 self.history.record(Observation(
                     config, measurement, source=REAL,
                     tag=f"{tag}+retry{attempt}" if tag else f"retry{attempt}",
-                    workload=self.workload.name,
+                    workload=self.workload.name, fidelity=fidelity,
                 ))
                 attempt += 1
                 if not self.can_run():
                     if self.breaker is not None:
                         self.breaker.record(config, measurement)
                     return measurement
-            self._charge(measurement)
+            self._charge(measurement, fidelity=fidelity)
             self._obs_account(measurement)
             if sp is not None:
                 sp.set(ok=measurement.ok, runtime_s=measurement.runtime_s,
@@ -279,7 +344,7 @@ class TuningSession:
                 self.breaker.record(config, measurement)
             self.history.record(Observation(
                 config, measurement, source=REAL, tag=tag,
-                workload=self.workload.name,
+                workload=self.workload.name, fidelity=fidelity,
             ))
             return measurement
 
@@ -288,6 +353,7 @@ class TuningSession:
         configs: Sequence[Configuration],
         tag: str = "",
         tags: Optional[Sequence[str]] = None,
+        fidelity: float = 1.0,
     ) -> List[Measurement]:
         """Run a batch of independent configurations as one proposal.
 
@@ -315,6 +381,10 @@ class TuningSession:
                 ``tags`` gives one per configuration.
             tags: optional per-configuration labels (same length as
                 ``configs``).
+            fidelity: evaluation fidelity for the whole batch; below
+                1.0 the batch executes the cheap approximation and each
+                member charges only that fraction of a run (the
+                truncation-to-budget rule scales accordingly).
 
         Raises:
             BudgetExhausted: before running anything, if no budget
@@ -333,25 +403,38 @@ class TuningSession:
                 f"budget spent: {self.real_runs}/{self.budget.max_runs} runs, "
                 f"{self.experiment_time_s:.1f}s measured"
             )
-        batch = configs[: self.remaining_runs]
+        if fidelity >= 1.0:
+            system = self.system
+            batch = configs[: self.remaining_runs]
+        else:
+            system = self._fidelity_view(fidelity)
+            # Fidelity-weighted truncation: the affordable prefix is
+            # whatever the unspent charge covers at this fidelity
+            # (can_run() already guaranteed at least one evaluation).
+            affordable = int(
+                (self.budget.max_runs - self.charged_runs) / fidelity + 1e-9
+            )
+            batch = configs[: max(1, affordable)]
         quarantined = [
             self.breaker is not None and self.breaker.is_open(c)
             for c in batch
         ]
         to_run = [c for c, q in zip(batch, quarantined) if not q]
         with obs_span("batch", size=len(batch), tag=tag) as batch_sp:
-            executed = iter(self.system.run_batch(self.workload, to_run))
+            executed = iter(system.run_batch(self.workload, to_run))
             measurements: List[Measurement] = []
             for i, (config, skip) in enumerate(zip(batch, quarantined)):
                 label = tags[i] if tags is not None else tag
                 if skip:
-                    measurements.append(self._quarantined(config, label))
+                    measurements.append(
+                        self._quarantined(config, label, fidelity=fidelity)
+                    )
                     continue
                 with obs_span("evaluation", tag=label) as sp:
                     measurement = self._enforce_deadline(
                         self._sanitize(next(executed))
                     )
-                    self._charge(measurement)
+                    self._charge(measurement, fidelity=fidelity)
                     self._obs_account(measurement)
                     if sp is not None:
                         sp.set(ok=measurement.ok,
@@ -363,6 +446,7 @@ class TuningSession:
                         source=REAL,
                         tag=label,
                         workload=self.workload.name,
+                        fidelity=fidelity,
                     ))
                     measurements.append(measurement)
             if batch_sp is not None:
@@ -466,6 +550,7 @@ class TuningSession:
         return {
             "failure_policy": self.failure_policy,
             "real_runs": real,
+            "charged_runs": round(self.charged_runs, 4),
             "failed_runs": self.failed_runs,
             "retries": self.retries,
             "deadline_kills": self.deadline_kills,

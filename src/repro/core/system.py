@@ -85,6 +85,16 @@ class SystemUnderTune(ABC):
         """
         return callable(getattr(self, "run_batch_vectorized", None))
 
+    def execution_context(self) -> Tuple[str, ...]:
+        """Extra facts that change what a ``run()`` measures.
+
+        Wrappers that alter measurements without changing the inner
+        system's state — e.g., a fidelity view scaling the cost surface
+        — surface that here so evaluation-cache keys can never collide
+        across contexts.  The base system has none.
+        """
+        return ()
+
     def default_configuration(self) -> Configuration:
         return self.config_space.default_configuration()
 
@@ -163,6 +173,9 @@ class InstrumentedSystem(SystemUnderTune):
     @property
     def metric_names(self) -> List[str]:
         return self.inner.metric_names
+
+    def execution_context(self) -> Tuple[str, ...]:
+        return self.inner.execution_context()
 
     def _inner_run(self, workload: Workload, config: Configuration) -> Measurement:
         """The deterministic inner measurement, via caches when possible."""
@@ -327,6 +340,9 @@ class SubspaceSystem(SystemUnderTune):
     @property
     def metric_names(self) -> List[str]:
         return self.inner.metric_names
+
+    def execution_context(self) -> Tuple[str, ...]:
+        return self.inner.execution_context()
 
     def expand(self, config: Configuration) -> Configuration:
         values = dict(self._full_defaults)

@@ -225,6 +225,15 @@ class EvaluationCache:
     ) -> Tuple[str, ...]:
         """Build the (system, workload, config, seed) cache key.
 
+        Systems that execute under an *execution context* — any wrapper
+        state that changes what a run measures without changing the
+        system's fingerprintable attributes, e.g., a fidelity view
+        scaling the cost surface — append that context to the key, so
+        two contexts of the same (system, workload, config) point can
+        never collide.  Context-free systems (the overwhelmingly common
+        case) produce exactly the historical key shape, so warm caches
+        stay valid across this change.
+
         Raises:
             Unfingerprintable: the system or workload holds unstable
                 state; the caller must execute for real.
@@ -234,13 +243,17 @@ class EvaluationCache:
                 f"{k}={v!r}" for k, v in sorted(config.to_dict().items())
             ).encode()
         ).hexdigest()
-        return (
+        key = (
             _KEY_VERSION,
             _memoized_fingerprint(system),
             _memoized_fingerprint(workload),
             config_key,
             repr(seed),
         )
+        context = getattr(system, "execution_context", None)
+        if callable(context):
+            key = key + tuple(str(part) for part in context())
+        return key
 
     # -- storage -----------------------------------------------------------
     def lookup(self, key: Tuple[str, ...]) -> Optional[Measurement]:

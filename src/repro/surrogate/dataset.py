@@ -185,6 +185,10 @@ def _family_matrix(
         for obs in history:
             if obs.source != REAL or obs.tag.startswith("prior"):
                 continue
+            if not obs.full_fidelity:
+                # Low-fidelity screens live on a scaled runtime axis;
+                # they would corrupt the log-ratio targets.
+                continue
             xs.append(obs.config.to_array())
             fps.append(fp_row)
             workloads.append(record.workload_name)

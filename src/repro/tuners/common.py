@@ -86,6 +86,12 @@ def history_to_training_data(
     policy = getattr(session, "failure_policy", "penalize")
     rows: List[Tuple[Configuration, float]] = []
     for o in session.history.real_observations():
+        if not o.full_fidelity:
+            # Low-fidelity screens measure a scaled approximation;
+            # mixing their runtimes (or failure penalties derived from
+            # them) into full-scale training data would corrupt every
+            # surrogate's response surface.
+            continue
         if o.ok and math.isfinite(o.runtime_s):
             rows.append((o.config, o.runtime_s))
             continue

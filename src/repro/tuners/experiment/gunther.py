@@ -75,14 +75,23 @@ class GeneticTuner(SearchTuner):
         if self._generation == 0:
             # Generation 0 accumulates the default plus the random
             # individuals; it is complete once the population is full.
+            # Under multi-fidelity screening only the promoted
+            # survivors come back — commit whatever did, once the
+            # generation-0 ask has been told.
             self._scored.extend(scored)
-            if len(self._scored) == self.population:
+            if len(self._scored) == self.population or (
+                self.multi_fidelity and self._gen0_asked and self._scored
+            ):
                 self._generation = 1
             return
-        if len(scored) == self.population - self.elite:
+        if len(scored) == self.population - self.elite or (
+            self.multi_fidelity and scored
+        ):
             # A full generation came back: commit elites + children.
             # Partial generations (budget died mid-batch) are not
-            # committed, matching the serial loop's early return.
+            # committed, matching the serial loop's early return —
+            # except under screening, where partial-by-design survivor
+            # sets are the only thing a generation ever returns.
             self._scored = self._pending_elite + scored
             self._generation += 1
 

@@ -74,7 +74,11 @@ class CrossEntropyTuner(SearchTuner):
         scored = [
             (self._replay.account(o), o.config.to_array()) for o in results
         ]
-        if len(scored) < self._n_elite:
+        # Under multi-fidelity screening the tell only covers the
+        # promoted survivors — already the batch's elite by screening
+        # rank, so any non-empty set refits the policy.
+        needed = 1 if self.multi_fidelity else self._n_elite
+        if len(scored) < needed:
             self._stop = True
             return
         scored.sort(key=lambda item: item[0])

@@ -101,3 +101,34 @@ class TestSweep:
         ])
         assert rc == 2
         assert "unknown knob" in capsys.readouterr().err
+
+
+class TestTuneMultiFidelity:
+    def test_fidelity_flags_enable_screening(self, capsys):
+        rc = main([
+            "tune", "--system", "dbms", "--workload", "htap",
+            "--tuner", "cem", "--runs", "16", "--seed", "3",
+            "--fidelity-rungs", "2", "--fidelity-min", "0.25",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "multi-fidelity: ladder 0.25/1" in out
+        assert "screening runs" in out
+        assert "charged" in out
+
+    def test_fidelity_defaults_off(self, capsys):
+        rc = main([
+            "tune", "--system", "dbms", "--workload", "htap",
+            "--tuner", "cem", "--runs", "8", "--seed", "3",
+        ])
+        assert rc == 0
+        assert "multi-fidelity" not in capsys.readouterr().out
+
+    def test_fidelity_rejected_for_non_search_tuner(self, capsys):
+        rc = main([
+            "tune", "--system", "dbms", "--workload", "htap",
+            "--tuner", "rule-based", "--runs", "4",
+            "--fidelity-rungs", "2",
+        ])
+        assert rc == 2
+        assert "multi-fidelity" in capsys.readouterr().err
